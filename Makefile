@@ -1,0 +1,32 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+SCALE ?= quick
+
+.PHONY: install test bench tables experiments apidocs examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+tables:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m repro all
+
+experiments:
+	REPRO_SCALE=paper $(PYTHON) scripts/generate_experiments.py
+	$(PYTHON) scripts/append_extension_tables.py
+
+apidocs:
+	$(PYTHON) scripts/generate_api_docs.py
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

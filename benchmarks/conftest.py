@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+*prints* it, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction harness.  Fidelity follows ``REPRO_SCALE`` (quick by
+default; set ``REPRO_SCALE=paper`` for the full §4.1 run lengths).
+
+Table-regeneration benchmarks run ``benchmark.pedantic(..., rounds=1)``:
+the interesting number is the one-shot wall-clock of a full experiment,
+not a statistical micro-timing.  The engine micro-benchmarks use the
+normal calibrated mode.
+"""
+
+import pytest
+
+from repro.experiments.scale import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active run-length scale for all benchmarks."""
+    return current_scale()
+
+
+def render(tables):
+    """Print one table or a tuple of tables to the benchmark log."""
+    if not isinstance(tables, (tuple, list)):
+        tables = (tables,)
+    print()
+    for table in tables:
+        print(table.render() if hasattr(table, "render") else table)
+        print()

@@ -1,0 +1,55 @@
+"""Ablation: synchronous vs self-timed arbitration control (§2.1).
+
+The paper evaluates a self-timed bus; real standards of the era were
+split (NuBus and Multibus II synchronous, Futurebus asynchronous).
+This bench sweeps the control-clock period and measures the cost of
+synchronisation: extra waiting at light load (idle dispatches wait for
+an edge), nothing at saturation (tenure boundaries are edges already).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bus.timing import BusTiming
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.workload.scenarios import equal_load
+
+
+PERIODS = (0.0, 0.125, 0.25, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("load", [0.5, 2.5])
+def test_clock_period_sweep(benchmark, scale, load):
+    scenario = equal_load(10, load)
+    base = SimulationSettings(
+        batches=scale.batches, batch_size=scale.batch_size, warmup=scale.warmup, seed=71
+    )
+    waits = {}
+    for period in PERIODS:
+        settings = replace(base, timing=BusTiming(clock_period=period))
+        waits[period] = run_simulation(scenario, "rr", settings).mean_waiting().mean
+
+    benchmark.pedantic(
+        lambda: run_simulation(
+            scenario, "rr", replace(base, timing=BusTiming(clock_period=0.25))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"mean W vs control-clock period (10 agents @ load {load}):")
+    for period, wait in waits.items():
+        label = "self-timed" if period == 0.0 else f"T = {period:g}"
+        print(f"  {label:12s} W = {wait:.3f}  (+{wait - waits[0.0]:.3f})")
+    # Synchronisation never helps; its cost shrinks as the bus saturates
+    # and grows with the clock period at light load.
+    for period in PERIODS[1:]:
+        assert waits[period] >= waits[0.0] - 0.02
+    if load < 1.0:
+        assert waits[1.0] > waits[0.125]
+        # Two alignments per idle dispatch (arbitration start + grant
+        # edge): ~half a period each, so ~one period at T = 1.
+        assert waits[1.0] - waits[0.0] < 1.2
+    else:
+        assert waits[1.0] - waits[0.0] < 0.25

@@ -1,0 +1,63 @@
+"""Ablation: the §5 future-work protocols on the regimes that motivate them.
+
+The hybrid (FCFS across arrival ticks, RR within a tick cohort) and the
+adaptive arbiter exist for workloads with coincident arrivals — exactly
+the deterministic CV = 0 regime of Table 4.5 where plain RR phase-locks
+and plain FCFS falls back to static priority.  This bench runs all four
+protocols on both the pathological and a benign workload.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.table_4_5 import slow_to_other_ratio
+from repro.workload.scenarios import equal_load, worst_case_rr
+
+
+PROTOCOLS = ("rr", "fcfs", "hybrid", "adaptive")
+
+
+def test_deterministic_worst_case(benchmark, scale):
+    scenario = worst_case_rr(10, cv=0.0)
+    settings = SimulationSettings(
+        batches=scale.batches, batch_size=scale.batch_size, warmup=scale.warmup, seed=41
+    )
+    ratios = {
+        name: slow_to_other_ratio(run_simulation(scenario, name, settings)).mean
+        for name in PROTOCOLS
+    }
+    benchmark.pedantic(
+        lambda: run_simulation(scenario, "hybrid", settings), rounds=1, iterations=1
+    )
+    load_ratio = scenario.agent(1).offered_load() / scenario.agent(2).offered_load()
+    print()
+    print(f"slow/other throughput ratio, CV = 0 worst case (load ratio {load_ratio:.2f}):")
+    for name, ratio in ratios.items():
+        print(f"  {name:10s} {ratio:.3f}")
+    # RR collapses; the FCFS-ordered protocols do not.
+    assert ratios["rr"] == pytest.approx(0.5, abs=0.06)
+    for name in ("fcfs", "hybrid", "adaptive"):
+        assert ratios[name] > ratios["rr"] + 0.1, name
+
+
+def test_benign_workload_parity(benchmark, scale):
+    """On the paper's standard workload all four protocols are near-fair
+    and share the conservation-law mean wait."""
+    scenario = equal_load(10, 2.0)
+    settings = SimulationSettings(
+        batches=scale.batches, batch_size=scale.batch_size, warmup=scale.warmup, seed=43
+    )
+    results = {name: run_simulation(scenario, name, settings) for name in PROTOCOLS}
+    benchmark.pedantic(
+        lambda: run_simulation(scenario, "adaptive", settings), rounds=1, iterations=1
+    )
+    print()
+    print("equal-load parity check (10 agents @ 2.0):")
+    reference = results["rr"].mean_waiting().mean
+    for name, result in results.items():
+        print(
+            f"  {name:10s} W {result.mean_waiting().mean:6.3f}  "
+            f"fairness {result.extreme_throughput_ratio().mean:.3f}"
+        )
+        assert result.mean_waiting().mean == pytest.approx(reference, rel=0.05)
+        assert abs(result.extreme_throughput_ratio().mean - 1.0) < 0.12

@@ -1,0 +1,70 @@
+"""Ablation: the three RR implementations (DESIGN.md §7).
+
+The paper: implementations 1 and 2 differ only in line usage;
+implementation 3 saves the extra bus line at the cost of an occasional
+immediate re-arbitration ("somewhat less efficient").  This bench
+measures that cost: extra passes per grant and the waiting-time penalty
+at low load, where the extra pass is not hidden by the overlapped
+tenure.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationSettings, make_arbiter, run_simulation
+from repro.stats.collector import CompletionCollector
+from repro.bus.model import BusSystem
+from repro.workload.scenarios import equal_load
+
+from conftest import render
+
+
+def _run_with_arbiter(scenario, arbiter, settings):
+    collector = CompletionCollector(
+        batches=settings.batches,
+        batch_size=settings.batch_size,
+        warmup=settings.warmup,
+    )
+    system = BusSystem(scenario, arbiter, collector, seed=settings.seed)
+    system.run()
+    from repro.stats.summary import RunResult
+
+    return RunResult(
+        scenario, arbiter.name, collector, system.utilization(),
+        system.simulator.now, settings.seed,
+    )
+
+
+@pytest.mark.parametrize("load", [0.5, 2.5])
+def test_rr_implementation_overhead(benchmark, scale, load):
+    scenario = equal_load(10, load)
+    settings = SimulationSettings(
+        batches=scale.batches, batch_size=scale.batch_size, warmup=scale.warmup, seed=77
+    )
+    results = {}
+    arbiters = {}
+    for impl in (1, 2, 3):
+        arbiter = make_arbiter("rr" if impl == 1 else f"rr-impl{impl}", 10)
+        arbiters[impl] = arbiter
+        results[impl] = _run_with_arbiter(scenario, arbiter, settings)
+
+    benchmark.pedantic(
+        lambda: run_simulation(scenario, "rr-impl3", settings), rounds=1, iterations=1
+    )
+
+    print()
+    print(f"RR implementation overhead at load {load}:")
+    for impl, result in results.items():
+        extra = getattr(arbiters[impl], "extra_passes", 0)
+        grants = arbiters[impl].arbitrations
+        print(
+            f"  impl {impl}: mean W {result.mean_waiting().mean:6.3f}, "
+            f"extra passes {extra}/{grants} arbitrations, "
+            f"extra lines {arbiters[impl].extra_lines}"
+        )
+    # Impl 1 and 2 have identical timing.
+    assert results[1].mean_waiting().mean == pytest.approx(
+        results[2].mean_waiting().mean, rel=1e-6
+    )
+    # Impl 3 pays for its saved line with re-arbitration passes.
+    assert arbiters[3].extra_passes > 0
+    assert results[3].mean_waiting().mean >= results[1].mean_waiting().mean - 1e-6

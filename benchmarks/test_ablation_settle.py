@@ -1,0 +1,168 @@
+"""Ablation: arbitration-line variants (DESIGN.md §7).
+
+Quantifies the §2.1/§3 line-cost trade-offs the paper discusses in
+prose: settle rounds of the full wired-OR process vs Johnson's
+binary-patterned lines, and the identity-width cost of the FCFS
+protocol's composite numbers (its "main difference ... due to the larger
+identities").
+"""
+
+import random
+
+from repro.core.base import identity_bits
+from repro.core.fcfs import DistributedFCFS
+from repro.core.round_robin import DistributedRoundRobin
+from repro.signals.binary_patterned import BinaryPatternedArbitration
+from repro.signals.contention import ParallelContention
+
+
+def _contenders(width, count, seed):
+    rng = random.Random(seed)
+    return rng.sample(range(1, 2**width), count)
+
+
+def test_settle_rounds_grow_with_width(benchmark):
+    """Mean settle rounds per contention, swept over identity width."""
+    results = {}
+    for width in (4, 6, 8, 10, 13):
+        contention = ParallelContention(width)
+        total = 0
+        trials = 200
+        for seed in range(trials):
+            identities = _contenders(width, min(12, 2**width - 1), seed)
+            total += contention.resolve(identities).rounds
+        results[width] = total / trials
+
+    def run_widest():
+        contention = ParallelContention(13)
+        identities = _contenders(13, 12, 0)
+        return contention.resolve(identities).rounds
+
+    benchmark(run_widest)
+    print()
+    print("mean settle rounds by identity width (12 competitors):")
+    for width, rounds in results.items():
+        print(f"  width {width:2d}: {rounds:5.2f} rounds")
+    # Rounds stay within the k-bound and grow with the width.
+    assert all(rounds <= width + 1 for width, rounds in results.items())
+    assert results[13] > results[4]
+
+
+def test_async_settle_vs_taub_bound(benchmark):
+    """Placement-aware settle times against Taub's k/2 worst case.
+
+    Sweeps random physical placements of identities along the bus and
+    reports the distribution of line-activity times, in end-to-end
+    propagation units, next to the k/2 bound.
+    """
+    import random as random_module
+
+    from repro.signals.async_settle import AsyncContention
+
+    rng = random_module.Random(9)
+    width = 7
+    contention = AsyncContention(width)
+    samples = []
+    for __ in range(150):
+        identities = rng.sample(range(1, 2**width), 10)
+        placements = [(rng.random(), identity) for identity in identities]
+        samples.append(contention.resolve(placements).last_change_time)
+
+    benchmark(
+        lambda: contention.resolve(
+            [(rng.random(), identity) for identity in rng.sample(range(1, 128), 10)]
+        )
+    )
+    samples.sort()
+    mean = sum(samples) / len(samples)
+    print()
+    print(
+        f"async settle, width {width}, 10 competitors, random placement: "
+        f"mean {mean:.3f}, p95 {samples[int(0.95 * len(samples))]:.3f}, "
+        f"max {samples[-1]:.3f} end-to-end delays (Taub bound k/2 = {width / 2})"
+    )
+    assert samples[-1] <= width / 2 + 0.5
+    assert mean < width / 2
+
+
+def test_binary_patterned_settles_in_one_round(benchmark):
+    identities = _contenders(7, 20, 3)
+    arbiter = BinaryPatternedArbitration(7)
+    outcome = benchmark(lambda: arbiter.resolve(identities))
+    assert outcome.rounds == 1
+
+
+def test_max_finder_cost_in_full_simulation(benchmark):
+    """DirectMaxFinder vs the full wired-OR settle, end to end.
+
+    Runs the same bus simulation with the fast `max()` resolution and
+    with every arbitration resolved through the settle process,
+    checking behavioural identity and reporting the slowdown — the cost
+    of honesty, and why `DirectMaxFinder` is the default.
+    """
+    import time as time_module
+
+    from repro.bus.model import BusSystem
+    from repro.core.base import WiredOrMaxFinder
+    from repro.stats.collector import CompletionCollector
+    from repro.workload.scenarios import equal_load
+
+    scenario = equal_load(10, 2.0)
+
+    def run(max_finder=None):
+        arbiter = DistributedRoundRobin(10, max_finder=max_finder)
+        collector = CompletionCollector(
+            batches=2, batch_size=1000, warmup=0, keep_order=True
+        )
+        BusSystem(scenario, arbiter, collector, seed=44).run()
+        return collector.completion_order
+
+    started = time_module.perf_counter()
+    fast_order = run()
+    fast_elapsed = time_module.perf_counter() - started
+
+    width = DistributedRoundRobin(10).identity_width
+    started = time_module.perf_counter()
+    slow_order = run(WiredOrMaxFinder(width=width))
+    slow_elapsed = time_module.perf_counter() - started
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"2000-grant simulation: direct max {fast_elapsed * 1e3:.0f} ms, "
+        f"wired-OR settle {slow_elapsed * 1e3:.0f} ms "
+        f"({slow_elapsed / fast_elapsed:.1f}x)"
+    )
+    assert fast_order == slow_order  # behaviourally identical
+
+
+def test_identity_width_cost_by_protocol(benchmark):
+    """The line-count table of §3: what each protocol puts on the bus."""
+    benchmark.pedantic(
+        lambda: DistributedFCFS(30, strategy=2).identity_width, rounds=1, iterations=1
+    )
+    print()
+    print("identity width and extra lines by protocol (N = 30, k = 5):")
+    rows = [
+        ("fixed priority", identity_bits(30), 0),
+        ("rr impl 1", DistributedRoundRobin(30, implementation=1).identity_width,
+         DistributedRoundRobin(30, implementation=1).extra_lines),
+        ("rr impl 3", DistributedRoundRobin(30, implementation=3).identity_width,
+         DistributedRoundRobin(30, implementation=3).extra_lines),
+        ("fcfs strategy 1", DistributedFCFS(30, strategy=1).identity_width,
+         DistributedFCFS(30, strategy=1).extra_lines),
+        ("fcfs strategy 2", DistributedFCFS(30, strategy=2).identity_width,
+         DistributedFCFS(30, strategy=2).extra_lines),
+        ("fcfs r=8", DistributedFCFS(30, max_outstanding=8).identity_width,
+         DistributedFCFS(30, max_outstanding=8).extra_lines),
+    ]
+    for name, width, extra in rows:
+        print(f"  {name:18s} identity {width:2d} bits, {extra} extra control lines")
+    # §3.2: FCFS at most doubles the identity size (plus the priority bit).
+    k = identity_bits(30)
+    assert DistributedFCFS(30).identity_width <= 2 * k + 1
+    # §3.2: r = 8 adds exactly ceil(log2 8) = 3 bits.
+    assert (
+        DistributedFCFS(30, max_outstanding=8).identity_width
+        == DistributedFCFS(30).identity_width + 3
+    )

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Calibrated pytest-benchmark timings (unlike the one-shot table
+regenerations): event-calendar throughput, the wired-OR settle process,
+and a full small bus simulation.  Useful for catching performance
+regressions in the engine.
+"""
+
+import random
+
+from repro.engine.simulator import Simulator
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.signals.contention import ParallelContention
+from repro.workload.scenarios import equal_load
+
+
+def test_event_calendar_throughput(benchmark):
+    """Schedule-and-fire cost of 10k chained events."""
+
+    def run_events():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run_events)
+    assert events == 10_000
+
+
+def test_wired_or_settle(benchmark):
+    """Full settle process over 32 competitors on 7 lines."""
+    rng = random.Random(5)
+    identities = rng.sample(range(1, 128), 32)
+    contention = ParallelContention(7)
+
+    result = benchmark(lambda: contention.resolve(identities))
+    assert result.winner_identity == max(identities)
+
+
+def test_small_bus_simulation(benchmark):
+    """2000-completion RR simulation, 10 agents at saturation."""
+    scenario = equal_load(10, 2.0)
+    settings = SimulationSettings(batches=2, batch_size=1000, warmup=0, seed=8)
+
+    result = benchmark.pedantic(
+        lambda: run_simulation(scenario, "rr", settings), rounds=3, iterations=1
+    )
+    assert result.system_throughput().mean > 0.9

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 4.1 (waiting-time CDFs, RR vs FCFS).
+
+Paper shape: at 30 agents and load 1.5 the two CDFs share a mean, but
+the FCFS curve rises sharply near it while the RR curve starts earlier
+and finishes later (heavier tail on both sides).
+"""
+
+from repro.experiments import figure_4_1
+
+from conftest import render
+
+
+def test_figure_4_1(benchmark, scale):
+    figure = benchmark.pedantic(
+        lambda: figure_4_1.run(scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure.render())
+    # Shared mean (conservation law).
+    assert abs(figure.rr_cdf.mean - figure.fcfs_cdf.mean) < 0.07 * figure.rr_cdf.mean
+    # RR spreads wider than FCFS.
+    assert figure.rr_cdf.std > figure.fcfs_cdf.std
+    # FCFS rises more sharply around the mean: more mass within ±1 of it.
+    mean = figure.fcfs_cdf.mean
+    fcfs_central = figure.fcfs_cdf.evaluate(mean + 1) - figure.fcfs_cdf.evaluate(mean - 1)
+    rr_central = figure.rr_cdf.evaluate(mean + 1) - figure.rr_cdf.evaluate(mean - 1)
+    assert fcfs_central > rr_central
+    # RR's early risers: below the mean the RR CDF is ahead.
+    assert figure.rr_cdf.evaluate(mean - 2) >= figure.fcfs_cdf.evaluate(mean - 2)

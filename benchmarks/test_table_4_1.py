@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 4.1 (bandwidth allocation, equal rates).
+
+Paper shape being reproduced: the RR ratio is statistically 1.0 at every
+load; the FCFS (strategy 1) ratio peaks around 1.06–1.09 near bus
+saturation and decays again at extreme load; the assured-access baseline
+(30-agent panel) climbs toward 2.0.
+"""
+
+import pytest
+
+from repro.experiments import table_4_1
+
+from conftest import render
+
+
+@pytest.mark.parametrize("num_agents", [10, 30, 64])
+def test_table_4_1_panel(benchmark, scale, num_agents):
+    panel = benchmark.pedantic(
+        lambda: table_4_1.run_panel(
+            num_agents, scale=scale, include_aap=(num_agents == 30)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    render(panel)
+    for row in panel.data:
+        # RR is perfectly fair at every load.  At low load the per-batch
+        # agent counts are small, so judge against the CI width too.
+        rr = row["ratio_rr"]
+        assert abs(rr.mean - 1.0) < max(0.12, 2.5 * rr.halfwidth)
+        # FCFS strategy 1 is nearly fair (≤ ~15% even at reduced scale).
+        fcfs = row["ratio_fcfs"]
+        assert abs(fcfs.mean - 1.0) < max(0.2, 2.5 * fcfs.halfwidth)
+    if num_agents == 30:
+        heavy = [row for row in panel.data if row["load"] >= 5.0]
+        assert all(row["ratio_aap1"].mean > 1.5 for row in heavy)

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 4.2 (waiting-time standard deviation).
+
+Paper shape: RR and FCFS share the mean waiting time W (conservation
+law), while σ_W for RR exceeds σ_W for FCFS under load, by a factor that
+grows with system size (up to ~1.6x at 10 agents, ~2.9x at 30, ~4.5x at
+64 in the paper's runs).
+"""
+
+import pytest
+
+from repro.experiments import table_4_2
+
+from conftest import render
+
+
+@pytest.mark.parametrize("num_agents", [10, 30, 64])
+def test_table_4_2_panel(benchmark, scale, num_agents):
+    panel = benchmark.pedantic(
+        lambda: table_4_2.run_panel(num_agents, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    render(panel)
+    saturated = [row for row in panel.data if 1.5 <= row["load"] <= 5.0]
+    # Variance ordering at and beyond saturation.
+    assert all(row["std_rr"].mean > row["std_fcfs"].mean for row in saturated)
+    # Conservation law: equal mean waits.
+    for row in panel.data:
+        assert row["mean_w_rr"].mean == pytest.approx(
+            row["mean_w_fcfs"].mean, rel=0.06
+        )
+    # The ratio grows with load up to saturation.
+    peak = max(row["std_ratio"] for row in saturated)
+    assert peak > 1.3

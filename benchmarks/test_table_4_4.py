@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Table 4.4 (unequal request rates).
+
+Paper shape: at low load both protocols allocate bandwidth in proportion
+to demand (throughput ratio ≈ rate factor); as the bus saturates both
+ratios sink toward 1, with FCFS staying closer to the demand ratio than
+RR, which evens service out regardless of demand.
+"""
+
+import pytest
+
+from repro.experiments import table_4_4
+
+from conftest import render
+
+
+@pytest.mark.parametrize("factor", [2.0, 4.0])
+def test_table_4_4_panel(benchmark, scale, factor):
+    panel = benchmark.pedantic(
+        lambda: table_4_4.run_panel(factor, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    render(panel)
+    rows = panel.data
+    low = rows[0]
+    # Proportional sharing while bandwidth is plentiful.
+    assert low["ratio_rr"].mean == pytest.approx(factor, rel=0.2)
+    assert low["ratio_fcfs"].mean == pytest.approx(factor, rel=0.2)
+    # Saturation evens things out...
+    heavy = rows[-1]
+    assert heavy["ratio_rr"].mean < factor / 1.5
+    # ...and FCFS tracks demand at least as closely as RR at high load.
+    mids = [row for row in rows if row["total_load"] >= 2.0]
+    closer = sum(row["ratio_fcfs"].mean >= row["ratio_rr"].mean - 0.02 for row in mids)
+    assert closer >= len(mids) - 1

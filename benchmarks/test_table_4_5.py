@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 4.5 (worst-case bus allocation for RR).
+
+Paper shape: at CV = 0 the slow agent phase-locks into "just missing"
+its round-robin turn and its throughput ratio collapses to ~0.50; any
+inter-request variability (CV ≥ 0.25) restores the ratio to roughly the
+offered-load ratio.  FCFS (our added reference column) never collapses.
+"""
+
+import pytest
+
+from repro.experiments import table_4_5
+
+from conftest import render
+
+
+@pytest.mark.parametrize("num_agents", [10, 30, 64])
+def test_table_4_5_panel(benchmark, scale, num_agents):
+    panel = benchmark.pedantic(
+        lambda: table_4_5.run_panel(num_agents, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    render(panel)
+    by_cv = {row["cv"]: row for row in panel.data}
+    # The CV = 0 collapse to one service per two rounds.
+    assert by_cv[0.0]["ratio_rr"].mean == pytest.approx(0.5, abs=0.06)
+    # FCFS does not suffer the pathology at CV = 0.
+    assert by_cv[0.0]["ratio_fcfs"].mean > by_cv[0.0]["ratio_rr"].mean + 0.1
+    # A little variability restores near-load-proportional service.
+    for cv in (0.25, 0.33, 0.5, 1.0):
+        assert by_cv[cv]["ratio_rr"].mean > 0.6

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Prefetch overlap: when does FCFS's low waiting variance pay off?
+
+§4.3's hypothetical system can overlap useful execution with bus waits —
+think of a processor that issues its memory request early (prefetching)
+and keeps executing for up to ``v`` time units before stalling.  If the
+bus wait W exceeds v, the difference is a stall.
+
+Because FCFS concentrates waits tightly around the mean while RR spreads
+them out, a well-chosen v lets the FCFS system hide almost *every* wait,
+while the RR system keeps stalling on its long tail.  This example
+reproduces that effect and sweeps v to show how contrived the advantage
+is: away from the sweet spot the protocols tie.
+
+Run:  python examples/prefetch_overlap.py
+"""
+
+from repro import (
+    SimulationSettings,
+    equal_load,
+    min_integer_crossing,
+    run_simulation,
+)
+
+
+def main() -> None:
+    scenario = equal_load(num_agents=30, total_load=1.5)
+    settings = SimulationSettings(
+        batches=6, batch_size=1500, warmup=500, seed=88, keep_samples=True
+    )
+
+    rr = run_simulation(scenario, "rr", settings)
+    fcfs = run_simulation(scenario, "fcfs", settings)
+    rr_cdf, fcfs_cdf = rr.waiting_cdf(), fcfs.waiting_cdf()
+
+    sweet_spot = min_integer_crossing(rr_cdf, fcfs_cdf)
+    print(f"mean W: {rr_cdf.mean:.2f} (RR) vs {fcfs_cdf.mean:.2f} (FCFS)")
+    print(f"std  W: {rr_cdf.std:.2f} (RR) vs {fcfs_cdf.std:.2f} (FCFS)")
+    print(f"CDF crossing (paper's overlap choice): v = {sweet_spot}")
+    print()
+
+    values = sorted({1, max(1, (sweet_spot or 10) // 2), sweet_spot or 10,
+                     2 * (sweet_spot or 10)})
+    print(f"{'overlap v':>10s} {'stall RR':>10s} {'stall FCFS':>11s} "
+          f"{'prod RR':>9s} {'prod FCFS':>10s}")
+    for v in values:
+        rr_metrics = rr.overlap_metrics(v)
+        fcfs_metrics = fcfs.overlap_metrics(v)
+        print(
+            f"{v:10.1f} {rr_metrics.residual_waiting.mean:10.3f} "
+            f"{fcfs_metrics.residual_waiting.mean:11.3f} "
+            f"{rr_metrics.productivity.mean:9.3f} "
+            f"{fcfs_metrics.productivity.mean:10.3f}"
+        )
+    print()
+    print("At the crossing value FCFS hides nearly all waiting while RR's")
+    print("tail still stalls; at much smaller or larger v the gap closes —")
+    print("the paper's own caveat that this best case is contrived.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a 10-processor shared bus under two arbiters.
+
+Builds the paper's standard workload (10 identical processors, total
+offered load 1.5, exponential inter-request times), runs it under the
+distributed round-robin and distributed FCFS protocols, and prints the
+headline metrics with their 90% confidence intervals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationSettings, equal_load, run_simulation
+
+
+def main() -> None:
+    scenario = equal_load(num_agents=10, total_load=1.5)
+    settings = SimulationSettings(
+        batches=6, batch_size=1500, warmup=500, seed=2026
+    )
+
+    print(f"scenario: {scenario.notes}")
+    print(f"{'protocol':12s} {'utilisation':>12s} {'mean W':>14s} "
+          f"{'std W':>14s} {'t_10/t_1':>14s}")
+    for protocol in ("rr", "fcfs", "fcfs-aincr"):
+        result = run_simulation(scenario, protocol, settings)
+        print(
+            f"{protocol:12s} {result.utilization:12.3f} "
+            f"{str(result.mean_waiting()):>14s} "
+            f"{str(result.std_waiting()):>14s} "
+            f"{str(result.extreme_throughput_ratio()):>14s}"
+        )
+
+    print()
+    print("Things to notice (the paper's §4 in miniature):")
+    print(" * mean W is identical across protocols (conservation law);")
+    print(" * std W is visibly lower for FCFS than for RR;")
+    print(" * the throughput ratio between the best- and worst-placed")
+    print("   processor is statistically 1.0 for every protocol here —")
+    print("   fairness is the point of both designs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Urgent traffic: integrating priority requests with fair arbitration.
+
+§2.4 and §3 describe how a most-significant priority bit layers urgent
+service on top of any of the fairness protocols: I/O devices with
+latency deadlines assert it, processors doing bulk transfers do not.
+
+This example builds a mixed population — two "device" agents whose
+requests are always urgent, fourteen processors whose requests never
+are — and shows that (a) urgent requests see near-minimal waits even on
+a saturated bus, and (b) the fairness protocol still equalises the
+non-urgent traffic underneath.
+
+Run:  python examples/realtime_priority.py
+"""
+
+from repro import (
+    AgentSpec,
+    BusSystem,
+    CompletionCollector,
+    DistributedFCFS,
+    DistributedRoundRobin,
+    Exponential,
+    ScenarioSpec,
+)
+
+NUM_PROCESSORS = 14
+NUM_DEVICES = 2
+
+
+def build_scenario() -> ScenarioSpec:
+    agents = []
+    # Processors: identities 1..14, saturating load, never urgent.
+    for agent_id in range(1, NUM_PROCESSORS + 1):
+        agents.append(
+            AgentSpec(agent_id=agent_id, interrequest=Exponential(6.0))
+        )
+    # Devices: identities 15..16, light load, always urgent.
+    for agent_id in range(NUM_PROCESSORS + 1, NUM_PROCESSORS + NUM_DEVICES + 1):
+        agents.append(
+            AgentSpec(
+                agent_id=agent_id,
+                interrequest=Exponential(20.0),
+                priority_fraction=1.0,
+            )
+        )
+    return ScenarioSpec(name="realtime-mix", agents=agents)
+
+
+def run(arbiter) -> None:
+    scenario = build_scenario()
+    collector = CompletionCollector(
+        batches=5, batch_size=1500, warmup=500, keep_records=True
+    )
+    system = BusSystem(scenario, arbiter, collector, seed=3)
+    system.run()
+
+    urgent = [r.waiting_time for r in collector.records if r.priority]
+    normal = [r.waiting_time for r in collector.records if not r.priority]
+    by_agent = {}
+    for record in collector.records:
+        if not record.priority:
+            by_agent.setdefault(record.agent_id, 0)
+            by_agent[record.agent_id] += 1
+    counts = [by_agent.get(a, 0) for a in range(1, NUM_PROCESSORS + 1)]
+
+    print(f"--- {arbiter.name} ---")
+    print(f"urgent mean W : {sum(urgent) / len(urgent):6.2f}  ({len(urgent)} requests)")
+    print(f"normal mean W : {sum(normal) / len(normal):6.2f}  ({len(normal)} requests)")
+    print(
+        f"processor completions, min/max across identities: "
+        f"{min(counts)} / {max(counts)}  "
+        f"(ratio {max(counts) / max(1, min(counts)):.2f})"
+    )
+    print()
+
+
+def main() -> None:
+    print("Mixed urgent + fair traffic on a saturated 16-agent bus\n")
+    run(DistributedRoundRobin(NUM_PROCESSORS + NUM_DEVICES))
+    run(DistributedFCFS(NUM_PROCESSORS + NUM_DEVICES, strategy=2))
+    print("Urgent requests wait roughly the residual tenure plus their own")
+    print("transaction; the fairness protocol still splits the remaining")
+    print("bandwidth evenly across processor identities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Append the extension tables (E1–E4) to EXPERIMENTS.md.
+
+Run after ``generate_experiments.py``; the extension tables use the
+current ``REPRO_SCALE`` (their assertions are scale-robust, so the
+default quick scale is fine even when the paper tables ran at paper
+scale).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.extensions import (
+    run_table_e1,
+    run_table_e2,
+    run_table_e3,
+    run_table_e4,
+)
+from repro.experiments.scale import current_scale
+
+OUT = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+MARKER = "## Extension tables"
+
+
+def main() -> None:
+    scale = current_scale()
+    text = OUT.read_text(encoding="utf-8")
+    if MARKER in text:
+        text = text[: text.index(MARKER)].rstrip() + "\n"
+    blocks = [
+        MARKER,
+        "",
+        "Beyond the paper's §4: its prose claims, tabulated (see",
+        "DESIGN.md §4 for provenance and `repro-arb table E1..E4`).",
+        "",
+    ]
+    for builder in (run_table_e1, run_table_e2, run_table_e3, run_table_e4):
+        print(f"running {builder.__name__} ...", flush=True)
+        table = (
+            builder()
+            if builder is run_table_e1 or builder is run_table_e2
+            else builder(scale=scale)
+        )
+        blocks.append("```")
+        blocks.append(table.render())
+        blocks.append("```")
+        blocks.append("")
+    OUT.write_text(text.rstrip() + "\n\n" + "\n".join(blocks), encoding="utf-8")
+    print(f"appended extension tables to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,207 @@
+"""repro — distributed RR and FCFS bus-arbitration protocols.
+
+A complete, executable reproduction of
+
+    M. K. Vernon and U. Manber, "Distributed Round-Robin and First-Come
+    First-Serve Protocols and Their Application to Multiprocessor Bus
+    Arbitration", Proc. 15th ISCA, 1988, pp. 269-277.
+
+The package contains the paper's two protocols (with every hardware
+implementation variant described), every baseline they are compared
+against, the wired-OR parallel-contention substrate they run on, the
+discrete-event bus simulator of the paper's §4.1, and an experiment
+harness that regenerates Tables 4.1–4.5 and Figure 4.1.
+
+Quick start::
+
+    from repro import equal_load, run_simulation, SimulationSettings
+
+    scenario = equal_load(num_agents=10, total_load=1.5)
+    result = run_simulation(scenario, "rr", SimulationSettings(seed=1))
+    print(result.mean_waiting())            # batch-means 90% CI
+    print(result.extreme_throughput_ratio())  # fairness: ≈ 1.00 for RR
+"""
+
+from repro.baselines import (
+    BatchingAssuredAccess,
+    CentralFCFS,
+    CentralRoundRobin,
+    FixedPriorityArbiter,
+    FuturebusAssuredAccess,
+    RotatingPriorityRR,
+    TicketFCFS,
+)
+from repro.analysis import (
+    aap1_extreme_ratio,
+    aap1_relative_throughputs,
+    mva_closed_bus,
+    saturated_mean_waiting,
+    saturated_per_agent_throughput,
+)
+from repro.bus import (
+    BusAgent,
+    HandshakeBus,
+    BusSystem,
+    BusTiming,
+    CompletionRecord,
+    render_timeline,
+)
+from repro.core import (
+    AdaptiveArbiter,
+    Arbiter,
+    ArbitrationOutcome,
+    DirectMaxFinder,
+    DistributedFCFS,
+    DistributedRoundRobin,
+    HybridArbiter,
+    MaxFinder,
+    PriorityCounterPolicy,
+    Request,
+    RRPriorityPolicy,
+    WiredOrMaxFinder,
+)
+from repro.errors import (
+    ArbitrationError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SignalError,
+    SimulationError,
+    StatisticsError,
+)
+from repro.faults import FaultyWinnerRegisterRR, GlitchableFCFS
+from repro.experiments import (
+    PROTOCOLS,
+    Scale,
+    SimulationSettings,
+    current_scale,
+    make_arbiter,
+    run_simulation,
+)
+from repro.signals import (
+    ArbitrationLineBundle,
+    AsyncContention,
+    AsyncSettleResult,
+    BinaryPatternedArbitration,
+    ContentionResult,
+    ParallelContention,
+    WiredOrLine,
+)
+from repro.stats import (
+    BatchMeansEstimate,
+    CompletionCollector,
+    EmpiricalCDF,
+    RunResult,
+    batch_means,
+    ks_distance,
+    min_integer_crossing,
+)
+from repro.workload import (
+    AgentSpec,
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    ScenarioSpec,
+    TraceDistribution,
+    equal_load,
+    from_mean_cv,
+    load_trace,
+    open_loop_equal_load,
+    save_trace,
+    synthesize_program_trace,
+    unequal_load,
+    worst_case_rr,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core protocols
+    "Arbiter",
+    "ArbitrationOutcome",
+    "Request",
+    "DistributedRoundRobin",
+    "RRPriorityPolicy",
+    "DistributedFCFS",
+    "PriorityCounterPolicy",
+    "HybridArbiter",
+    "AdaptiveArbiter",
+    "MaxFinder",
+    "DirectMaxFinder",
+    "WiredOrMaxFinder",
+    # baselines
+    "FixedPriorityArbiter",
+    "BatchingAssuredAccess",
+    "FuturebusAssuredAccess",
+    "CentralRoundRobin",
+    "CentralFCFS",
+    "RotatingPriorityRR",
+    "TicketFCFS",
+    # fault injection
+    "FaultyWinnerRegisterRR",
+    "GlitchableFCFS",
+    # signals substrate
+    "WiredOrLine",
+    "ArbitrationLineBundle",
+    "ParallelContention",
+    "ContentionResult",
+    "AsyncContention",
+    "AsyncSettleResult",
+    "BinaryPatternedArbitration",
+    "HandshakeBus",
+    # bus model
+    "BusSystem",
+    "BusAgent",
+    "BusTiming",
+    "CompletionRecord",
+    "render_timeline",
+    # analytical models
+    "mva_closed_bus",
+    "saturated_mean_waiting",
+    "saturated_per_agent_throughput",
+    "aap1_extreme_ratio",
+    "aap1_relative_throughputs",
+    # workloads
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Erlang",
+    "Hyperexponential",
+    "from_mean_cv",
+    "AgentSpec",
+    "ScenarioSpec",
+    "equal_load",
+    "unequal_load",
+    "worst_case_rr",
+    "open_loop_equal_load",
+    "TraceDistribution",
+    "load_trace",
+    "save_trace",
+    "synthesize_program_trace",
+    # statistics
+    "BatchMeansEstimate",
+    "batch_means",
+    "EmpiricalCDF",
+    "min_integer_crossing",
+    "ks_distance",
+    "CompletionCollector",
+    "RunResult",
+    # experiment harness
+    "run_simulation",
+    "SimulationSettings",
+    "make_arbiter",
+    "PROTOCOLS",
+    "Scale",
+    "current_scale",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolError",
+    "ArbitrationError",
+    "SignalError",
+    "StatisticsError",
+]

@@ -1,0 +1,42 @@
+"""Analytical performance models of the closed bus system.
+
+The paper validates its simulator against intuition in several places —
+"a total offered load of 1.5–2.0 is sufficient to keep the bus 100%
+utilized", the saturated waiting times of Table 4.2, the conservation
+law of footnote 4.  This subpackage makes those arguments executable:
+
+- :mod:`~repro.analysis.saturation` — exact asymptotics of the saturated
+  bus (every agent served once per round of N transactions);
+- :mod:`~repro.analysis.mva` — exact Mean Value Analysis of the closed
+  machine-repairman model (N stalling processors sharing one bus), used
+  as an independent cross-check on the simulator at all loads.
+
+The MVA model assumes exponential service when the paper's is
+deterministic, so it is a close approximation rather than ground truth
+away from the asymptotes; the saturation formulas are exact for any
+work-conserving arbiter.  The test suite holds the simulator to both.
+"""
+
+from repro.analysis.batching import (
+    aap1_extreme_ratio,
+    aap1_miss_probabilities,
+    aap1_relative_throughputs,
+)
+from repro.analysis.mva import mva_closed_bus
+from repro.analysis.saturation import (
+    saturated_cycle_time,
+    saturated_mean_waiting,
+    saturated_per_agent_throughput,
+    saturation_load_threshold,
+)
+
+__all__ = [
+    "saturated_cycle_time",
+    "saturated_mean_waiting",
+    "saturated_per_agent_throughput",
+    "saturation_load_threshold",
+    "mva_closed_bus",
+    "aap1_miss_probabilities",
+    "aap1_relative_throughputs",
+    "aap1_extreme_ratio",
+]

@@ -1,0 +1,84 @@
+"""Exact asymptotics of the saturated shared bus.
+
+When every agent has a request outstanding or in the making faster than
+the bus can serve them, any *fair* work-conserving arbiter serves each
+of the N agents exactly once per "round" of N back-to-back transactions
+(arbitration is fully overlapped, §4.1).  Everything else follows:
+
+- cycle time per agent  = N * S            (S = transaction time)
+- waiting time W (issue → completion) = N*S − R̄   (R̄ = mean think time)
+- per-agent throughput  = 1 / (N * S)
+
+These reproduce the heavy-load W columns of Table 4.2 exactly — e.g. 30
+agents at load 7.5 have R̄ = 3 and W = 30 − 3 = 27, the table's value —
+and give the theoretical anchors the test suite holds the simulator to.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "saturated_cycle_time",
+    "saturated_mean_waiting",
+    "saturated_per_agent_throughput",
+    "saturation_load_threshold",
+]
+
+
+def _validate(num_agents: int, transaction_time: float) -> None:
+    if num_agents < 1:
+        raise ConfigurationError(f"num_agents must be >= 1, got {num_agents}")
+    if transaction_time <= 0.0:
+        raise ConfigurationError(
+            f"transaction_time must be positive, got {transaction_time}"
+        )
+
+
+def saturated_cycle_time(num_agents: int, transaction_time: float = 1.0) -> float:
+    """Time between successive services of one agent on a saturated bus."""
+    _validate(num_agents, transaction_time)
+    return num_agents * transaction_time
+
+
+def saturated_mean_waiting(
+    num_agents: int,
+    mean_think_time: float,
+    transaction_time: float = 1.0,
+) -> float:
+    """Mean W (issue → completion) on a saturated fair bus.
+
+    The agent's closed-loop cycle is think + W = N·S, so W = N·S − R̄.
+    Raises if the think time is too long for the bus to be saturated by
+    this population (the formula would go negative).
+    """
+    _validate(num_agents, transaction_time)
+    if mean_think_time < 0.0:
+        raise ConfigurationError(
+            f"mean_think_time must be >= 0, got {mean_think_time}"
+        )
+    waiting = num_agents * transaction_time - mean_think_time
+    if waiting < transaction_time:
+        raise ConfigurationError(
+            f"think time {mean_think_time} cannot saturate a bus of "
+            f"{num_agents} agents (W would be {waiting})"
+        )
+    return waiting
+
+
+def saturated_per_agent_throughput(
+    num_agents: int, transaction_time: float = 1.0
+) -> float:
+    """Transactions per unit time per agent on a saturated fair bus."""
+    _validate(num_agents, transaction_time)
+    return 1.0 / (num_agents * transaction_time)
+
+
+def saturation_load_threshold() -> float:
+    """Total offered load above which the bus is effectively saturated.
+
+    The paper's rule of thumb (§4.1): "a total offered load of 1.5–2.0
+    is sufficient to keep the bus 100% utilized, even with variable
+    interrequest times."  We return the conservative end.
+    """
+    return 2.0

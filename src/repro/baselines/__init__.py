@@ -1,0 +1,36 @@
+"""Baseline arbiters the paper compares against.
+
+- :class:`~repro.baselines.fixed_priority.FixedPriorityArbiter` — the raw
+  parallel contention arbiter of §2.1 (no fairness protocol);
+- :class:`~repro.baselines.assured_access.BatchingAssuredAccess` — the
+  first assured-access protocol of §2.2 (Fastbus / NuBus / Multibus II);
+- :class:`~repro.baselines.assured_access.FuturebusAssuredAccess` — the
+  second assured-access protocol of §2.2 (Futurebus inhibit +
+  fairness-release);
+- :class:`~repro.baselines.central.CentralRoundRobin` and
+  :class:`~repro.baselines.central.CentralFCFS` — idealised central
+  arbiters, used as the oracles that define "true RR" and "true FCFS"
+  scheduling in the equivalence tests;
+- :class:`~repro.baselines.rotating.RotatingPriorityRR` — the
+  rotating-arbitration-number RR prior art the paper rejects as fragile
+  (§2.2/§3.1), with the fault hooks that make the fragility observable;
+- :class:`~repro.baselines.ticket.TicketFCFS` — Sharma & Ahuja's
+  ticket-assignment FCFS [ShAh81], the prior FCFS proposal the paper
+  cites.
+"""
+
+from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
+from repro.baselines.central import CentralFCFS, CentralRoundRobin
+from repro.baselines.fixed_priority import FixedPriorityArbiter
+from repro.baselines.rotating import RotatingPriorityRR
+from repro.baselines.ticket import TicketFCFS
+
+__all__ = [
+    "FixedPriorityArbiter",
+    "BatchingAssuredAccess",
+    "FuturebusAssuredAccess",
+    "CentralRoundRobin",
+    "CentralFCFS",
+    "RotatingPriorityRR",
+    "TicketFCFS",
+]

@@ -1,0 +1,203 @@
+"""The two assured-access protocols of §2.2.
+
+Both protocols batch requests so that every request in a batch is served
+before any *new* request can compete; within a batch, service falls back
+to static-priority order, which is exactly the residual unfairness the
+paper quantifies (agents with high identities are always served first in
+their batch — up to 2x the throughput of low-identity agents at
+saturation, reproduced in Table 4.1(b)).
+
+**Protocol 1** (Fastbus, NuBus, Multibus II): requests that arrive to an
+idle bus assert the request line and form a batch; a request generated
+while a batch is in progress waits for the batch to end.  The batch ends
+when the request line drops — each member releases the line at the start
+of its tenure, so the line drops when the *last* member is granted — at
+which point all waiting requests form the next batch.
+
+**Protocol 2** (Futurebus): an agent competes in successive arbitrations
+until it wins; at the end of its tenure it marks itself *inhibited* and
+stops asserting the request line until a *fairness release* — an
+arbitration interval in which no agent asserts the request line (either
+no outstanding requests, or all of them inhibited).  A new request may
+join the current batch if its agent has not yet been served in it.
+
+Urgent (priority) requests ignore the batching rules and compete in every
+arbitration with the priority line asserted (§2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.base import ArbitrationOutcome, Request, SingleOutstandingArbiter
+from repro.errors import ArbitrationError, ProtocolError
+
+__all__ = ["BatchingAssuredAccess", "FuturebusAssuredAccess"]
+
+
+class _AssuredAccessBase(SingleOutstandingArbiter):
+    """Shared static-priority selection among the eligible set."""
+
+    def _eligible(self) -> Dict[int, Request]:
+        """The agents allowed to compete in the next arbitration."""
+        raise NotImplementedError
+
+    def has_waiting(self) -> bool:
+        return bool(self._eligible())
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        eligible = self._eligible()
+        if not eligible:
+            raise ArbitrationError(
+                f"{self.name} arbitration started with no eligible requests"
+            )
+        self.arbitrations += 1
+        k = self.static_bits
+        keys = {
+            agent: ((1 if record.priority else 0) << k) | agent
+            for agent, record in eligible.items()
+        }
+        winner = self.max_finder.find_max(keys)
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    @property
+    def identity_width(self) -> int:
+        return self.static_bits + 1
+
+
+class BatchingAssuredAccess(_AssuredAccessBase):
+    """Assured-access protocol 1: Fastbus / NuBus / Multibus II batching.
+
+    State: the current batch (members not yet served) and a waiting room
+    of requests generated while the batch was in progress.  Requests
+    arriving at the same instant the batch forms join it — this matters
+    for deterministic (CV = 0) workloads where simultaneous requests are
+    common.
+    """
+
+    name = "assured-access-1"
+    requires_winner_identity = False
+    extra_lines = 0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._batch: Set[int] = set()
+        self._waiting_room: Set[int] = set()
+        self._batch_formed_at: float = -1.0
+        #: Diagnostics: batches formed since construction / reset.
+        self.batches_formed = 0
+
+    def _on_request(self, record: Request, now: float) -> None:
+        if record.priority:
+            return  # urgent requests bypass batching entirely
+        if self._batch:
+            if now == self._batch_formed_at:
+                # Simultaneous with batch formation: same request-line
+                # edge, so part of the same batch.
+                self._batch.add(record.agent_id)
+            else:
+                self._waiting_room.add(record.agent_id)
+        else:
+            self._form_batch({record.agent_id}, now)
+
+    def _form_batch(self, members: Set[int], now: float) -> None:
+        self._batch = set(members)
+        self._batch_formed_at = now
+        self.batches_formed += 1
+
+    def _eligible(self) -> Dict[int, Request]:
+        eligible = {
+            agent: record
+            for agent, record in self._pending.items()
+            if record.priority or agent in self._batch
+        }
+        return eligible
+
+    def _on_grant(self, record: Request, now: float) -> None:
+        # The member releases the request line at the start of its tenure;
+        # when the last member does, the line drops and every waiting
+        # request asserts it, forming the next batch.
+        self._batch.discard(record.agent_id)
+        self._waiting_room.discard(record.agent_id)  # priority-served early
+        if not self._batch and self._waiting_room:
+            members, self._waiting_room = self._waiting_room, set()
+            self._form_batch(members, now)
+
+    def batch_members(self) -> Set[int]:
+        """Unserved members of the current batch (diagnostic)."""
+        return set(self._batch)
+
+    def reset(self) -> None:
+        super().reset()
+        self._batch.clear()
+        self._waiting_room.clear()
+        self._batch_formed_at = -1.0
+        self.batches_formed = 0
+
+
+class FuturebusAssuredAccess(_AssuredAccessBase):
+    """Assured-access protocol 2: Futurebus inhibit + fairness release.
+
+    Each agent carries an *inhibited* flag set at the end of its bus
+    tenure.  Inhibited agents hold their requests without asserting the
+    request line.  Whenever no agent asserts the line — no outstanding
+    requests, or every outstanding request inhibited — a fairness release
+    occurs and all flags clear.
+    """
+
+    name = "assured-access-2"
+    requires_winner_identity = False
+    extra_lines = 0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._inhibited: Set[int] = set()
+        self._tenure_was_priority: Dict[int, bool] = {}
+        #: Diagnostics: fairness release cycles observed.
+        self.fairness_releases = 0
+
+    def _asserting(self) -> Dict[int, Request]:
+        return {
+            agent: record
+            for agent, record in self._pending.items()
+            if record.priority or agent not in self._inhibited
+        }
+
+    def _maybe_release(self) -> None:
+        """Fairness release: the request line is observed low."""
+        if self._inhibited and not self._asserting():
+            self._inhibited.clear()
+            self.fairness_releases += 1
+
+    def _on_request(self, record: Request, now: float) -> None:
+        self._maybe_release()
+
+    def _eligible(self) -> Dict[int, Request]:
+        self._maybe_release()
+        return self._asserting()
+
+    def _on_grant(self, record: Request, now: float) -> None:
+        self._tenure_was_priority[record.agent_id] = record.priority
+
+    def release(self, agent_id: int, now: float) -> None:
+        if not 1 <= agent_id <= self.num_agents:
+            raise ProtocolError(f"agent id {agent_id} outside 1..{self.num_agents}")
+        # A tenure obtained through the urgent-request path bypasses the
+        # fairness protocol and does not inhibit the agent (§2.4).
+        if not self._tenure_was_priority.pop(agent_id, False):
+            self._inhibited.add(agent_id)
+        self._maybe_release()
+
+    def inhibited_agents(self) -> Set[int]:
+        """Agents currently inhibited (diagnostic)."""
+        return set(self._inhibited)
+
+    def reset(self) -> None:
+        super().reset()
+        self._inhibited.clear()
+        self.fairness_releases = 0

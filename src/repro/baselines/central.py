@@ -1,0 +1,110 @@
+"""Idealised central arbiters: the scheduling oracles.
+
+The paper's claims are stated against these references: the distributed
+RR protocol "implements true round-robin scheduling, identical to the
+central round-robin arbiter", and the distributed FCFS protocol
+implements "scheduling that is very close to true first-come first-serve
+scheduling".  The test suite drives the distributed arbiters and these
+oracles through identical request sequences and checks the winner
+sequences coincide (exactly for RR; for FCFS, exactly except within
+coincident-arrival cohorts).
+
+Both oracles are *central*: they see global state (a service pointer, the
+exact arrival times) that no real bus agent could observe — which is
+precisely why the paper's distributed constructions are interesting.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ArbitrationOutcome, SingleOutstandingArbiter
+from repro.errors import ArbitrationError, ConfigurationError
+
+__all__ = ["CentralRoundRobin", "CentralFCFS"]
+
+
+class CentralRoundRobin(SingleOutstandingArbiter):
+    """True round-robin with a central service pointer.
+
+    After serving agent ``j``, the scan order for the next grant is
+    ``j-1, j-2, …, 1, N, N-1, …, j`` — the *descending* scan realised by
+    maximum finding (§3.1).  An ``ascending`` direction is provided for
+    completeness (the classical token-passing scan ``j+1, j+2, …``); the
+    distributed protocol matches the descending oracle.
+    """
+
+    name = "central-rr"
+    requires_winner_identity = False
+
+    def __init__(
+        self,
+        num_agents: int,
+        direction: str = "descending",
+        **kwargs,
+    ) -> None:
+        super().__init__(num_agents, **kwargs)
+        if direction not in ("descending", "ascending"):
+            raise ConfigurationError(
+                f"direction must be 'descending' or 'ascending', got {direction!r}"
+            )
+        self.direction = direction
+        self.pointer = 0 if direction == "descending" else num_agents + 1
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError("central RR arbitration started with no requests")
+        self.arbitrations += 1
+        waiting = self._pending.keys()
+        if self.direction == "descending":
+            below = [a for a in waiting if a < self.pointer]
+            winner = max(below) if below else max(waiting)
+        else:
+            above = [a for a in waiting if a > self.pointer]
+            winner = min(above) if above else min(waiting)
+        self.pointer = winner
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(waiting),
+            keys={agent: agent for agent in waiting},
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.pointer = 0 if self.direction == "descending" else self.num_agents + 1
+
+
+class CentralFCFS(SingleOutstandingArbiter):
+    """True first-come first-serve from exact arrival timestamps.
+
+    Ties (identical arrival instants) are broken by the higher static
+    identity, matching what the distributed protocol's static part does
+    for coincident arrivals.
+    """
+
+    name = "central-fcfs"
+    requires_winner_identity = False
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError("central FCFS arbitration started with no requests")
+        self.arbitrations += 1
+        winner = min(
+            self._pending,
+            key=lambda agent: (
+                not self._pending[agent].priority,  # urgent requests first
+                self._pending[agent].issue_time,
+                -agent,
+            ),
+        )
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(self._pending),
+            keys={agent: agent for agent in self._pending},
+        )

@@ -1,0 +1,49 @@
+"""The raw parallel contention arbiter: fixed-priority scheduling (§2.1).
+
+Every requester competes in every arbitration using its static identity;
+the highest identity always wins.  This is what the bus does with *no*
+fairness protocol layered on top, and it starves low-identity agents
+under contention — the problem every other arbiter in this library
+exists to fix.  Kept as the degenerate baseline for fairness studies.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ArbitrationOutcome, SingleOutstandingArbiter
+from repro.errors import ArbitrationError
+
+__all__ = ["FixedPriorityArbiter"]
+
+
+class FixedPriorityArbiter(SingleOutstandingArbiter):
+    """Highest static identity wins, unconditionally."""
+
+    name = "fixed-priority"
+    requires_winner_identity = False
+    extra_lines = 0
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError(
+                "fixed-priority arbitration started with no requests"
+            )
+        self.arbitrations += 1
+        k = self.static_bits
+        keys = {
+            agent: ((1 if record.priority else 0) << k) | agent
+            for agent, record in self._pending.items()
+        }
+        winner = self.max_finder.find_max(keys)
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    @property
+    def identity_width(self) -> int:
+        return self.static_bits + 1

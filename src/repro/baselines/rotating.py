@@ -1,0 +1,141 @@
+"""Rotating-priority round-robin: the prior art the paper rejects.
+
+§2.2/§3.1: "Round-robin scheduling, implemented using a dynamic
+assignment of arbitration numbers, has been proposed.  However, this
+scheme is less robust and more complex to implement than schemes that
+are based on static identities."
+
+In the rotating scheme every agent re-derives its *current* arbitration
+number after each arbitration: if agent ``j`` just won, the next
+arbitration ranks agents by distance below ``j`` in cyclic order, i.e.
+
+    number(agent) = (j - agent) mod N     (larger = served sooner? no —)
+    number(agent) = N - ((agent - j) mod N)   so j-1 maps to N-1 … j to 0
+
+Scheduling-wise this is the same round-robin scan as the paper's
+protocol — the equivalence tests prove it — but the number each agent
+applies is a *function of shared mutable state replicated at every
+agent*.  If one agent ever misses a winner broadcast, its notion of the
+rotation disagrees with everyone else's forever after: duplicate
+arbitration numbers appear on the lines and the maximum-finding result
+no longer identifies a unique winner.  The static-identity protocol
+also replicates the last winner, but a disagreement there heals the
+moment the next arbitration ends, because the *identity* on the lines
+is still globally unique.  :mod:`repro.faults` makes both behaviours
+observable, which is the substance of the paper's robustness claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.base import ArbitrationOutcome, Request, SingleOutstandingArbiter
+from repro.errors import ArbitrationError
+
+__all__ = ["RotatingPriorityRR"]
+
+
+class RotatingPriorityRR(SingleOutstandingArbiter):
+    """Distributed RR via dynamically rotated arbitration numbers.
+
+    Each agent keeps a private ``rotation`` origin (the last winner it
+    *observed*).  In a fault-free run all origins agree and the protocol
+    is exactly round-robin; the per-agent origins exist so fault
+    injection can desynchronise one agent the way a glitched winner
+    broadcast would on real hardware.
+    """
+
+    name = "rotating-rr"
+    requires_winner_identity = True
+    extra_lines = 0
+
+    def __init__(self, num_agents: int, **kwargs) -> None:
+        super().__init__(num_agents, **kwargs)
+        #: Per-agent view of the rotation origin (last observed winner).
+        #: Origin 1 makes the first arbitration rank agents by static
+        #: identity, matching the static protocol's reset behaviour.
+        self.origin: Dict[int, int] = {
+            agent: 1 for agent in range(1, num_agents + 1)
+        }
+        self._drops: Dict[int, int] = {}
+        #: Diagnostics: winner observations dropped by fault injection.
+        self.observations_dropped = 0
+
+    def _current_number(self, agent_id: int) -> int:
+        """The dynamic arbitration number this agent would apply now.
+
+        With origin ``j`` (the last winner), agent ``j-1`` gets the
+        highest number N, ``j-2`` gets N−1, …, and ``j`` itself gets 1 —
+        the descending RR scan realised by maximum finding.
+        """
+        origin = self.origin[agent_id]
+        distance = ((origin - agent_id - 1) % self.num_agents) + 1
+        return self.num_agents + 1 - distance
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError(
+                "rotating-priority arbitration started with no requests"
+            )
+        self.arbitrations += 1
+        keys: Dict[int, int] = {}
+        numbers_seen: Dict[int, int] = {}
+        for agent in self._pending:
+            number = self._current_number(agent)
+            if number in numbers_seen:
+                # Two agents applied the same dynamic number: their
+                # rotation views have diverged.  On the wire the OR of
+                # the two patterns is taken for a single winner and the
+                # bus grants the wrong agent or two at once — the
+                # failure mode the paper's static scheme avoids.
+                raise ArbitrationError(
+                    f"rotation desynchronised: agents {numbers_seen[number]} "
+                    f"and {agent} both applied arbitration number {number}"
+                )
+            numbers_seen[number] = agent
+            keys[agent] = number
+        winner = self.max_finder.find_max(keys)
+        self._broadcast_winner(winner)
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    def drop_winner_observations(self, agent_id: int, count: int = 1) -> None:
+        """Fault injection: ``agent_id`` misses its next ``count`` winners.
+
+        With rotating priorities this is the unrecoverable fault the
+        paper's §3.1 alludes to — see :mod:`repro.faults`.
+        """
+        self._validate_agent(agent_id)
+        self._drops[agent_id] = self._drops.get(agent_id, 0) + count
+
+    def _broadcast_winner(self, winner: int) -> None:
+        """Every non-faulted agent observes the winner and rotates."""
+        for agent in self.origin:
+            pending_drops = self._drops.get(agent, 0)
+            if pending_drops:
+                self._drops[agent] = pending_drops - 1
+                self.observations_dropped += 1
+                continue
+            self.origin[agent] = winner
+
+    def desynchronised_agents(self) -> frozenset:
+        """Agents whose rotation origin disagrees with the majority."""
+        from collections import Counter
+
+        majority, __ = Counter(self.origin.values()).most_common(1)[0]
+        return frozenset(
+            agent for agent, origin in self.origin.items() if origin != majority
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.origin = {agent: 1 for agent in range(1, self.num_agents + 1)}
+        self._drops.clear()
+        self.observations_dropped = 0

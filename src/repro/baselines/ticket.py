@@ -1,0 +1,90 @@
+"""Ticket-assignment FCFS arbiter [ShAh81].
+
+Sharma and Ahuja's Bell System Technical Journal scheme is the prior
+FCFS proposal the paper cites (and improves on): a central ticket
+dispenser hands each arriving request the next ticket number; the bus
+serves the lowest outstanding ticket.  Tickets are drawn from a modular
+counter sized like the paper's waiting-time counters, and simultaneous
+arrivals receive *distinct* tickets in arbitrary (here: identity) order
+— the dispenser serialises them, which is exactly what a distributed
+arbiter cannot cheaply do and why the paper calls its own §3.2 design
+"the first practical proposal for a FCFS arbiter".
+
+Kept as a baseline: the equivalence tests show the paper's a-incr
+arbiter matches this oracle's schedule except within coincident-arrival
+cohorts (where the dispenser's serialisation is the only difference).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.base import ArbitrationOutcome, Request, SingleOutstandingArbiter
+from repro.errors import ArbitrationError
+
+__all__ = ["TicketFCFS"]
+
+
+class TicketFCFS(SingleOutstandingArbiter):
+    """Central ticket-dispenser FCFS (the [ShAh81] baseline)."""
+
+    name = "ticket-fcfs"
+    requires_winner_identity = False
+    extra_lines = 0
+
+    def __init__(self, num_agents: int, **kwargs) -> None:
+        super().__init__(num_agents, **kwargs)
+        #: Modular ticket space, sized like the §3.2 counters: with one
+        #: outstanding request per agent at most N tickets are live.
+        self.ticket_bits = max(1, math.ceil(math.log2(num_agents + 1)))
+        self.ticket_modulus = 1 << self.ticket_bits
+        self._next_ticket = 0
+        self._tickets: Dict[int, int] = {}
+        self._issued_order = 0
+        self._orders: Dict[int, int] = {}
+
+    def _on_request(self, record: Request, now: float) -> None:
+        self._tickets[record.agent_id] = self._next_ticket % self.ticket_modulus
+        self._next_ticket += 1
+        # Total issue order, kept alongside the modular ticket so the
+        # arbiter can resolve wrap-around exactly the way the hardware
+        # does (at most N live tickets, so modular distance is unique).
+        self._orders[record.agent_id] = self._issued_order
+        self._issued_order += 1
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError("ticket arbitration started with no requests")
+        self.arbitrations += 1
+        # Lowest live ticket wins; modular comparison is safe because at
+        # most num_agents < modulus tickets are outstanding.
+        oldest = min(self._orders, key=self._orders.get)
+        keys = {
+            agent: self.ticket_modulus - 1 - self._tickets[agent]
+            for agent in self._pending
+        }
+        return ArbitrationOutcome(
+            winner=oldest,
+            rounds=1,
+            competitors=frozenset(self._pending),
+            keys=keys,
+        )
+
+    def _on_grant(self, record: Request, now: float) -> None:
+        self._tickets.pop(record.agent_id, None)
+        self._orders.pop(record.agent_id, None)
+
+    def live_tickets(self) -> Dict[int, int]:
+        """Outstanding agent → ticket assignments (diagnostic)."""
+        return dict(self._tickets)
+
+    def reset(self) -> None:
+        super().reset()
+        self._next_ticket = 0
+        self._issued_order = 0
+        self._tickets.clear()
+        self._orders.clear()

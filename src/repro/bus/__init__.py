@@ -1,0 +1,25 @@
+"""System-level bus model: agents, timing, and the grant/release loop.
+
+This is the simulator of the paper's §4.1: a single bus with
+deterministic transaction time (the unit of time), 0.5-unit arbitration
+overhead fully overlapped with bus service whenever requests are waiting,
+and closed-loop agents that stall on their bus requests.
+"""
+
+from repro.bus.agent import BusAgent
+from repro.bus.handshake import AgentState, HandshakeBus
+from repro.bus.model import BusSystem
+from repro.bus.records import CompletionRecord
+from repro.bus.timeline import ownership_segments, render_timeline
+from repro.bus.timing import BusTiming
+
+__all__ = [
+    "BusAgent",
+    "BusSystem",
+    "BusTiming",
+    "CompletionRecord",
+    "HandshakeBus",
+    "AgentState",
+    "render_timeline",
+    "ownership_segments",
+]

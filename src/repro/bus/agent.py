@@ -1,0 +1,117 @@
+"""The bus agent: a processor (or DMA device) generating bus requests.
+
+Closed-loop agents model the paper's stalled processor: execute for an
+inter-request time, issue a request, stall until the transaction
+completes, repeat.  Open-loop agents (an extension supporting §3.2's
+multiple outstanding requests) keep their inter-request clock running
+while requests are pending, pausing generation only when
+``max_outstanding`` requests are already in flight.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.workload.scenarios import AgentSpec
+
+__all__ = ["BusAgent"]
+
+
+class BusAgent:
+    """Request-generation state machine for one agent.
+
+    The agent does not talk to the simulator directly; the
+    :class:`~repro.bus.model.BusSystem` wires its callbacks.
+
+    Parameters
+    ----------
+    spec:
+        Immutable workload description.
+    rng:
+        This agent's private random stream.
+    issue:
+        Callback ``issue(agent_id, priority)`` that places a request on
+        the bus; installed by the bus system.
+    schedule:
+        Callback ``schedule(delay, action)`` that defers an action;
+        installed by the bus system.
+    """
+
+    def __init__(
+        self,
+        spec: AgentSpec,
+        rng: random.Random,
+        issue: Callable[[int, bool], None],
+        schedule: Callable[[float, Callable[[], None]], None],
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._issue = issue
+        self._schedule = schedule
+        self.outstanding = 0
+        self.requests_issued = 0
+        self.completions = 0
+        #: Sum of inter-request (think) times drawn, for productivity
+        #: accounting in the overlap experiments.
+        self.total_think_time = 0.0
+        self._generation_blocked = False
+
+    @property
+    def agent_id(self) -> int:
+        """Static identity of this agent."""
+        return self.spec.agent_id
+
+    def start(self) -> None:
+        """Begin the agent's life with one think period before its first request."""
+        self._schedule_next_request()
+
+    def _schedule_next_request(self) -> None:
+        think = self.spec.interrequest.sample(self.rng)
+        self.total_think_time += think
+        self._schedule(think, self._generate_request)
+
+    def _draw_priority(self) -> bool:
+        fraction = self.spec.priority_fraction
+        if fraction <= 0.0:
+            return False
+        return self.rng.random() < fraction
+
+    def _generate_request(self) -> None:
+        if self.outstanding >= self.spec.max_outstanding:
+            # Open loop at capacity: the source blocks; generation resumes
+            # at the next completion.  (A closed-loop agent cannot reach
+            # this: it only draws a think time after completing.)
+            self._generation_blocked = True
+            return
+        self.outstanding += 1
+        self.requests_issued += 1
+        self._issue(self.agent_id, self._draw_priority())
+        if self.spec.open_loop and self.outstanding < self.spec.max_outstanding:
+            self._schedule_next_request()
+        elif self.spec.open_loop:
+            self._generation_blocked = True
+
+    def on_completion(self, now: float) -> None:
+        """The bus finished one of this agent's transactions."""
+        if self.outstanding <= 0:
+            raise SimulationError(
+                f"agent {self.agent_id} completed a transaction with no "
+                f"request outstanding"
+            )
+        self.outstanding -= 1
+        self.completions += 1
+        if self.spec.open_loop:
+            if self._generation_blocked:
+                self._generation_blocked = False
+                self._schedule_next_request()
+        else:
+            self._schedule_next_request()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "open" if self.spec.open_loop else "closed"
+        return (
+            f"BusAgent(id={self.agent_id}, {mode}-loop, "
+            f"outstanding={self.outstanding}, completions={self.completions})"
+        )

@@ -1,0 +1,257 @@
+"""The bus system: wires agents, an arbiter and the timing rules together.
+
+Timing rules (§4.1 of the paper):
+
+- one bus; one master at a time; a tenure lasts ``transaction_time``;
+- an arbitration pass lasts ``arbitration_time`` per round and runs
+  *concurrently* with the current tenure: it starts as soon as there is at
+  least one eligible request and neither an arbitration nor an unclaimed
+  arbitration result is outstanding — i.e. at the start of every tenure
+  when requests are waiting (the paper's rule), and immediately on arrival
+  when a request finds the bus without a pending arbitration;
+- when an arbitration completes while the bus is busy, its winner takes
+  over at the end of the tenure with zero gap (fully overlapped overhead);
+  when it completes on an idle bus, the winner is granted immediately;
+- the *next* arbitration begins only when the winner's tenure begins:
+  arbitration results are not pipelined more than one ahead.
+
+The event ordering at a tenure boundary is: release, grant, arbitration
+start, new requests — encoded in :class:`~repro.engine.event.EventPriority`
+so simultaneous events resolve the way the hardware would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bus.agent import BusAgent
+from repro.bus.records import CompletionRecord
+from repro.bus.timing import BusTiming
+from repro.core.base import Arbiter, ArbitrationOutcome, Request
+from repro.engine.event import EventPriority
+from repro.engine.rng import RandomStreams
+from repro.engine.simulator import Simulator
+from repro.engine.trace import Trace
+from repro.errors import SimulationError
+from repro.stats.collector import CompletionCollector
+from repro.workload.scenarios import ScenarioSpec
+
+__all__ = ["BusSystem"]
+
+
+class BusSystem:
+    """One shared bus, its arbiter, and a population of agents.
+
+    Parameters
+    ----------
+    scenario:
+        The agent population (workloads, loop modes).
+    arbiter:
+        The arbitration protocol; must be sized for ``scenario.num_agents``.
+    collector:
+        Sink for completion records; also provides the run's stop rule.
+    timing:
+        Bus timing constants.
+    seed:
+        Master seed for the per-agent random streams.
+    trace:
+        Optional event trace for debugging.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        arbiter: Arbiter,
+        collector: CompletionCollector,
+        timing: BusTiming = BusTiming(),
+        seed: int = 0,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if arbiter.num_agents < scenario.num_agents:
+            raise SimulationError(
+                f"arbiter sized for {arbiter.num_agents} agents cannot serve "
+                f"scenario with {scenario.num_agents}"
+            )
+        self.scenario = scenario
+        self.arbiter = arbiter
+        self.collector = collector
+        self.timing = timing
+        self.simulator = Simulator(trace=trace)
+        self.streams = RandomStreams(seed)
+
+        self.agents: Dict[int, BusAgent] = {}
+        for spec in scenario.agents:
+            agent = BusAgent(
+                spec,
+                rng=self.streams.agent_stream(spec.agent_id),
+                issue=self._on_request,
+                schedule=self._schedule_agent_action,
+            )
+            self.agents[spec.agent_id] = agent
+
+        self._busy = False
+        self._master: Optional[int] = None
+        self._master_request: Optional[Request] = None
+        self._master_grant_time = 0.0
+        self._arbitration_running = False
+        self._arb_kick_scheduled = False
+        self._pending_winner: Optional[int] = None
+        #: Time-weighted accounting for bus utilisation.
+        self.busy_time = 0.0
+        self.transactions = 0
+        #: Arbitration outcomes observed, for protocol diagnostics.
+        self.arbitration_log_limit = 0
+        self.arbitration_log: List[ArbitrationOutcome] = []
+
+    # -- agent-facing plumbing ----------------------------------------------
+
+    def _schedule_agent_action(self, delay, action) -> None:
+        self.simulator.schedule(delay, action, priority=EventPriority.REQUEST)
+
+    def _on_request(self, agent_id: int, priority: bool) -> None:
+        self.arbiter.request(agent_id, self.simulator.now, priority=priority)
+        self._schedule_arb_kick()
+
+    # -- arbitration / grant / release cycle ---------------------------------
+
+    def _schedule_arb_kick(self) -> None:
+        """Defer the arbitration start to the end of the current instant.
+
+        Every trigger (request arrival, grant) schedules a zero-delay
+        ``ARB_KICK`` event instead of starting the arbitration inline, so
+        all requests issued at the same simulated instant are on the
+        request line before the competitor snapshot is taken — exactly
+        what the electrically-shared line does, and essential for the
+        deterministic workloads of Table 4.5 where simultaneous requests
+        are the norm rather than a measure-zero coincidence.
+        """
+        if (
+            self._arb_kick_scheduled
+            or self._arbitration_running
+            or self._pending_winner is not None
+        ):
+            return
+        self._arb_kick_scheduled = True
+        # On a synchronous bus the arbitration-start control signal is
+        # sampled at the next clock edge (§2.1); self-timed buses start
+        # at the end of the current instant.
+        delay = self.timing.delay_to_next_edge(self.simulator.now)
+        self.simulator.schedule(
+            delay,
+            self._arb_kick,
+            priority=EventPriority.ARB_KICK,
+            label="arb-kick",
+        )
+
+    def _arb_kick(self) -> None:
+        self._arb_kick_scheduled = False
+        self._maybe_start_arbitration()
+
+    def _maybe_start_arbitration(self) -> None:
+        """Start an arbitration if one can usefully run now.
+
+        Blocked while an arbitration is settling or an unclaimed winner
+        exists (the hardware decides one master ahead, no further).
+        """
+        if self._arbitration_running or self._pending_winner is not None:
+            return
+        if not self.arbiter.has_waiting():
+            return
+        outcome = self.arbiter.start_arbitration(self.simulator.now)
+        if self.arbitration_log_limit and len(self.arbitration_log) < self.arbitration_log_limit:
+            self.arbitration_log.append(outcome)
+        self._arbitration_running = True
+        settle = self.timing.arbitration_time * outcome.rounds
+        self.simulator.schedule(
+            settle,
+            lambda: self._arbitration_complete(outcome),
+            priority=EventPriority.ARBITRATION,
+            label=f"arb-complete:{outcome.winner}",
+        )
+
+    def _arbitration_complete(self, outcome: ArbitrationOutcome) -> None:
+        self._arbitration_running = False
+        self._pending_winner = outcome.winner
+        if self._busy:
+            return
+        # Idle bus: hand over now (self-timed) or at the next clock edge
+        # (synchronous).  Nothing else can seize the bus meanwhile — an
+        # unclaimed winner blocks further arbitrations.
+        delay = self.timing.delay_to_next_edge(self.simulator.now)
+        if delay == 0.0:
+            self._grant(outcome.winner)
+        else:
+            self.simulator.schedule(
+                delay,
+                lambda: self._grant(outcome.winner),
+                priority=EventPriority.GRANT,
+                label=f"grant-on-edge:{outcome.winner}",
+            )
+
+    def _grant(self, agent_id: int) -> None:
+        now = self.simulator.now
+        if self._busy:
+            raise SimulationError(f"granting agent {agent_id} while bus is busy")
+        self._pending_winner = None
+        request = self.arbiter.grant(agent_id, now)
+        self._busy = True
+        self._master = agent_id
+        self._master_request = request
+        self._master_grant_time = now
+        self.simulator.schedule(
+            self.timing.transaction_time,
+            self._transaction_end,
+            priority=EventPriority.RELEASE,
+            label=f"release:{agent_id}",
+        )
+        # Arbitration for the next master starts at the beginning of this
+        # tenure whenever requests are waiting (§4.1).
+        self._schedule_arb_kick()
+
+    def _transaction_end(self) -> None:
+        now = self.simulator.now
+        agent_id = self._master
+        request = self._master_request
+        if agent_id is None or request is None:
+            raise SimulationError("transaction ended with no master")
+        self._busy = False
+        self._master = None
+        self._master_request = None
+        self.busy_time += self.timing.transaction_time
+        self.transactions += 1
+        self.arbiter.release(agent_id, now)
+        self.collector.record(
+            CompletionRecord(
+                agent_id=agent_id,
+                issue_time=request.issue_time,
+                grant_time=self._master_grant_time,
+                completion_time=now,
+                priority=request.priority,
+            )
+        )
+        self.agents[agent_id].on_completion(now)
+        if self._pending_winner is not None:
+            self._grant(self._pending_winner)
+        else:
+            # Covers a request that arrived while the previous arbitration
+            # was still settling past the tenure end (bus briefly idle).
+            self._schedule_arb_kick()
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Start all agents and run until the collector has what it needs."""
+        for agent in self.agents.values():
+            agent.start()
+        self.simulator.run(stop=self.collector.satisfied, max_events=max_events)
+        if not self.collector.satisfied():
+            raise SimulationError(
+                "simulation drained its event calendar before the collector "
+                "was satisfied; the scenario generates too few requests"
+            )
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the bus spent transferring data."""
+        if self.simulator.now <= 0.0:
+            return 0.0
+        return self.busy_time / self.simulator.now

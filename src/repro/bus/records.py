@@ -1,0 +1,53 @@
+"""Per-request completion records.
+
+One :class:`CompletionRecord` is produced per served bus request; the
+statistics layer consumes them.  The paper's "waiting time" W measures
+request issue to *transaction completion* (the time a stalled processor
+spends off the critical path), so both that and the queueing-only delay
+are exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompletionRecord"]
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """Timing of one completed bus request.
+
+    Attributes
+    ----------
+    agent_id:
+        Static identity of the served agent.
+    issue_time:
+        When the request was issued (request line asserted).
+    grant_time:
+        When the agent's bus tenure began.
+    completion_time:
+        When the transaction finished.
+    priority:
+        Whether the request was urgent-class.
+    """
+
+    agent_id: int
+    issue_time: float
+    grant_time: float
+    completion_time: float
+    priority: bool = False
+
+    @property
+    def queueing_delay(self) -> float:
+        """Issue to grant: time spent waiting for bus ownership."""
+        return self.grant_time - self.issue_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Issue to completion — the paper's W (includes the transaction).
+
+        A processor that stalls on its memory request is unproductive for
+        exactly this long, which is why the paper's tables report it.
+        """
+        return self.completion_time - self.issue_time

@@ -1,0 +1,227 @@
+"""Command-line interface: ``repro-arb`` / ``python -m repro``.
+
+Subcommands regenerate the paper's tables and figure, or run a single
+ad-hoc simulation::
+
+    repro-arb table 4.1              # 4.1-4.5, or extension tables E1-E4
+    repro-arb figure 4.1
+    repro-arb all                    # everything, in order
+    repro-arb run --protocol rr --agents 30 --load 1.5
+    repro-arb compare --protocols rr fcfs aap1   # side by side, same seed
+    repro-arb protocols              # list registered protocols
+
+Fidelity is controlled by ``--scale`` or the ``REPRO_SCALE`` environment
+variable (smoke / quick / default / paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments import (
+    PROTOCOLS,
+    SimulationSettings,
+    run_simulation,
+)
+from repro.experiments import (
+    extensions,
+    figure_4_1,
+    table_4_1,
+    table_4_2,
+    table_4_3,
+    table_4_4,
+    table_4_5,
+)
+from repro.experiments.formatting import fmt_estimate
+from repro.experiments.params import DEFAULT_SEED
+from repro.experiments.scale import SCALES, current_scale
+from repro.workload.scenarios import equal_load
+
+__all__ = ["main", "build_parser"]
+
+_TABLES = {
+    "4.1": table_4_1,
+    "4.2": table_4_2,
+    "4.3": table_4_3,
+    "4.4": table_4_4,
+    "4.5": table_4_5,
+}
+
+#: Extension tables (beyond the paper): name -> callable(scale, seed).
+_EXTENSION_TABLES = {
+    "E1": lambda scale, seed: extensions.run_table_e1(),
+    "E2": lambda scale, seed: extensions.run_table_e2(seed=seed),
+    "E3": lambda scale, seed: extensions.run_table_e3(scale=scale, seed=seed),
+    "E4": lambda scale, seed: extensions.run_table_e4(scale=scale, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-arb",
+        description=(
+            "Reproduce Vernon & Manber (ISCA 1988): distributed RR and "
+            "FCFS bus-arbitration protocols."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="run length (default: $REPRO_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="master random seed"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table_cmd = subparsers.add_parser(
+        "table", help="regenerate one table (paper 4.x or extension Ex)"
+    )
+    table_cmd.add_argument(
+        "number",
+        choices=sorted(_TABLES) + sorted(_EXTENSION_TABLES),
+        help="table number",
+    )
+
+    figure_cmd = subparsers.add_parser("figure", help="regenerate Figure 4.1")
+    figure_cmd.add_argument(
+        "number", choices=["4.1"], nargs="?", default="4.1", help="figure number"
+    )
+    figure_cmd.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write the CDF series as CSV for external plotting",
+    )
+
+    subparsers.add_parser("all", help="regenerate every table and the figure")
+    subparsers.add_parser("protocols", help="list registered protocols")
+
+    run_cmd = subparsers.add_parser("run", help="run one ad-hoc simulation")
+    run_cmd.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="rr", help="arbiter"
+    )
+    run_cmd.add_argument("--agents", type=int, default=10, help="number of agents")
+    run_cmd.add_argument(
+        "--load", type=float, default=1.5, help="total offered load"
+    )
+    run_cmd.add_argument(
+        "--cv", type=float, default=1.0, help="inter-request time CV"
+    )
+
+    compare_cmd = subparsers.add_parser(
+        "compare", help="run several protocols on one workload, side by side"
+    )
+    compare_cmd.add_argument(
+        "--protocols",
+        nargs="+",
+        choices=sorted(PROTOCOLS),
+        default=["rr", "fcfs", "aap1", "aap2"],
+        help="arbiters to compare (same seed: identical arrivals)",
+    )
+    compare_cmd.add_argument("--agents", type=int, default=10)
+    compare_cmd.add_argument("--load", type=float, default=2.0)
+    compare_cmd.add_argument("--cv", type=float, default=1.0)
+    return parser
+
+
+def _emit_tables(module, scale, seed) -> None:
+    for panel in module.run(scale=scale, seed=seed):
+        print(panel.render())
+        print()
+
+
+def _run_compare(args, scale) -> None:
+    from repro.errors import StatisticsError
+
+    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=args.seed,
+    )
+    print(f"scenario: {scenario.notes}  (seed {args.seed}, scale {scale.name})")
+    print(
+        f"{'protocol':14s} {'λ':>6s} {'mean W':>14s} {'std W':>14s} "
+        f"{'t_N/t_1':>16s}"
+    )
+    for protocol in args.protocols:
+        result = run_simulation(scenario, protocol, settings)
+        try:
+            fairness = fmt_estimate(result.extreme_throughput_ratio())
+        except StatisticsError:
+            fairness = "starved"
+        print(
+            f"{protocol:14s} {result.system_throughput().mean:6.2f} "
+            f"{fmt_estimate(result.mean_waiting()):>14s} "
+            f"{fmt_estimate(result.std_waiting()):>14s} "
+            f"{fairness:>16s}"
+        )
+
+
+def _run_single(args, scale) -> None:
+    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=args.seed,
+    )
+    result = run_simulation(scenario, args.protocol, settings)
+    print(f"protocol          : {args.protocol}")
+    print(f"scenario          : {scenario.name}")
+    print(f"bus utilisation   : {result.utilization:.3f}")
+    print(f"throughput (λ)    : {fmt_estimate(result.system_throughput())}")
+    print(f"mean W            : {fmt_estimate(result.mean_waiting())}")
+    print(f"std W             : {fmt_estimate(result.std_waiting())}")
+    print(f"t_N/t_1 fairness  : {fmt_estimate(result.extreme_throughput_ratio())}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    scale = current_scale(args.scale)
+    try:
+        if args.command == "table":
+            if args.number in _EXTENSION_TABLES:
+                print(_EXTENSION_TABLES[args.number](scale, args.seed).render())
+                print()
+            else:
+                _emit_tables(_TABLES[args.number], scale, args.seed)
+        elif args.command == "figure":
+            figure = figure_4_1.run(scale=scale, seed=args.seed)
+            print(figure.render())
+            if args.csv:
+                with open(args.csv, "w", encoding="utf-8") as handle:
+                    handle.write(figure.series_csv())
+                print(f"(series written to {args.csv})")
+        elif args.command == "all":
+            for number in sorted(_TABLES):
+                _emit_tables(_TABLES[number], scale, args.seed)
+            print(figure_4_1.run(scale=scale, seed=args.seed).render())
+        elif args.command == "protocols":
+            for name in sorted(PROTOCOLS):
+                arbiter = PROTOCOLS[name](8)
+                print(
+                    f"{name:14s} {type(arbiter).__name__:24s} "
+                    f"extra lines: {arbiter.extra_lines}"
+                )
+        elif args.command == "run":
+            _run_single(args, scale)
+        elif args.command == "compare":
+            _run_compare(args, scale)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module runner
+    sys.exit(main())

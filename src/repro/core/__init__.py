@@ -1,0 +1,41 @@
+"""The paper's primary contribution: distributed RR and FCFS arbiters.
+
+- :class:`~repro.core.base.Arbiter` — the protocol interface driven by the
+  bus model (request / start_arbitration / grant / release);
+- :class:`~repro.core.round_robin.DistributedRoundRobin` — §3.1, all three
+  hardware implementations;
+- :class:`~repro.core.fcfs.DistributedFCFS` — §3.2, both counter-update
+  strategies, multiple-outstanding-request support, and the three options
+  for integrating priority traffic;
+- :class:`~repro.core.hybrid.HybridArbiter` and
+  :class:`~repro.core.adaptive.AdaptiveArbiter` — the §5 future-work
+  sketches, implemented as documented extensions.
+"""
+
+from repro.core.adaptive import AdaptiveArbiter
+from repro.core.base import (
+    Arbiter,
+    ArbitrationOutcome,
+    DirectMaxFinder,
+    MaxFinder,
+    Request,
+    WiredOrMaxFinder,
+)
+from repro.core.fcfs import DistributedFCFS, PriorityCounterPolicy
+from repro.core.hybrid import HybridArbiter
+from repro.core.round_robin import DistributedRoundRobin, RRPriorityPolicy
+
+__all__ = [
+    "Arbiter",
+    "ArbitrationOutcome",
+    "Request",
+    "MaxFinder",
+    "DirectMaxFinder",
+    "WiredOrMaxFinder",
+    "DistributedRoundRobin",
+    "RRPriorityPolicy",
+    "DistributedFCFS",
+    "PriorityCounterPolicy",
+    "HybridArbiter",
+    "AdaptiveArbiter",
+]

@@ -1,0 +1,156 @@
+"""Adaptive arbiter — the second future-work sketch of §5.
+
+    "It may also be possible to design an adaptive scheme that uses the
+    history of request patterns to optimize its behavior."
+
+The paper does not specify the scheme; our instantiation targets the one
+regime where the two protocols measurably differ (§4.5): *coincident*
+arrivals.  FCFS resolves same-instant arrivals by static priority — its
+only unfairness — while RR is immune to arrival phase.  The arbiter
+therefore tracks, over a sliding window of recent requests, the fraction
+that arrived coincident with another request; when that fraction exceeds
+``rr_threshold`` it schedules round-robin, otherwise first-come
+first-serve.
+
+Both rule sets read the same physical state (arrival ticks and the
+recorded previous winner), so switching modes between arbitrations needs
+no state migration — the mode only changes which composite arbitration
+number the agents apply.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.base import (
+    ArbitrationOutcome,
+    MaxFinder,
+    Request,
+    SingleOutstandingArbiter,
+)
+from repro.errors import ArbitrationError, ConfigurationError
+
+__all__ = ["AdaptiveArbiter"]
+
+
+class AdaptiveArbiter(SingleOutstandingArbiter):
+    """Switches between RR and FCFS scheduling from arrival history.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of agents (identities 1..N).
+    coincidence_window:
+        Arrivals within this much time of the previous arrival count as
+        coincident and share an arrival tick.
+    history:
+        Number of recent requests over which the coincidence fraction is
+        estimated.
+    rr_threshold:
+        Coincidence fraction at or above which the arbiter schedules
+        round-robin instead of FCFS.
+    """
+
+    name = "adaptive-rr-fcfs"
+    requires_winner_identity = True
+    extra_lines = 2
+
+    def __init__(
+        self,
+        num_agents: int,
+        coincidence_window: float = 1e-9,
+        history: int = 64,
+        rr_threshold: float = 0.25,
+        max_finder: Optional[MaxFinder] = None,
+    ) -> None:
+        super().__init__(num_agents, max_finder)
+        if coincidence_window < 0.0:
+            raise ConfigurationError(
+                f"coincidence_window must be >= 0, got {coincidence_window}"
+            )
+        if history < 1:
+            raise ConfigurationError(f"history must be >= 1, got {history}")
+        if not 0.0 <= rr_threshold <= 1.0:
+            raise ConfigurationError(
+                f"rr_threshold must be in [0, 1], got {rr_threshold}"
+            )
+        self.coincidence_window = coincidence_window
+        self.history = history
+        self.rr_threshold = rr_threshold
+        self.counter_bits = self.static_bits
+        self.counter_modulus = 1 << self.counter_bits
+        self.last_winner = 0
+        self._tick = 0
+        self._last_pulse_time = -math.inf
+        self._coincident: Deque[bool] = deque(maxlen=history)
+        #: Diagnostics: arbitrations decided under each mode.
+        self.rr_decisions = 0
+        self.fcfs_decisions = 0
+
+    def _on_request(self, record: Request, now: float) -> None:
+        coincident = now - self._last_pulse_time <= self.coincidence_window
+        if not coincident:
+            self._tick += 1
+            self._last_pulse_time = now
+        record.tick = self._tick
+        self._coincident.append(coincident)
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def coincidence_fraction(self) -> float:
+        """Recent fraction of requests that arrived coincident."""
+        if not self._coincident:
+            return 0.0
+        return sum(self._coincident) / len(self._coincident)
+
+    @property
+    def mode(self) -> str:
+        """The scheduling rule the next arbitration will use."""
+        return "rr" if self.coincidence_fraction >= self.rr_threshold else "fcfs"
+
+    def _effective_key(self, record: Request, rr_mode: bool) -> int:
+        k = self.static_bits
+        if rr_mode:
+            rr_bit = 1 if record.agent_id < self.last_winner else 0
+            return (rr_bit << k) | record.agent_id
+        age = (self._tick - record.tick) % self.counter_modulus
+        return (age << k) | record.agent_id
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError("adaptive arbitration started with no requests")
+        self.arbitrations += 1
+        rr_mode = self.mode == "rr"
+        if rr_mode:
+            self.rr_decisions += 1
+        else:
+            self.fcfs_decisions += 1
+        keys = {
+            agent: self._effective_key(record, rr_mode)
+            for agent, record in self._pending.items()
+        }
+        winner = self.max_finder.find_max(keys)
+        self.last_winner = winner
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    @property
+    def identity_width(self) -> int:
+        return self.counter_bits + self.static_bits
+
+    def reset(self) -> None:
+        super().reset()
+        self.last_winner = 0
+        self._tick = 0
+        self._last_pulse_time = -math.inf
+        self._coincident.clear()
+        self.rr_decisions = 0
+        self.fcfs_decisions = 0

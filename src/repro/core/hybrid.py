@@ -1,0 +1,113 @@
+"""Hybrid RR/FCFS arbiter — the first future-work sketch of §5.
+
+    "For example, the round robin protocol might be used only for
+    requests that arrive at the same time, while the FCFS protocol is
+    used for other requests."
+
+Concretely: requests are ordered first-come first-serve by arrival tick
+(the a-incr mechanism of FCFS strategy 2), but a *cohort* of requests
+sharing one tick — which plain FCFS would serve in static-priority order,
+the protocol's only source of unfairness — is served round-robin relative
+to the recorded previous winner.
+
+The composite arbitration number is [age counter][RR bit][static id]: the
+counter dominates, so older cohorts win; within the oldest cohort the RR
+bit plays exactly the role it plays in RR implementation 1.  The hybrid
+therefore needs the winner identity on the bus (like RR) plus the a-incr
+line (like FCFS strategy 2): two extra lines.
+
+This is an extension beyond the paper's evaluated protocols; it is
+exercised by the fairness test-suite and by the hybrid ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.base import (
+    ArbitrationOutcome,
+    MaxFinder,
+    Request,
+    SingleOutstandingArbiter,
+)
+from repro.errors import ArbitrationError, ConfigurationError
+
+__all__ = ["HybridArbiter"]
+
+
+class HybridArbiter(SingleOutstandingArbiter):
+    """FCFS across arrival ticks, round-robin within a tick cohort.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of agents (identities 1..N).
+    coincidence_window:
+        Arrivals within this much time of the previous a-incr pulse share
+        its tick and form a cohort (0.0: only simultaneous arrivals).
+    """
+
+    name = "hybrid-rr-fcfs"
+    requires_winner_identity = True
+    extra_lines = 2
+
+    def __init__(
+        self,
+        num_agents: int,
+        coincidence_window: float = 0.0,
+        max_finder: Optional[MaxFinder] = None,
+    ) -> None:
+        super().__init__(num_agents, max_finder)
+        if coincidence_window < 0.0:
+            raise ConfigurationError(
+                f"coincidence_window must be >= 0, got {coincidence_window}"
+            )
+        self.coincidence_window = coincidence_window
+        self.counter_bits = self.static_bits
+        self.counter_modulus = 1 << self.counter_bits
+        self.last_winner = 0
+        self._tick = 0
+        self._last_pulse_time = -math.inf
+
+    def _on_request(self, record: Request, now: float) -> None:
+        if now - self._last_pulse_time > self.coincidence_window:
+            self._tick += 1
+            self._last_pulse_time = now
+        record.tick = self._tick
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def _effective_key(self, record: Request) -> int:
+        k = self.static_bits
+        age = (self._tick - record.tick) % self.counter_modulus
+        rr_bit = 1 if record.agent_id < self.last_winner else 0
+        return (age << (k + 1)) | (rr_bit << k) | record.agent_id
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError("hybrid arbitration started with no requests")
+        self.arbitrations += 1
+        keys = {
+            agent: self._effective_key(record)
+            for agent, record in self._pending.items()
+        }
+        winner = self.max_finder.find_max(keys)
+        self.last_winner = winner
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    @property
+    def identity_width(self) -> int:
+        return self.counter_bits + 1 + self.static_bits
+
+    def reset(self) -> None:
+        super().reset()
+        self.last_winner = 0
+        self._tick = 0
+        self._last_pulse_time = -math.inf

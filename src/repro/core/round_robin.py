@@ -1,0 +1,237 @@
+"""The distributed round-robin protocol (§3.1 of the paper).
+
+The protocol implements *true* round-robin scheduling — identical to a
+central round-robin arbiter — on the parallel contention arbiter, using
+only the statically assigned identities plus one recorded value: the
+identity of the most recent arbitration winner.
+
+The key observation: if agent ``j`` won the previous arbitration, the
+round-robin scan order for the next arbitration is ``j-1, j-2, …, 1, N,
+N-1, …, j``.  The maximum-finding hardware realises exactly this scan if
+agents with identities *below* the previous winner are given priority over
+agents with identities at or above it.  The three implementations differ
+only in how that priority is expressed on the bus:
+
+1. **RR-priority bit** (one extra line): every requester competes; each
+   prepends a most-significant bit set to 1 iff ``my_id < last_winner``.
+2. **Low-request line** (one extra line): requesters below the previous
+   winner assert a shared *low-request* line; when it is high, only they
+   compete.
+3. **No extra line**: only requesters below the previous winner compete;
+   an all-zero (empty) arbitration result causes every agent to record
+   ``N+1`` as the winner and a second arbitration starts immediately, in
+   which everybody competes.
+
+All three produce the same winner sequence (verified by the test suite,
+which also checks equivalence against the central round-robin oracle in
+:mod:`repro.baselines.central`); they differ in line cost and in the
+occasional extra arbitration pass of implementation 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.core.base import (
+    ArbitrationOutcome,
+    MaxFinder,
+    Request,
+    SingleOutstandingArbiter,
+)
+from repro.errors import ArbitrationError, ConfigurationError
+
+__all__ = ["DistributedRoundRobin", "RRPriorityPolicy"]
+
+
+class RRPriorityPolicy(enum.Enum):
+    """How urgent (priority-class) requests interact with the RR scan.
+
+    §3.1: with implementation 1, the RR-priority bit becomes the *second*
+    most significant bit and a new true-priority bit is prepended.  Agents
+    may then either ignore the RR protocol for urgent requests (always
+    setting the RR bit) or follow it, giving round-robin service *within*
+    the priority class.
+    """
+
+    #: Urgent requests always set the RR bit: fixed-priority among equals.
+    IGNORE_RR = "ignore-rr"
+    #: Urgent requests follow the RR rule too: round-robin within class.
+    RR_WITHIN_CLASS = "rr-within-class"
+
+
+class DistributedRoundRobin(SingleOutstandingArbiter):
+    """Distributed RR arbiter with selectable hardware implementation.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of agents (identities 1..N).
+    implementation:
+        1, 2 or 3 — see the module docstring.
+    priority_policy:
+        Treatment of urgent requests (only meaningful when the workload
+        issues them).
+    max_finder:
+        Maximum-finding strategy; defaults to the direct fast path.
+
+    Notes
+    -----
+    The recorded previous winner starts at 0 for implementations 1 and 2
+    (first arbitration degenerates to fixed priority: nobody is "below"
+    winner 0) and at ``N+1`` for implementation 3 (everybody is below it,
+    so the first arbitration needs no second pass).  The paper leaves the
+    initial value to the system reset logic; any choice affects only the
+    first arbitration after reset.
+    """
+
+    name = "distributed-rr"
+    requires_winner_identity = True
+
+    def __init__(
+        self,
+        num_agents: int,
+        implementation: int = 1,
+        priority_policy: RRPriorityPolicy = RRPriorityPolicy.IGNORE_RR,
+        record_priority_winners: bool = True,
+        max_finder: Optional[MaxFinder] = None,
+    ) -> None:
+        super().__init__(num_agents, max_finder)
+        if implementation not in (1, 2, 3):
+            raise ConfigurationError(
+                f"round-robin implementation must be 1, 2 or 3, got {implementation}"
+            )
+        self.implementation = implementation
+        self.priority_policy = priority_policy
+        #: §3.1 says agents record the winner of *every* arbitration,
+        #: which includes urgent-class wins.  Reproduction finding: under
+        #: steady urgent traffic from high identities that rule keeps
+        #: resetting the RR scan to the top and starves low-identity
+        #: normal traffic (see tests/test_priority_integration.py).
+        #: Setting this False freezes the pointer across urgent wins,
+        #: restoring round-robin fairness for the normal class — a
+        #: one-comparator amendment a real implementation would want.
+        self.record_priority_winners = record_priority_winners
+        self.extra_lines = 1 if implementation in (1, 2) else 0
+        self.last_winner = self._initial_last_winner()
+        self.extra_passes = 0
+
+    def _initial_last_winner(self) -> int:
+        return (self.num_agents + 1) if self.implementation == 3 else 0
+
+    # -- protocol -----------------------------------------------------------
+
+    def has_waiting(self) -> bool:
+        return bool(self._pending)
+
+    def start_arbitration(self, now: float) -> ArbitrationOutcome:
+        if not self._pending:
+            raise ArbitrationError("round-robin arbitration started with no requests")
+        self.arbitrations += 1
+        if self.implementation == 1:
+            outcome = self._arbitrate_priority_bit()
+        elif self.implementation == 2:
+            outcome = self._arbitrate_low_request_line()
+        else:
+            outcome = self._arbitrate_no_extra_line()
+        # Every agent records the winner's static identity at the end of
+        # the arbitration; it governs the *next* arbitration's scan.
+        # Optionally skip recording urgent-class wins (see __init__).
+        winner_was_priority = self._pending[outcome.winner].priority
+        if self.record_priority_winners or not winner_was_priority:
+            self.last_winner = outcome.winner
+        return outcome
+
+    def _rr_bit(self, agent_id: int) -> int:
+        return 1 if agent_id < self.last_winner else 0
+
+    def _effective_key(self, record: Request) -> int:
+        """Compose the applied arbitration number for implementation 1.
+
+        Layout (MSB first): [priority bit][RR bit][static identity].  The
+        priority bit is only meaningful when urgent requests are in play;
+        for a priority-free workload it is always 0 and the layout
+        collapses to the paper's basic [RR bit][identity].
+        """
+        k = self.static_bits
+        rr_bit = self._rr_bit(record.agent_id)
+        if record.priority and self.priority_policy is RRPriorityPolicy.IGNORE_RR:
+            rr_bit = 1
+        priority_bit = 1 if record.priority else 0
+        return (priority_bit << (k + 1)) | (rr_bit << k) | record.agent_id
+
+    def _arbitrate_priority_bit(self) -> ArbitrationOutcome:
+        keys = {
+            agent: self._effective_key(record)
+            for agent, record in self._pending.items()
+        }
+        winner = self.max_finder.find_max(keys)
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=1,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    def _split_competitors(self) -> Dict[str, Dict[int, Request]]:
+        """Partition pending requests for implementations 2 and 3.
+
+        Urgent requests ignore the RR gating and always compete (§2.4);
+        non-urgent ones are gated on being below the previous winner.
+        """
+        urgent = {a: r for a, r in self._pending.items() if r.priority}
+        normal = {a: r for a, r in self._pending.items() if not r.priority}
+        low = {a: r for a, r in normal.items() if a < self.last_winner}
+        return {"urgent": urgent, "normal": normal, "low": low}
+
+    def _keyed_outcome(self, competitors: Dict[int, Request], rounds: int) -> ArbitrationOutcome:
+        k = self.static_bits
+        keys = {
+            agent: ((1 if record.priority else 0) << k) | agent
+            for agent, record in competitors.items()
+        }
+        winner = self.max_finder.find_max(keys)
+        return ArbitrationOutcome(
+            winner=winner,
+            rounds=rounds,
+            competitors=frozenset(keys),
+            keys=keys,
+        )
+
+    def _arbitrate_low_request_line(self) -> ArbitrationOutcome:
+        parts = self._split_competitors()
+        # The low-request line is asserted iff some non-urgent requester is
+        # below the previous winner; urgent requests compete regardless.
+        if parts["low"]:
+            competitors = dict(parts["low"])
+            competitors.update(parts["urgent"])
+        else:
+            competitors = dict(self._pending)
+        return self._keyed_outcome(competitors, rounds=1)
+
+    def _arbitrate_no_extra_line(self) -> ArbitrationOutcome:
+        parts = self._split_competitors()
+        competitors = dict(parts["low"])
+        competitors.update(parts["urgent"])
+        rounds = 1
+        if not competitors:
+            # All-zero result: every agent records N+1 as the winner and a
+            # second arbitration starts immediately, with nobody inhibited.
+            self.last_winner = self.num_agents + 1
+            self.extra_passes += 1
+            rounds = 2
+            competitors = dict(self._pending)
+        return self._keyed_outcome(competitors, rounds=rounds)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def identity_width(self) -> int:
+        # priority bit + RR bit + static identity (implementation 1 layout,
+        # which is the widest of the three).
+        return self.static_bits + 2
+
+    def reset(self) -> None:
+        super().reset()
+        self.last_winner = self._initial_last_winner()
+        self.extra_passes = 0

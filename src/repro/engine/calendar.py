@@ -1,0 +1,104 @@
+"""The event calendar: a stable priority queue over :class:`Event`.
+
+Implemented on :mod:`heapq` with ``(time, priority, sequence)`` keys.  The
+monotonically increasing sequence number guarantees FIFO order among events
+with identical time and priority, which keeps simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.event import Event, EventPriority
+from repro.errors import SimulationError
+
+__all__ = ["EventCalendar"]
+
+
+class EventCalendar:
+    """Time-ordered queue of pending events.
+
+    The calendar never runs events itself; :class:`repro.engine.simulator.
+    Simulator` pops and fires them.  Cancelled events are dropped lazily on
+    pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = EventPriority.DEFAULT,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Create an event and insert it; returns the event for cancellation.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is negative, NaN or infinite.
+        """
+        if not math.isfinite(time) or time < 0.0:
+            raise SimulationError(f"cannot schedule event at time {time!r}")
+        event = Event(time, action, priority=priority, label=label)
+        self._push(event)
+        return event
+
+    def push(self, event: Event) -> None:
+        """Insert an already-constructed event."""
+        if not math.isfinite(event.time) or event.time < 0.0:
+            raise SimulationError(f"cannot schedule event at time {event.time!r}")
+        self._push(event)
+
+    def _push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, event.priority, self._sequence, event))
+        self._sequence += 1
+        self._live += 1
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        SimulationError
+            If the calendar is empty.
+        """
+        while self._heap:
+            __, __, __, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from an empty event calendar")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

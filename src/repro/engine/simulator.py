@@ -1,0 +1,153 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the clock and the :class:`~repro.engine.calendar.
+EventCalendar`; models schedule callbacks against it and the loop fires
+them in time order until a stop condition holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.calendar import EventCalendar
+from repro.engine.event import Event, EventPriority
+from repro.engine.trace import Trace
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "StopCondition"]
+
+#: A predicate evaluated after every event; truthy stops the run.
+StopCondition = Callable[[], bool]
+
+
+class Simulator:
+    """Event-driven simulation executive.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.engine.trace.Trace` to which every executed
+        event is recorded.  Leave ``None`` for production runs.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.calendar = EventCalendar()
+        self.trace = trace
+        self._now = 0.0
+        self._events_executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total events fired since construction."""
+        return self._events_executed
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = EventPriority.DEFAULT,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative (the engine forbids scheduling into
+            the past; zero delay is allowed and ordered by priority).
+        """
+        if delay < 0.0:
+            raise SimulationError(f"negative delay {delay!r} for {label or action!r}")
+        return self.calendar.schedule(self._now + delay, action, priority, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = EventPriority.DEFAULT,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, already at {self._now!r}"
+            )
+        return self.calendar.schedule(time, action, priority, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self.calendar.cancel(event)
+
+    def step(self) -> bool:
+        """Fire the single earliest event.
+
+        Returns ``True`` if an event was fired, ``False`` if the calendar
+        was empty.
+        """
+        if not self.calendar:
+            return False
+        event = self.calendar.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"event calendar returned past event at {event.time} < {self._now}"
+            )
+        self._now = event.time
+        if self.trace is not None:
+            self.trace.record(
+                event.time,
+                event.label or getattr(event.action, "__name__", "event"),
+                event.priority,
+            )
+        self._events_executed += 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop: Optional[StopCondition] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the calendar drains or a limit is reached.
+
+        Parameters
+        ----------
+        until:
+            Hard time horizon; events strictly after it are left queued and
+            the clock is advanced to ``until``.
+        stop:
+            Predicate checked after every event; truthy ends the run.
+        max_events:
+            Safety valve for runaway models; exceeding it raises
+            :class:`~repro.errors.SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        executed_at_entry = self._events_executed
+        try:
+            while self.calendar:
+                next_time = self.calendar.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    return
+                self.step()
+                if stop is not None and stop():
+                    return
+                if (
+                    max_events is not None
+                    and self._events_executed - executed_at_entry >= max_events
+                ):
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False

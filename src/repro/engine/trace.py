@@ -1,0 +1,62 @@
+"""Bounded in-memory tracing of executed events.
+
+Tracing is off by default (zero overhead beyond one ``if``) and exists for
+debugging protocol interactions and for the test suite, which asserts on
+exact event interleavings for small scenarios.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed event: when it fired and what it was."""
+
+    time: float
+    label: str
+    priority: int
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.4f}] {self.label}"
+
+
+class Trace:
+    """A ring buffer of :class:`TraceRecord`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records retained; older records are evicted.
+        ``None`` keeps everything (use only for short runs).
+    """
+
+    def __init__(self, capacity: Optional[int] = 10_000) -> None:
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+
+    def record(self, time: float, label: str, priority: int) -> None:
+        """Append one record."""
+        self._records.append(TraceRecord(time, label, priority))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def labels(self) -> List[str]:
+        """The labels of all retained records, oldest first."""
+        return [record.label for record in self._records]
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self._records.clear()
+
+    def matching(self, substring: str) -> List[TraceRecord]:
+        """Records whose label contains ``substring``."""
+        return [record for record in self._records if substring in record.label]

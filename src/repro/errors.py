@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` and friends from
+misuse of the standard library) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolError",
+    "ArbitrationError",
+    "SignalError",
+    "StatisticsError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or experiment was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """An arbitration protocol was driven through an illegal transition.
+
+    Examples: granting the bus to an agent that never requested it, or an
+    agent issuing a second request while one is already outstanding on a
+    single-outstanding-request arbiter.
+    """
+
+
+class ArbitrationError(ProtocolError):
+    """An arbitration round produced an impossible outcome."""
+
+
+class SignalError(ReproError):
+    """A bus-line or wired-OR signal model was misused."""
+
+
+class StatisticsError(ReproError):
+    """An output-analysis routine was given unusable data."""

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper's §4.
+
+Every experiment module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.formatting.ExperimentTable` whose ``render()``
+prints the same rows the paper reports.  Fidelity is controlled by
+:mod:`~repro.experiments.scale` (set ``REPRO_SCALE=paper`` for the full
+10 x 8000-sample runs of §4.1).
+"""
+
+from repro.experiments.formatting import ExperimentTable, ascii_plot, fmt_estimate
+from repro.experiments.runner import (
+    PROTOCOLS,
+    SimulationSettings,
+    make_arbiter,
+    run_simulation,
+)
+from repro.experiments.scale import Scale, current_scale
+
+__all__ = [
+    "PROTOCOLS",
+    "make_arbiter",
+    "run_simulation",
+    "SimulationSettings",
+    "Scale",
+    "current_scale",
+    "ExperimentTable",
+    "ascii_plot",
+    "fmt_estimate",
+]

@@ -1,0 +1,117 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints tables shaped like the paper's, so a reproduction run
+can be eyeballed against the original side by side.  Everything renders
+to monospace text (no plotting dependency); Figure 4.1 gets an ASCII
+line plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.stats.batch_means import BatchMeansEstimate
+
+__all__ = ["ExperimentTable", "fmt_estimate", "ascii_plot"]
+
+
+def fmt_estimate(estimate: BatchMeansEstimate, digits: int = 2) -> str:
+    """Render ``mean ± halfwidth`` the way the paper's tables do."""
+    return f"{estimate.mean:.{digits}f} ± {estimate.halfwidth:.{digits}f}"
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table (or table panel) with provenance.
+
+    Attributes
+    ----------
+    title:
+        e.g. ``"Table 4.1(a): ... (10 agents)"``.
+    headers:
+        Column names.
+    rows:
+        Cell values, already formatted to strings.
+    data:
+        Machine-readable row dictionaries, for tests and EXPERIMENTS.md.
+    notes:
+        Free-form provenance (scale used, seed, caveats).
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    data: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, cells: Sequence[str], record: Dict[str, object]) -> None:
+        """Append one formatted row plus its machine-readable record."""
+        self.rows.append([str(cell) for cell in cells])
+        self.data.append(dict(record))
+
+    def render(self) -> str:
+        """The table as monospace text."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for column, cell in enumerate(row):
+                widths[column] = max(widths[column], len(cell))
+        lines = [self.title]
+        header = "  ".join(
+            header.ljust(widths[i]) for i, header in enumerate(self.headers)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 68,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "F(x)",
+) -> str:
+    """A rough monospace line plot of one or more (x, y) series.
+
+    Good enough to see Figure 4.1's shape: the FCFS CDF rising sharply
+    near the mean while the RR CDF spreads out.
+    """
+    if not series:
+        return "(no data)"
+    markers = "*o+x#@"
+    points = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = y_max - row_index * y_span / (height - 1)
+        lines.append(f"{y_value:6.2f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(f"{'':7}{x_min:<10.2f}{x_label:^{max(0, width - 20)}}{x_max:>10.2f}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':7}{legend}   ({y_label} vs {x_label})")
+    return "\n".join(lines)

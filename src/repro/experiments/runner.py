@@ -1,0 +1,129 @@
+"""Protocol registry and the single-run entry point.
+
+:func:`run_simulation` is the one place a scenario, a protocol name and
+run-length settings meet; every experiment module and every example goes
+through it.  Protocols are registered by name so experiments, the CLI
+and the benchmarks share one vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
+from repro.baselines.central import CentralFCFS, CentralRoundRobin
+from repro.baselines.fixed_priority import FixedPriorityArbiter
+from repro.baselines.rotating import RotatingPriorityRR
+from repro.baselines.ticket import TicketFCFS
+from repro.bus.model import BusSystem
+from repro.bus.timing import BusTiming
+from repro.core.adaptive import AdaptiveArbiter
+from repro.core.base import Arbiter
+from repro.core.fcfs import DistributedFCFS
+from repro.core.hybrid import HybridArbiter
+from repro.core.round_robin import DistributedRoundRobin
+from repro.errors import ConfigurationError
+from repro.stats.collector import CompletionCollector
+from repro.stats.summary import RunResult
+from repro.workload.scenarios import ScenarioSpec
+
+__all__ = [
+    "PROTOCOLS",
+    "make_arbiter",
+    "run_simulation",
+    "SimulationSettings",
+]
+
+#: Registry of protocol factories: name -> callable(num_agents, r) ->
+#: Arbiter, where ``r`` is the per-agent outstanding-request capacity the
+#: scenario needs.  Only the FCFS arbiter supports r > 1 (§3.2); the
+#: other factories reject such scenarios loudly rather than mis-serve
+#: them.
+PROTOCOLS: Dict[str, Callable[[int, int], Arbiter]] = {
+    # the paper's contributions
+    "rr": lambda n, r=1: DistributedRoundRobin(n, implementation=1),
+    "rr-impl2": lambda n, r=1: DistributedRoundRobin(n, implementation=2),
+    "rr-impl3": lambda n, r=1: DistributedRoundRobin(n, implementation=3),
+    "fcfs": lambda n, r=1: DistributedFCFS(n, strategy=1, max_outstanding=r),
+    "fcfs-aincr": lambda n, r=1: DistributedFCFS(n, strategy=2, max_outstanding=r),
+    # §5 future-work extensions
+    "hybrid": lambda n, r=1: HybridArbiter(n),
+    "adaptive": lambda n, r=1: AdaptiveArbiter(n),
+    # baselines
+    "fixed": lambda n, r=1: FixedPriorityArbiter(n),
+    "aap1": lambda n, r=1: BatchingAssuredAccess(n),
+    "aap2": lambda n, r=1: FuturebusAssuredAccess(n),
+    "central-rr": lambda n, r=1: CentralRoundRobin(n),
+    "central-fcfs": lambda n, r=1: CentralFCFS(n),
+    "rotating-rr": lambda n, r=1: RotatingPriorityRR(n),
+    "ticket-fcfs": lambda n, r=1: TicketFCFS(n),
+}
+
+
+def make_arbiter(protocol: str, num_agents: int, max_outstanding: int = 1) -> Arbiter:
+    """Instantiate a registered protocol for ``num_agents`` agents."""
+    try:
+        factory = PROTOCOLS[protocol]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; choose one of {sorted(PROTOCOLS)}"
+        ) from None
+    if max_outstanding > 1:
+        return factory(num_agents, max_outstanding)
+    return factory(num_agents)
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """Run-length and instrumentation knobs for one simulation."""
+
+    batches: int = 10
+    batch_size: int = 2500
+    warmup: int = 1000
+    keep_samples: bool = False
+    keep_order: bool = False
+    seed: int = 12345
+    timing: BusTiming = BusTiming()
+    confidence: float = 0.90
+    max_events: Optional[int] = None
+
+
+def run_simulation(
+    scenario: ScenarioSpec,
+    protocol: str,
+    settings: SimulationSettings = SimulationSettings(),
+) -> RunResult:
+    """Simulate one (scenario, protocol) pair and return its metrics.
+
+    The random streams depend only on ``settings.seed`` and the agent
+    identities, so two protocols run with the same seed see *identical*
+    arrival processes — the common-random-numbers discipline behind the
+    paper's protocol comparisons.
+    """
+    needed_capacity = max(spec.max_outstanding for spec in scenario.agents)
+    arbiter = make_arbiter(protocol, scenario.num_agents, needed_capacity)
+    collector = CompletionCollector(
+        batches=settings.batches,
+        batch_size=settings.batch_size,
+        warmup=settings.warmup,
+        keep_samples=settings.keep_samples,
+        keep_order=settings.keep_order,
+    )
+    system = BusSystem(
+        scenario=scenario,
+        arbiter=arbiter,
+        collector=collector,
+        timing=settings.timing,
+        seed=settings.seed,
+    )
+    system.run(max_events=settings.max_events)
+    return RunResult(
+        scenario=scenario,
+        protocol=protocol,
+        collector=collector,
+        utilization=system.utilization(),
+        elapsed=system.simulator.now,
+        seed=settings.seed,
+        confidence=settings.confidence,
+    )

@@ -1,0 +1,63 @@
+"""Run-length scaling for the experiment harness.
+
+The paper's runs are 10 batches x 8000 samples plus transient; that is
+minutes of CPU per table on a pure-Python simulator, so the harness
+defaults to a reduced scale that preserves every qualitative shape and
+lets the full benchmark suite finish quickly.  Select with the
+``REPRO_SCALE`` environment variable:
+
+========  =========  ==========  ======
+name      batches    batch size  warmup
+========  =========  ==========  ======
+smoke     4          300         100
+quick     6          1200        400
+default   10         2500        1000
+paper     10         8000        2000
+========  =========  ==========  ======
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Scale", "SCALES", "current_scale"]
+
+_ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Output-analysis run length."""
+
+    name: str
+    batches: int
+    batch_size: int
+    warmup: int
+
+    @property
+    def total_completions(self) -> int:
+        """Completions one run must produce."""
+        return self.warmup + self.batches * self.batch_size
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale("smoke", batches=4, batch_size=300, warmup=100),
+    "quick": Scale("quick", batches=6, batch_size=1200, warmup=400),
+    "default": Scale("default", batches=10, batch_size=2500, warmup=1000),
+    "paper": Scale("paper", batches=10, batch_size=8000, warmup=2000),
+}
+
+
+def current_scale(override: Optional[str] = None) -> Scale:
+    """The active scale: explicit override, else ``$REPRO_SCALE``, else quick."""
+    name = override or os.environ.get(_ENV_VAR, "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; choose one of {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,103 @@
+"""Table 4.1: allocation of bus bandwidth among agents with equal rates.
+
+For each system size and offered load, the table reports the ratio of
+the highest-identity agent's throughput to the lowest-identity agent's,
+for the RR protocol (should be statistically 1.0 — it is perfectly fair)
+and the simple (strategy 1) FCFS implementation (up to ~6–9% unfair near
+saturation, where requests pile up between arbitrations and fall back to
+static-priority order).  For the 30-agent system the paper adds the
+first assured-access protocol, whose ratio approaches 2.0 — the
+unfairness the new protocols eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.formatting import ExperimentTable, fmt_estimate
+from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.scale import Scale, current_scale
+from repro.workload.scenarios import equal_load
+
+__all__ = ["run", "run_panel"]
+
+
+def run_panel(
+    num_agents: int,
+    loads: Sequence[float] = PAPER_LOADS,
+    scale: Optional[Scale] = None,
+    seed: int = DEFAULT_SEED,
+    include_aap: bool = False,
+) -> ExperimentTable:
+    """One panel of Table 4.1 (one system size)."""
+    scale = scale or current_scale()
+    headers = ["Load", "λ", "t_N/t_1 RR", "t_N/t_1 FCFS"]
+    if include_aap:
+        headers.append("t_N/t_1 AAP")
+    table = ExperimentTable(
+        title=f"Table 4.1: bandwidth allocation, equal request rates ({num_agents} agents)",
+        headers=headers,
+        notes=f"scale={scale.name} ({scale.batches}x{scale.batch_size} samples), seed={seed}",
+    )
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=seed,
+    )
+    protocols = ["rr", "fcfs"] + (["aap1"] if include_aap else [])
+    for load in loads:
+        scenario = equal_load(num_agents, load)
+        results = {
+            protocol: run_simulation(scenario, protocol, settings)
+            for protocol in protocols
+        }
+        throughput = results["rr"].system_throughput()
+        ratios = {
+            protocol: result.extreme_throughput_ratio()
+            for protocol, result in results.items()
+        }
+        cells = [
+            f"{load:.2f}",
+            f"{throughput.mean:.2f}",
+            fmt_estimate(ratios["rr"]),
+            fmt_estimate(ratios["fcfs"]),
+        ]
+        record = {
+            "num_agents": num_agents,
+            "load": load,
+            "throughput": throughput,
+            "ratio_rr": ratios["rr"],
+            "ratio_fcfs": ratios["fcfs"],
+        }
+        if include_aap:
+            cells.append(fmt_estimate(ratios["aap1"]))
+            record["ratio_aap1"] = ratios["aap1"]
+        table.add_row(cells, record)
+    return table
+
+
+def run(
+    sizes: Sequence[int] = PAPER_SIZES,
+    loads: Sequence[float] = PAPER_LOADS,
+    scale: Optional[Scale] = None,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[ExperimentTable, ...]:
+    """All panels of Table 4.1 (the AAP column appears for 30 agents)."""
+    return tuple(
+        run_panel(
+            num_agents,
+            loads=loads,
+            scale=scale,
+            seed=seed,
+            include_aap=(num_agents == 30),
+        )
+        for num_agents in sizes
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    for panel in run():
+        print(panel.render())
+        print()

@@ -1,0 +1,98 @@
+"""Table 4.4: bandwidth allocation among agents with unequal loads.
+
+Agent 1 offers twice (panel a) or four times (panel b) the load of every
+other agent; the table tracks the ratio of agent 1's throughput to agent
+2's.  At low load both protocols deliver bandwidth in proportion to
+demand (ratio ≈ the load ratio); as the bus saturates, waiting times
+dominate and the ratios sink toward 1 — but FCFS, which schedules on
+arrival times, stays measurably closer to the demand ratio than RR,
+which rotates service evenly regardless of demand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.formatting import ExperimentTable, fmt_estimate
+from repro.experiments.params import DEFAULT_SEED
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.scale import Scale, current_scale
+from repro.workload.scenarios import unequal_load
+
+__all__ = ["run", "run_panel", "BASE_LOADS"]
+
+#: Per-regular-agent total-load bases (the paper's Table 4.1 loads minus
+#: the 7.5 row, which Table 4.4 omits).
+BASE_LOADS: Tuple[float, ...] = (0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00)
+
+
+def run_panel(
+    factor: float,
+    num_agents: int = 30,
+    base_loads: Sequence[float] = BASE_LOADS,
+    scale: Optional[Scale] = None,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentTable:
+    """One panel of Table 4.4 (one rate factor)."""
+    scale = scale or current_scale()
+    table = ExperimentTable(
+        title=(
+            f"Table 4.4: unequal request rates — agent 1 at {factor:g}x "
+            f"({num_agents} agents)"
+        ),
+        headers=["Load", "λ", "Load1/Load2", "t1/t2 RR", "t1/t2 FCFS"],
+        notes=f"scale={scale.name}, seed={seed}",
+    )
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=seed,
+    )
+    for base in base_loads:
+        regular_load = base / num_agents
+        scenario = unequal_load(num_agents, regular_load, factor)
+        total = scenario.total_offered_load()
+        rr = run_simulation(scenario, "rr", settings)
+        fcfs = run_simulation(scenario, "fcfs", settings)
+        throughput = rr.system_throughput()
+        ratio_rr = rr.throughput_ratio(1, 2)
+        ratio_fcfs = fcfs.throughput_ratio(1, 2)
+        table.add_row(
+            [
+                f"{total:.2f}",
+                f"{throughput.mean:.2f}",
+                f"{factor:.2f}",
+                fmt_estimate(ratio_rr),
+                fmt_estimate(ratio_fcfs),
+            ],
+            {
+                "num_agents": num_agents,
+                "factor": factor,
+                "total_load": total,
+                "throughput": throughput,
+                "ratio_rr": ratio_rr,
+                "ratio_fcfs": ratio_fcfs,
+            },
+        )
+    return table
+
+
+def run(
+    factors: Sequence[float] = (2.0, 4.0),
+    num_agents: int = 30,
+    base_loads: Sequence[float] = BASE_LOADS,
+    scale: Optional[Scale] = None,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[ExperimentTable, ...]:
+    """Both panels of Table 4.4."""
+    return tuple(
+        run_panel(factor, num_agents=num_agents, base_loads=base_loads, scale=scale, seed=seed)
+        for factor in factors
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    for panel in run():
+        print(panel.render())
+        print()

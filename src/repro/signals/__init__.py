@@ -1,0 +1,41 @@
+"""Bus-signal substrate: wired-OR lines and the parallel contention arbiter.
+
+The protocols of the paper run on a backplane bus whose arbitration lines
+carry the *wired-OR* of the signals applied by all agents.  This subpackage
+models that hardware layer:
+
+- :class:`~repro.signals.wired_or.WiredOrLine` — a single open-collector
+  line whose value is the OR of every driver;
+- :class:`~repro.signals.lines.ArbitrationLineBundle` — the k arbitration
+  lines carrying the bits of the competing arbitration numbers;
+- :mod:`~repro.signals.contention` — the bit-withdrawal/reapply settle
+  process of the parallel contention arbiter [Taub84], iterated in
+  synchronous bus-propagation rounds until the lines carry the maximum
+  competing arbitration number;
+- :mod:`~repro.signals.binary_patterned` — a behavioural model of
+  Johnson's binary-patterned arbitration lines [John83], which settle in a
+  single propagation round but do not expose the winner's identity on the
+  bus.
+
+The system-level simulator of :mod:`repro.bus` abstracts arbitration to a
+constant 0.5-unit overhead, exactly as the paper's evaluation does; this
+layer exists so the maximum-finding behaviour the protocols *rely on* is a
+verified, executable artifact rather than an assumption, and so the settle
+round counts can be studied (see ``benchmarks/test_ablation_settle.py``).
+"""
+
+from repro.signals.async_settle import AsyncContention, AsyncSettleResult
+from repro.signals.binary_patterned import BinaryPatternedArbitration
+from repro.signals.contention import ContentionResult, ParallelContention
+from repro.signals.lines import ArbitrationLineBundle
+from repro.signals.wired_or import WiredOrLine
+
+__all__ = [
+    "WiredOrLine",
+    "ArbitrationLineBundle",
+    "ParallelContention",
+    "ContentionResult",
+    "AsyncContention",
+    "AsyncSettleResult",
+    "BinaryPatternedArbitration",
+]

@@ -1,0 +1,221 @@
+"""Asynchronous, placement-aware settle model of the contention arbiter.
+
+The synchronous-round model of :mod:`repro.signals.contention` abstracts
+away *where* agents sit along the backplane.  Taub's analysis [Taub84]
+does not: his k/2 end-to-end-propagation bound on settle time is proved
+against the worst-case *physical assignment of identities along the
+bus*.  This module simulates the analog process:
+
+- agents sit at positions in [0, 1], where 1.0 is one end-to-end bus
+  propagation delay;
+- when agent *j* changes the pattern it applies, agent *i* observes the
+  change ``|x_i − x_j|`` time units later;
+- an agent reacts to its observed wired-OR word instantaneously (an
+  optional ``logic_delay`` models the monitoring logic) by applying the
+  paper's withdraw/reapply rule.
+
+The simulation is event-driven over pattern-change observations and
+runs to quiescence; :class:`AsyncSettleResult.settle_time` is the time
+(in end-to-end propagation units) after which no line changes anywhere
+on the bus.  The ablation bench sweeps placements and widths to show
+where Taub's k/2 sits relative to typical behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ArbitrationError, SignalError
+from repro.signals.contention import applied_pattern
+
+__all__ = ["AsyncContention", "AsyncSettleResult"]
+
+#: Safety valve: an arbitration that generates this many observation
+#: events is oscillating, which the withdraw/reapply rule cannot do.
+_MAX_EVENTS = 100_000
+
+
+@dataclass(frozen=True)
+class AsyncSettleResult:
+    """Outcome of one asynchronous settle.
+
+    Attributes
+    ----------
+    winner_identity:
+        The stable wired-OR word: the maximum competing identity.
+    settle_time:
+        Time of the last pattern change anywhere, plus the propagation
+        needed for every agent to see the final word — i.e. when the
+        whole bus agrees — in end-to-end propagation units.
+    last_change_time:
+        Time of the last pattern change alone (the quantity Taub's k/2
+        worst-case bound speaks to: when the lines stop moving).
+    pattern_changes:
+        Total withdraw/reapply actions across all agents (a measure of
+        switching activity on the lines).
+    """
+
+    winner_identity: int
+    settle_time: float
+    last_change_time: float
+    pattern_changes: int
+
+
+class AsyncContention:
+    """Placement-aware analog settle simulation.
+
+    Parameters
+    ----------
+    width:
+        Number of arbitration lines (identity width in bits).
+    logic_delay:
+        Reaction time of each agent's monitoring logic, in end-to-end
+        propagation units (0 = ideal instantaneous logic).
+    """
+
+    def __init__(self, width: int, logic_delay: float = 0.0) -> None:
+        if width < 1:
+            raise SignalError(f"width must be >= 1, got {width}")
+        if logic_delay < 0.0:
+            raise SignalError(f"logic_delay must be >= 0, got {logic_delay}")
+        self.width = width
+        self.logic_delay = logic_delay
+
+    def resolve(
+        self,
+        placements: Sequence[Tuple[float, int]],
+    ) -> AsyncSettleResult:
+        """Settle a contention among agents placed along the bus.
+
+        Parameters
+        ----------
+        placements:
+            ``(position, identity)`` pairs; positions in [0, 1].
+
+        Raises
+        ------
+        SignalError
+            On invalid positions, identity 0 or identities over width.
+        ArbitrationError
+            On duplicate identities or a non-quiescing run (impossible
+            for the withdraw/reapply rule; kept as a model invariant).
+        """
+        agents: List[Tuple[float, int]] = []
+        for position, identity in placements:
+            if not 0.0 <= position <= 1.0:
+                raise SignalError(f"position {position} outside [0, 1]")
+            if identity == 0:
+                raise SignalError("identity 0 is reserved for 'nobody competed'")
+            if identity >= (1 << self.width):
+                raise SignalError(
+                    f"identity {identity} does not fit in {self.width} bits"
+                )
+            agents.append((float(position), identity))
+        if len({identity for __, identity in agents}) != len(agents):
+            raise ArbitrationError("identities must be unique")
+        if not agents:
+            return AsyncSettleResult(0, 0.0, 0.0, 0)
+
+        count = len(agents)
+        positions = [position for position, __ in agents]
+        identities = [identity for __, identity in agents]
+        # Pattern-change history per agent: (time, applied) pairs, in
+        # time order.  Everyone applies its full identity at t = 0.
+        history: List[List[Tuple[float, int]]] = [
+            [(0.0, identity)] for identity in identities
+        ]
+        delay = [
+            [abs(positions[i] - positions[j]) for j in range(count)]
+            for i in range(count)
+        ]
+
+        sequence = itertools.count()
+        queue: List[Tuple[float, int, int]] = []
+        for i in range(count):
+            for j in range(count):
+                if i != j:
+                    heapq.heappush(
+                        queue,
+                        (delay[i][j] + self.logic_delay, next(sequence), i),
+                    )
+        # Observers of an agent's own change: itself, immediately.
+        for i in range(count):
+            heapq.heappush(queue, (self.logic_delay, next(sequence), i))
+
+        changes = 0
+        last_change_time = 0.0
+        events = 0
+        while queue:
+            events += 1
+            if events > _MAX_EVENTS:
+                raise ArbitrationError(
+                    "asynchronous settle failed to quiesce; model invariant broken"
+                )
+            time, __, observer = heapq.heappop(queue)
+            observed = 0
+            for j in range(count):
+                observed |= self._pattern_at(history[j], time - delay[observer][j])
+            new_pattern = applied_pattern(
+                identities[observer], observed, self.width
+            )
+            if new_pattern == history[observer][-1][1]:
+                continue
+            history[observer].append((time, new_pattern))
+            changes += 1
+            last_change_time = max(last_change_time, time)
+            for j in range(count):
+                notify_at = time + (delay[observer][j] if j != observer else 0.0)
+                heapq.heappush(
+                    queue,
+                    (notify_at + self.logic_delay, next(sequence), j),
+                )
+
+        final_word = 0
+        for agent_history in history:
+            final_word |= agent_history[-1][1]
+        expected = max(identities)
+        if final_word != expected:
+            raise ArbitrationError(
+                f"asynchronous settle converged to {final_word}, "
+                f"expected max identity {expected}"
+            )
+        # The bus agrees once the last change has propagated end to end
+        # past every agent.
+        spread = max(
+            max(delay[i]) if count > 1 else 0.0 for i in range(count)
+        )
+        return AsyncSettleResult(
+            winner_identity=final_word,
+            settle_time=last_change_time + spread,
+            last_change_time=last_change_time,
+            pattern_changes=changes,
+        )
+
+    #: Absolute slack when reading pattern history: observation events
+    #: are scheduled at exactly ``change_time + delay``, and recovering
+    #: ``change_time`` as ``event_time - delay`` can land one float ulp
+    #: early.  Without the slack the observer reads the stale pattern,
+    #: never re-evaluates, and the settle wedges one withdraw short of
+    #: the maximum.  Real position/time differences are many orders of
+    #: magnitude above 1e-9.
+    _TIME_SLACK = 1e-9
+
+    @classmethod
+    def _pattern_at(cls, agent_history: List[Tuple[float, int]], time: float) -> int:
+        """The pattern an agent was applying at a (possibly past) time.
+
+        Before t = 0 nothing is applied (the arbitration has not
+        started from the observer's point of view).
+        """
+        if time < -cls._TIME_SLACK:
+            return 0
+        applied = 0
+        for change_time, pattern in agent_history:
+            if change_time <= time + cls._TIME_SLACK:
+                applied = pattern
+            else:
+                break
+        return applied

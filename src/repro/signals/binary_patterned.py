@@ -1,0 +1,98 @@
+"""Behavioural model of binary-patterned arbitration lines [John83].
+
+Johnson's synchronous bus arbiter (U.S. patent 4,375,639) recodes the
+arbitration lines so a contention resolves in a *single* end-to-end bus
+propagation, at the cost of comparison logic in each agent and — the
+property the paper leans on in §3.1 — the winner's identity is **not**
+observable on the bus: each agent only learns whether *it* won.
+
+The recoding replaces each binary bit with a pattern such that one
+propagation suffices; the details of the patent's line coding do not
+affect any protocol-visible behaviour, so this model captures exactly the
+two externally relevant facts:
+
+1. settle cost is one round, independent of the identity width;
+2. the public outcome is per-agent win/lose, never the winner's number.
+
+The paper's RR protocol therefore cannot run on these lines (footnote 2
+suggests broadcasting the winner on k extra lines as a remedy, which
+:class:`BinaryPatternedArbitration` optionally models), while the *static*
+part of the FCFS identities can use them to claw back the wider-identity
+overhead (§3.2, footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ArbitrationError, SignalError
+
+__all__ = ["BinaryPatternedArbitration", "PatternedOutcome"]
+
+
+@dataclass(frozen=True)
+class PatternedOutcome:
+    """Result of a binary-patterned contention.
+
+    ``won`` maps each competing driver to whether it won.  ``winner_identity``
+    is ``None`` unless the arbiter was built with ``broadcast_winner=True``
+    (the extra-k-lines variant of the paper's footnote 2).
+    """
+
+    won: Dict[int, bool]
+    rounds: int
+    winner_identity: Optional[int]
+
+
+class BinaryPatternedArbitration:
+    """Single-propagation maximum finding with hidden winner identity.
+
+    Parameters
+    ----------
+    width:
+        Identity width in bits (for capacity checking only).
+    broadcast_winner:
+        Model the optional extra k lines that broadcast the winning
+        identity; adds one more propagation round for the broadcast.
+    """
+
+    def __init__(self, width: int, broadcast_winner: bool = False) -> None:
+        if width < 1:
+            raise SignalError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.broadcast_winner = broadcast_winner
+
+    @property
+    def capacity(self) -> int:
+        """Largest identity representable."""
+        return (1 << self.width) - 1
+
+    def resolve(self, identities: Iterable[int]) -> PatternedOutcome:
+        """Resolve a contention in one propagation round.
+
+        Raises
+        ------
+        SignalError
+            On identity 0 or identities wider than ``width``.
+        ArbitrationError
+            On duplicate identities.
+        """
+        by_driver: Dict[int, int] = {}
+        for driver, identity in enumerate(identities):
+            if identity == 0:
+                raise SignalError("identity 0 is reserved for 'nobody competed'")
+            if identity > self.capacity:
+                raise SignalError(
+                    f"identity {identity} exceeds capacity {self.capacity}"
+                )
+            by_driver[driver] = identity
+        if len(set(by_driver.values())) != len(by_driver):
+            raise ArbitrationError("identities must be unique")
+        if not by_driver:
+            return PatternedOutcome(won={}, rounds=0, winner_identity=None)
+        winning = max(by_driver.values())
+        won = {driver: identity == winning for driver, identity in by_driver.items()}
+        rounds = 2 if self.broadcast_winner else 1
+        winner_identity = winning if self.broadcast_winner else None
+        return PatternedOutcome(won=won, rounds=rounds, winner_identity=winner_identity)

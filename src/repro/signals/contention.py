@@ -1,0 +1,176 @@
+"""The parallel contention maximum-finding settle process.
+
+This is the distributed algorithm at the heart of every protocol in the
+paper (§2.1).  Each competing agent applies its arbitration number to the
+wired-OR lines and then monitors the lines in parallel, obeying one local
+rule:
+
+    if line *i* carries "1" but my bit *i* is "0", withdraw my bits below
+    *i*; if line *i* later drops back to "0", reapply them.
+
+Iterated, the rule drives the lines to the maximum competing number, and
+every agent can tell whether it won by comparing its own number with the
+settled word.
+
+The model here is *synchronous-round*: in each round every agent observes
+the current wired-OR word and recomputes its applied pattern, and then all
+lines update together.  One round corresponds to one end-to-end bus
+propagation delay.  Taub proved the analog process settles within ``k/2``
+end-to-end propagations for the worst-case physical placement of agents
+along the bus [Taub84]; the synchronous abstraction settles within ``k``
+rounds (each round removes or restores at least one contested bit level),
+which the test suite verifies by property test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ArbitrationError, SignalError
+from repro.signals.lines import ArbitrationLineBundle
+
+__all__ = ["ParallelContention", "ContentionResult", "applied_pattern"]
+
+
+def applied_pattern(identity: int, observed: int, width: int) -> int:
+    """The pattern an agent applies given the observed wired-OR word.
+
+    Implements the paper's local rule.  Let ``p`` be the highest bit
+    position where ``observed`` carries "1" but ``identity`` carries "0";
+    the agent withdraws all bits strictly below ``p`` (its bit at ``p`` is
+    already 0).  If no such position exists the full identity is applied.
+    """
+    if identity < 0:
+        raise SignalError(f"identity must be non-negative, got {identity}")
+    dominated = observed & ~identity
+    if not dominated:
+        return identity
+    p = dominated.bit_length() - 1
+    if p >= width:
+        raise SignalError(
+            f"observed word {observed:#x} wider than the {width}-line bundle"
+        )
+    return identity & ~((1 << p) - 1)
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Outcome of one settled contention.
+
+    Attributes
+    ----------
+    winner_identity:
+        The settled wired-OR word — the maximum competing arbitration
+        number, or 0 when nobody competed.
+    rounds:
+        Synchronous propagation rounds needed to reach the fixpoint
+        (0 when nobody competed).
+    history:
+        The observed word after each round, for diagnostics.
+    """
+
+    winner_identity: int
+    rounds: int
+    history: Tuple[int, ...]
+
+    @property
+    def empty(self) -> bool:
+        """True when no agent competed (reserved all-zero result)."""
+        return self.winner_identity == 0
+
+
+class ParallelContention:
+    """Runs the settle process over an :class:`ArbitrationLineBundle`.
+
+    Parameters
+    ----------
+    width:
+        Number of arbitration lines.
+    max_rounds:
+        Safety bound on settle iterations.  Defaults to ``width + 1``; the
+        process is proven to settle within ``width`` rounds, and exceeding
+        the bound raises :class:`~repro.errors.ArbitrationError` because it
+        would mean the local rule is mis-implemented.
+    """
+
+    def __init__(self, width: int, max_rounds: Optional[int] = None) -> None:
+        self.bundle = ArbitrationLineBundle(width)
+        self.max_rounds = width + 1 if max_rounds is None else max_rounds
+
+    @property
+    def width(self) -> int:
+        """Number of arbitration lines."""
+        return self.bundle.width
+
+    def resolve(self, identities: Iterable[int]) -> ContentionResult:
+        """Settle a contention among ``identities`` and report the winner.
+
+        The bundle is cleared first, competitors apply their full numbers,
+        and synchronous rounds run until the observed word is stable and
+        every agent's applied pattern is consistent with it.
+
+        Raises
+        ------
+        SignalError
+            If an identity does not fit on the lines or identity 0 (the
+            reserved "nobody" code) is used.
+        ArbitrationError
+            If the process fails to settle within ``max_rounds`` or the
+            settled word is not the true maximum (cannot happen unless the
+            model is broken; kept as an executable invariant).
+        """
+        competitors: Dict[int, int] = {}
+        for index, identity in enumerate(identities):
+            if identity == 0:
+                raise SignalError("identity 0 is reserved for 'nobody competed'")
+            if identity > self.bundle.capacity:
+                raise SignalError(
+                    f"identity {identity} exceeds line capacity {self.bundle.capacity}"
+                )
+            if identity in competitors.values():
+                raise ArbitrationError(
+                    f"duplicate arbitration number {identity}; identities must be unique"
+                )
+            competitors[index] = identity
+
+        self.bundle.clear()
+        if not competitors:
+            return ContentionResult(winner_identity=0, rounds=0, history=())
+
+        for driver, identity in competitors.items():
+            self.bundle.apply(driver, identity)
+
+        history = []
+        observed = self.bundle.observed()
+        history.append(observed)
+        for round_index in range(1, self.max_rounds + 1):
+            changed = False
+            for driver, identity in competitors.items():
+                pattern = applied_pattern(identity, observed, self.width)
+                if pattern != self.bundle.applied_by(driver):
+                    self.bundle.apply(driver, pattern)
+                    changed = True
+            new_observed = self.bundle.observed()
+            history.append(new_observed)
+            if not changed and new_observed == observed:
+                settled = new_observed
+                self._check_settled(settled, competitors.values(), round_index)
+                return ContentionResult(
+                    winner_identity=settled,
+                    rounds=round_index,
+                    history=tuple(history),
+                )
+            observed = new_observed
+        raise ArbitrationError(
+            f"contention failed to settle within {self.max_rounds} rounds"
+        )
+
+    @staticmethod
+    def _check_settled(settled: int, identities: Iterable[int], rounds: int) -> None:
+        expected = max(identities)
+        if settled != expected:
+            raise ArbitrationError(
+                f"settled word {settled} != max identity {expected} "
+                f"after {rounds} rounds"
+            )

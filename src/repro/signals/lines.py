@@ -1,0 +1,97 @@
+"""The bundle of k arbitration lines.
+
+The parallel contention arbiter needs ``k = ceil(log2(N + 1))`` wired-OR
+lines to arbitrate among up to ``N`` agents with identities ``1..N``
+(identity 0 is reserved: an all-zero result means "nobody competed").
+Line ``i`` carries bit ``i`` of the OR of all applied arbitration numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.errors import SignalError
+from repro.signals.wired_or import WiredOrLine
+
+__all__ = ["ArbitrationLineBundle", "lines_required"]
+
+
+def lines_required(num_agents: int) -> int:
+    """Number of arbitration lines for ``num_agents`` devices.
+
+    This is the paper's ``ceil(log2(N + 1))``: identities run ``1..N`` so
+    ``N + 1`` distinct codes (including the reserved all-zero) must fit.
+    """
+    if num_agents < 1:
+        raise SignalError(f"need at least one agent, got {num_agents}")
+    return max(1, math.ceil(math.log2(num_agents + 1)))
+
+
+class ArbitrationLineBundle:
+    """``width`` wired-OR lines treated as one binary word.
+
+    Agents apply (partial) arbitration numbers; the bundle reports the
+    wired-OR word observed on the bus.  The settle dynamics live in
+    :class:`~repro.signals.contention.ParallelContention`; this class is
+    only the passive medium.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise SignalError(f"line bundle width must be >= 1, got {width}")
+        self.width = width
+        self.lines: List[WiredOrLine] = [WiredOrLine(f"arb[{i}]") for i in range(width)]
+        self._applied: Dict[int, int] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Largest arbitration number representable on this bundle."""
+        return (1 << self.width) - 1
+
+    def apply(self, driver: int, value: int) -> None:
+        """Driver applies ``value``: asserts lines where bits are 1.
+
+        Replaces whatever pattern the driver previously applied; applying
+        0 is equivalent to :meth:`withdraw`.
+        """
+        if value < 0 or value > self.capacity:
+            raise SignalError(
+                f"value {value} does not fit on {self.width} arbitration lines"
+            )
+        previous = self._applied.get(driver, 0)
+        for bit in range(self.width):
+            mask = 1 << bit
+            if value & mask and not previous & mask:
+                self.lines[bit].assert_(driver)
+            elif previous & mask and not value & mask:
+                self.lines[bit].release(driver)
+        if value:
+            self._applied[driver] = value
+        else:
+            self._applied.pop(driver, None)
+
+    def withdraw(self, driver: int) -> None:
+        """Driver stops driving every line."""
+        self.apply(driver, 0)
+
+    def applied_by(self, driver: int) -> int:
+        """The pattern ``driver`` is currently applying (0 if none)."""
+        return self._applied.get(driver, 0)
+
+    def observed(self) -> int:
+        """The wired-OR word currently visible on the bus."""
+        word = 0
+        for bit, line in enumerate(self.lines):
+            if line.value:
+                word |= 1 << bit
+        return word
+
+    def clear(self) -> None:
+        """Remove every driver from every line."""
+        for line in self.lines:
+            line.clear()
+        self._applied.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArbitrationLineBundle(width={self.width}, observed={self.observed():b})"

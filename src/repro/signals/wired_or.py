@@ -1,0 +1,74 @@
+"""A single wired-OR (open-collector) bus line.
+
+Each agent either *asserts* the line (drives a logical "1") or *releases*
+it (lets it float).  The line's observed value is "1" exactly when at
+least one agent asserts it — the electrical wired-OR the paper's §2
+describes.  Drivers are tracked individually so tests can ask "who is
+holding this line high?".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.errors import SignalError
+
+__all__ = ["WiredOrLine"]
+
+
+class WiredOrLine:
+    """One open-collector line with named drivers.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (e.g. ``"bus-request"`` or ``"arb[3]"``).
+    """
+
+    __slots__ = ("name", "_asserting")
+
+    def __init__(self, name: str = "line") -> None:
+        self.name = name
+        self._asserting: Set[int] = set()
+
+    @property
+    def value(self) -> bool:
+        """Observed line level: ``True`` iff any driver asserts it."""
+        return bool(self._asserting)
+
+    @property
+    def asserting(self) -> FrozenSet[int]:
+        """The set of driver ids currently asserting the line."""
+        return frozenset(self._asserting)
+
+    def assert_(self, driver: int) -> None:
+        """Driver ``driver`` pulls the line to "1" (idempotent)."""
+        self._asserting.add(driver)
+
+    def release(self, driver: int) -> None:
+        """Driver ``driver`` stops driving the line.
+
+        Raises
+        ------
+        SignalError
+            If the driver was not asserting the line; releasing a line one
+            does not hold indicates a protocol bug, so it is loud.
+        """
+        try:
+            self._asserting.remove(driver)
+        except KeyError:
+            raise SignalError(
+                f"driver {driver} released {self.name!r} without asserting it"
+            ) from None
+
+    def release_if_held(self, driver: int) -> None:
+        """Like :meth:`release` but a no-op when the driver is not on."""
+        self._asserting.discard(driver)
+
+    def clear(self) -> None:
+        """Forcibly remove every driver (used between arbitrations)."""
+        self._asserting.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        level = 1 if self._asserting else 0
+        return f"WiredOrLine({self.name!r}={level}, drivers={sorted(self._asserting)})"

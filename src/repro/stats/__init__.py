@@ -1,0 +1,26 @@
+"""Output analysis: batch means, confidence intervals, empirical CDFs.
+
+The paper's methodology (§4.1): every simulation runs 10 batches of 8000
+sample outputs and reports 90% confidence intervals computed by the
+method of batch means [Lave83].  This subpackage reproduces exactly that,
+plus the empirical waiting-time CDFs behind Figure 4.1 and the
+overlap-productivity metrics of §4.3.
+"""
+
+from repro.stats.batch_means import BatchMeansEstimate, batch_means, t_quantile
+from repro.stats.cdf import EmpiricalCDF, ks_distance, min_integer_crossing
+from repro.stats.collector import BatchStats, CompletionCollector
+from repro.stats.summary import OverlapMetrics, RunResult
+
+__all__ = [
+    "BatchMeansEstimate",
+    "batch_means",
+    "t_quantile",
+    "EmpiricalCDF",
+    "min_integer_crossing",
+    "ks_distance",
+    "CompletionCollector",
+    "BatchStats",
+    "RunResult",
+    "OverlapMetrics",
+]

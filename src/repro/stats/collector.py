@@ -1,0 +1,199 @@
+"""Streaming collection of completion records into batch statistics.
+
+The collector implements the paper's output-analysis protocol: a warmup
+prefix is discarded, then completions are divided into ``batches``
+consecutive batches of ``batch_size`` samples each.  Every per-batch
+quantity needed by the tables is accumulated on the fly (counts per
+agent, waiting-time moments, batch wall-clock durations); raw waiting
+samples are retained per batch only when ``keep_samples`` is set (needed
+for CDFs and the overlap experiment of §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bus.records import CompletionRecord
+from repro.errors import StatisticsError
+
+__all__ = ["CompletionCollector", "BatchStats"]
+
+
+@dataclass
+class BatchStats:
+    """Accumulated statistics of one batch.
+
+    ``waiting`` refers to the paper's W: request issue to transaction
+    completion.
+    """
+
+    index: int
+    count: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    sum_waiting: float = 0.0
+    sum_waiting_sq: float = 0.0
+    sum_queueing: float = 0.0
+    agent_counts: Dict[int, int] = field(default_factory=dict)
+    samples: Optional[List[float]] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock span of the batch (simulated time)."""
+        return self.end_time - self.start_time
+
+    @property
+    def mean_waiting(self) -> float:
+        """Mean W within this batch."""
+        if self.count == 0:
+            raise StatisticsError(f"batch {self.index} is empty")
+        return self.sum_waiting / self.count
+
+    @property
+    def std_waiting(self) -> float:
+        """Standard deviation of W within this batch."""
+        if self.count == 0:
+            raise StatisticsError(f"batch {self.index} is empty")
+        mean = self.mean_waiting
+        variance = max(0.0, self.sum_waiting_sq / self.count - mean * mean)
+        return variance**0.5
+
+    @property
+    def mean_queueing(self) -> float:
+        """Mean issue-to-grant delay within this batch."""
+        if self.count == 0:
+            raise StatisticsError(f"batch {self.index} is empty")
+        return self.sum_queueing / self.count
+
+    def throughput(self) -> float:
+        """Completions per unit time in this batch (= bus utilisation
+        when the transaction time is the unit of time)."""
+        if self.duration <= 0.0:
+            raise StatisticsError(f"batch {self.index} has no duration")
+        return self.count / self.duration
+
+    def agent_throughput(self, agent_id: int) -> float:
+        """One agent's completions per unit time in this batch."""
+        if self.duration <= 0.0:
+            raise StatisticsError(f"batch {self.index} has no duration")
+        return self.agent_counts.get(agent_id, 0) / self.duration
+
+
+class CompletionCollector:
+    """Sink for :class:`~repro.bus.records.CompletionRecord`.
+
+    Parameters
+    ----------
+    batches:
+        Number of batches (the paper uses 10).
+    batch_size:
+        Completions per batch (the paper uses 8000).
+    warmup:
+        Completions discarded before batching starts, to wash out the
+        empty-and-idle initial transient.
+    keep_samples:
+        Retain each batch's raw waiting-time samples.
+    """
+
+    def __init__(
+        self,
+        batches: int = 10,
+        batch_size: int = 8000,
+        warmup: int = 1000,
+        keep_samples: bool = False,
+        keep_order: bool = False,
+        keep_records: bool = False,
+    ) -> None:
+        if batches < 2:
+            raise StatisticsError(f"need >= 2 batches for batch means, got {batches}")
+        if batch_size < 1:
+            raise StatisticsError(f"batch_size must be >= 1, got {batch_size}")
+        if warmup < 0:
+            raise StatisticsError(f"warmup must be >= 0, got {warmup}")
+        self.batches = batches
+        self.batch_size = batch_size
+        self.warmup = warmup
+        self.keep_samples = keep_samples
+        self.keep_order = keep_order
+        #: Agent ids in completion order (every completion, including
+        #: warmup) when ``keep_order`` is set — the grant *sequence*, used
+        #: by the protocol-equivalence tests.
+        self.completion_order: List[int] = []
+        self.keep_records = keep_records
+        #: Full completion records (every completion, including warmup)
+        #: when ``keep_records`` is set.
+        self.records: List[CompletionRecord] = []
+        self.needed = warmup + batches * batch_size
+        self.total_recorded = 0
+        self.batch_stats: List[BatchStats] = []
+        self._current: Optional[BatchStats] = None
+        self._last_boundary_time = 0.0
+        #: Total per-agent completions after warmup (all batches).
+        self.agent_totals: Dict[int, int] = {}
+
+    def satisfied(self) -> bool:
+        """Stop rule for the simulation run."""
+        return self.total_recorded >= self.needed
+
+    def record(self, record: CompletionRecord) -> None:
+        """Accumulate one completion."""
+        index = self.total_recorded
+        self.total_recorded += 1
+        if self.keep_order:
+            self.completion_order.append(record.agent_id)
+        if self.keep_records:
+            self.records.append(record)
+        if index < self.warmup:
+            self._last_boundary_time = record.completion_time
+            return
+        if index >= self.needed:
+            return  # events already queued past the stop rule
+        batch_index = (index - self.warmup) // self.batch_size
+        if self._current is None or self._current.index != batch_index:
+            self._open_batch(batch_index)
+        batch = self._current
+        assert batch is not None
+        waiting = record.waiting_time
+        batch.count += 1
+        batch.sum_waiting += waiting
+        batch.sum_waiting_sq += waiting * waiting
+        batch.sum_queueing += record.queueing_delay
+        batch.agent_counts[record.agent_id] = (
+            batch.agent_counts.get(record.agent_id, 0) + 1
+        )
+        self.agent_totals[record.agent_id] = (
+            self.agent_totals.get(record.agent_id, 0) + 1
+        )
+        if batch.samples is not None:
+            batch.samples.append(waiting)
+        batch.end_time = record.completion_time
+        if batch.count == self.batch_size:
+            self._last_boundary_time = record.completion_time
+
+    def _open_batch(self, batch_index: int) -> None:
+        batch = BatchStats(
+            index=batch_index,
+            start_time=self._last_boundary_time,
+            samples=[] if self.keep_samples else None,
+        )
+        self.batch_stats.append(batch)
+        self._current = batch
+
+    # -- post-run access ------------------------------------------------------
+
+    def completed_batches(self) -> List[BatchStats]:
+        """Batches that reached their full size."""
+        return [batch for batch in self.batch_stats if batch.count == self.batch_size]
+
+    def all_samples(self) -> List[float]:
+        """Every retained waiting-time sample, in completion order."""
+        if not self.keep_samples:
+            raise StatisticsError(
+                "collector was built with keep_samples=False; no samples retained"
+            )
+        samples: List[float] = []
+        for batch in self.batch_stats:
+            if batch.samples:
+                samples.extend(batch.samples)
+        return samples

@@ -1,0 +1,195 @@
+"""Run-level result object with the derived metrics the tables report.
+
+A :class:`RunResult` wraps one simulation's collector output and exposes
+every quantity appearing in the paper's Tables 4.1–4.5 and Figure 4.1 as
+a batch-means estimate with its 90% confidence interval:
+
+- system throughput (= bus utilisation, since the transaction time is the
+  unit of time) — the tables' λ column;
+- throughput ratios between chosen agents — Tables 4.1, 4.4, 4.5;
+- mean and standard deviation of the waiting time W (request issue to
+  transaction completion, the paper's W) — Table 4.2;
+- the waiting-time CDF — Figure 4.1;
+- overlap/productivity metrics for a given execution-overlap value —
+  Table 4.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import StatisticsError
+from repro.stats.batch_means import BatchMeansEstimate, batch_means
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.collector import CompletionCollector
+from repro.workload.scenarios import ScenarioSpec
+
+__all__ = ["RunResult", "OverlapMetrics"]
+
+
+@dataclass(frozen=True)
+class OverlapMetrics:
+    """§4.3 metrics for one protocol at one execution-overlap value v.
+
+    The agent performs up to ``v`` units of "extra" useful work while a
+    request is outstanding; the work actually overlapped with a wait W is
+    min(v, W).  Productivity is productive time over total time between
+    requests: (R̄ + E[min(v, W)]) / (R̄ + E[W]), with R̄ the mean
+    inter-request (think) time — think time is always productive, and of
+    the request's wall-clock W only the overlapped part is.
+    """
+
+    overlap_value: float
+    total_waiting: BatchMeansEstimate
+    residual_waiting: BatchMeansEstimate
+    overlapped: BatchMeansEstimate
+    productivity: BatchMeansEstimate
+
+
+class RunResult:
+    """Metrics of one finished simulation run."""
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        protocol: str,
+        collector: CompletionCollector,
+        utilization: float,
+        elapsed: float,
+        seed: int,
+        confidence: float = 0.90,
+    ) -> None:
+        self.scenario = scenario
+        self.protocol = protocol
+        self.collector = collector
+        self.utilization = utilization
+        self.elapsed = elapsed
+        self.seed = seed
+        self.confidence = confidence
+        self._batches = collector.completed_batches()
+        if len(self._batches) < 2:
+            raise StatisticsError(
+                f"run produced {len(self._batches)} complete batches; need >= 2"
+            )
+
+    # -- headline estimates ---------------------------------------------------
+
+    def system_throughput(self) -> BatchMeansEstimate:
+        """Completions per unit time — the tables' λ column."""
+        return batch_means(
+            [batch.throughput() for batch in self._batches], self.confidence
+        )
+
+    def mean_waiting(self) -> BatchMeansEstimate:
+        """Mean of the paper's W (issue to transaction completion)."""
+        return batch_means(
+            [batch.mean_waiting for batch in self._batches], self.confidence
+        )
+
+    def std_waiting(self) -> BatchMeansEstimate:
+        """Standard deviation of W (the σ_W of Table 4.2)."""
+        return batch_means(
+            [batch.std_waiting for batch in self._batches], self.confidence
+        )
+
+    def mean_queueing(self) -> BatchMeansEstimate:
+        """Mean issue-to-grant delay (W minus the transaction)."""
+        return batch_means(
+            [batch.mean_queueing for batch in self._batches], self.confidence
+        )
+
+    # -- fairness ---------------------------------------------------------------
+
+    def throughput_ratio(self, numerator: int, denominator: int) -> BatchMeansEstimate:
+        """Ratio of two agents' throughputs, batch by batch.
+
+        Batches in which the denominator agent completed nothing are
+        dropped (they indicate the batch size is too small for the load).
+        """
+        ratios: List[float] = []
+        for batch in self._batches:
+            bottom = batch.agent_counts.get(denominator, 0)
+            if bottom == 0:
+                ratios.append(math.nan)
+                continue
+            ratios.append(batch.agent_counts.get(numerator, 0) / bottom)
+        return batch_means(ratios, self.confidence)
+
+    def extreme_throughput_ratio(self) -> BatchMeansEstimate:
+        """Highest static identity over lowest — Tables 4.1's t_N / t_1."""
+        ids = sorted(spec.agent_id for spec in self.scenario.agents)
+        return self.throughput_ratio(ids[-1], ids[0])
+
+    def bandwidth_shares(self) -> Dict[int, float]:
+        """Each agent's fraction of all post-warmup completions."""
+        total = sum(self.collector.agent_totals.values())
+        if total == 0:
+            raise StatisticsError("no completions recorded after warmup")
+        return {
+            agent: count / total
+            for agent, count in sorted(self.collector.agent_totals.items())
+        }
+
+    def agent_throughput(self, agent_id: int) -> BatchMeansEstimate:
+        """One agent's completions per unit time."""
+        return batch_means(
+            [batch.agent_throughput(agent_id) for batch in self._batches],
+            self.confidence,
+        )
+
+    # -- distributional --------------------------------------------------------
+
+    def waiting_cdf(self) -> EmpiricalCDF:
+        """Empirical CDF of W over every retained sample (Figure 4.1)."""
+        return EmpiricalCDF(self.collector.all_samples())
+
+    def overlap_metrics(self, overlap_value: float) -> OverlapMetrics:
+        """§4.3 overlap-experiment metrics for a fixed overlap value.
+
+        Requires the run to have retained samples, and assumes a
+        homogeneous agent population (all experiments in Table 4.3 are),
+        since productivity uses the scenario's mean think time.
+        """
+        if overlap_value < 0.0:
+            raise StatisticsError(f"overlap value must be >= 0, got {overlap_value}")
+        think_means = {spec.interrequest.mean for spec in self.scenario.agents}
+        if len(think_means) != 1:
+            raise StatisticsError(
+                "overlap metrics assume a homogeneous population; scenario "
+                f"{self.scenario.name!r} has think means {sorted(think_means)}"
+            )
+        think_mean = think_means.pop()
+        per_batch_w: List[float] = []
+        per_batch_residual: List[float] = []
+        per_batch_overlapped: List[float] = []
+        per_batch_productivity: List[float] = []
+        for batch in self._batches:
+            if batch.samples is None:
+                raise StatisticsError(
+                    "overlap metrics need keep_samples=True on the collector"
+                )
+            count = len(batch.samples)
+            total = sum(batch.samples)
+            overlapped = sum(min(overlap_value, w) for w in batch.samples)
+            residual = total - overlapped
+            per_batch_w.append(total / count)
+            per_batch_residual.append(residual / count)
+            per_batch_overlapped.append(overlapped / count)
+            cycle = think_mean + total / count
+            per_batch_productivity.append((think_mean + overlapped / count) / cycle)
+        return OverlapMetrics(
+            overlap_value=overlap_value,
+            total_waiting=batch_means(per_batch_w, self.confidence),
+            residual_waiting=batch_means(per_batch_residual, self.confidence),
+            overlapped=batch_means(per_batch_overlapped, self.confidence),
+            productivity=batch_means(per_batch_productivity, self.confidence),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunResult(protocol={self.protocol!r}, "
+            f"scenario={self.scenario.name!r}, "
+            f"batches={len(self._batches)})"
+        )

@@ -1,0 +1,43 @@
+"""Workload generation: inter-request time distributions and scenarios."""
+
+from repro.workload.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    from_mean_cv,
+)
+from repro.workload.scenarios import (
+    AgentSpec,
+    ScenarioSpec,
+    equal_load,
+    open_loop_equal_load,
+    unequal_load,
+    worst_case_rr,
+)
+from repro.workload.traces import (
+    TraceDistribution,
+    load_trace,
+    save_trace,
+    synthesize_program_trace,
+)
+
+__all__ = [
+    "TraceDistribution",
+    "load_trace",
+    "save_trace",
+    "synthesize_program_trace",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Erlang",
+    "Hyperexponential",
+    "from_mean_cv",
+    "AgentSpec",
+    "ScenarioSpec",
+    "equal_load",
+    "open_loop_equal_load",
+    "unequal_load",
+    "worst_case_rr",
+]

@@ -1,0 +1,16 @@
+"""Pytest configuration: make tests/_utils importable and seed hypothesis."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

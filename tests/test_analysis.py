@@ -1,0 +1,130 @@
+"""Tests for the analytical models, including simulator cross-validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.mva import mva_closed_bus
+from repro.analysis.saturation import (
+    saturated_cycle_time,
+    saturated_mean_waiting,
+    saturated_per_agent_throughput,
+    saturation_load_threshold,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.workload.scenarios import equal_load
+
+
+class TestSaturationFormulas:
+    def test_cycle_time(self):
+        assert saturated_cycle_time(30) == 30.0
+
+    def test_table_4_2_heavy_load_anchors(self):
+        # Paper Table 4.2: W = 27.00 at 30 agents / load 7.5 (R̄ = 3) and
+        # W = 9.00 at 10 agents / load 5.0 (R̄ = 1).
+        assert saturated_mean_waiting(30, 3.0) == pytest.approx(27.0)
+        assert saturated_mean_waiting(10, 1.0) == pytest.approx(9.0)
+
+    def test_64_agent_anchor(self):
+        # 64 agents at load 7.5: per-agent load 0.117, R̄ = 7.533, and the
+        # paper's W = 56.46.
+        think = 64 / 7.5 - 1.0
+        assert saturated_mean_waiting(64, think) == pytest.approx(56.47, abs=0.01)
+
+    def test_per_agent_throughput(self):
+        assert saturated_per_agent_throughput(10) == pytest.approx(0.1)
+
+    def test_threshold_matches_paper_rule_of_thumb(self):
+        assert saturation_load_threshold() == 2.0
+
+    def test_unsaturated_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            saturated_mean_waiting(10, think_time_too_long := 9.9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            saturated_cycle_time(0)
+        with pytest.raises(ConfigurationError):
+            saturated_mean_waiting(10, -1.0)
+
+
+class TestMVA:
+    def test_single_agent_no_queueing(self):
+        # One agent never queues: W = S + exposed arbitration.
+        result = mva_closed_bus(1, mean_think_time=4.0)
+        assert result.mean_waiting == pytest.approx(1.5)
+        assert result.throughput == pytest.approx(1.0 / 5.5)
+
+    def test_saturation_limit(self):
+        # Deep saturation: MVA converges to the exact N·S − R̄ asymptote.
+        result = mva_closed_bus(30, mean_think_time=3.0)
+        assert result.mean_waiting == pytest.approx(27.0, rel=0.01)
+        assert result.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_throughput_bounded_by_bus(self):
+        result = mva_closed_bus(50, mean_think_time=0.5)
+        assert result.throughput <= 1.0 + 1e-9
+
+    def test_queue_consistency(self):
+        # Little's law at the bus: Q = X * W.
+        result = mva_closed_bus(12, mean_think_time=5.0)
+        assert result.mean_queue == pytest.approx(
+            result.throughput * result.mean_waiting
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mva_closed_bus(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mva_closed_bus(5, -1.0)
+        with pytest.raises(ConfigurationError):
+            mva_closed_bus(5, 1.0, transaction_time=0.0)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_waiting_within_physical_bounds(self, num_agents, think):
+        result = mva_closed_bus(num_agents, think)
+        # At least one service time; at most a full saturated round plus
+        # the exposed arbitration.
+        assert 1.0 <= result.mean_waiting <= num_agents * 1.0 + 0.5 + 1e-9
+
+    @given(st.integers(min_value=2, max_value=40))
+    def test_more_agents_more_waiting(self, num_agents):
+        smaller = mva_closed_bus(num_agents - 1, mean_think_time=2.0)
+        larger = mva_closed_bus(num_agents, mean_think_time=2.0)
+        assert larger.mean_waiting >= smaller.mean_waiting - 1e-9
+
+
+class TestCrossValidationAgainstSimulator:
+    SETTINGS = SimulationSettings(batches=4, batch_size=1000, warmup=300, seed=17)
+
+    @pytest.mark.parametrize(
+        "num_agents,load,tolerance",
+        [
+            (10, 0.25, 0.15),  # light load: little queueing, MVA close
+            (10, 1.0, 0.30),   # mid load: exponential-service bias peaks
+            (10, 2.0, 0.10),   # saturation onset
+            (10, 5.0, 0.03),   # deep saturation: asymptotically exact
+            (30, 7.5, 0.03),
+        ],
+    )
+    def test_mva_tracks_simulation(self, num_agents, load, tolerance):
+        scenario = equal_load(num_agents, load)
+        think = scenario.agents[0].interrequest.mean
+        simulated = run_simulation(scenario, "fcfs", self.SETTINGS)
+        predicted = mva_closed_bus(num_agents, think)
+        assert predicted.mean_waiting == pytest.approx(
+            simulated.mean_waiting().mean, rel=tolerance
+        )
+
+    def test_simulator_hits_saturation_asymptote(self):
+        scenario = equal_load(10, 5.0)
+        result = run_simulation(scenario, "rr", self.SETTINGS)
+        assert result.mean_waiting().mean == pytest.approx(
+            saturated_mean_waiting(10, 1.0), rel=0.01
+        )
+        assert result.agent_throughput(5).mean == pytest.approx(
+            saturated_per_agent_throughput(10), rel=0.03
+        )

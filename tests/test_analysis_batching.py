@@ -1,0 +1,80 @@
+"""Tests for the analytical AAP-1 batching model, incl. simulator validation."""
+
+import pytest
+
+from repro.analysis.batching import (
+    aap1_extreme_ratio,
+    aap1_miss_probabilities,
+    aap1_relative_throughputs,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.workload.distributions import Deterministic, Exponential
+from repro.workload.scenarios import equal_load
+
+
+class TestModelStructure:
+    def test_lowest_identity_always_misses(self):
+        q = aap1_miss_probabilities(16, Exponential(3.0))
+        assert q[1] == 1.0
+
+    def test_miss_probability_decreases_with_identity(self):
+        q = aap1_miss_probabilities(16, Exponential(3.0))
+        values = [q[agent] for agent in range(1, 17)]
+        assert values == sorted(values, reverse=True)
+
+    def test_highest_identity_rarely_misses(self):
+        q = aap1_miss_probabilities(16, Exponential(3.0))
+        assert q[16] < 0.05
+
+    def test_ratio_approaches_two_for_short_thinks(self):
+        # "in the worst case 100% more bandwidth" (§1).
+        ratio = aap1_extreme_ratio(30, Exponential(0.1))
+        assert ratio == pytest.approx(2.0, abs=0.02)
+
+    def test_deterministic_think_gives_sharp_step(self):
+        shares = aap1_relative_throughputs(16, Deterministic(3.0))
+        values = sorted(set(round(v, 6) for v in shares.values()))
+        assert len(values) == 2  # exactly half rate or full rate
+        assert values[0] == pytest.approx(0.5)
+        assert values[1] == pytest.approx(1.0)
+
+    def test_relative_shares_normalised(self):
+        shares = aap1_relative_throughputs(16, Exponential(3.0))
+        assert shares[16] == pytest.approx(1.0)
+        assert all(0.4 <= share <= 1.0 for share in shares.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            aap1_miss_probabilities(1, Exponential(3.0))
+        with pytest.raises(ConfigurationError):
+            aap1_miss_probabilities(8, Exponential(3.0), transaction_time=0.0)
+
+
+class TestSimulatorValidation:
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        settings = SimulationSettings(batches=5, batch_size=2000, warmup=500, seed=9)
+        result = run_simulation(equal_load(16, 4.0), "aap1", settings)
+        shares = result.bandwidth_shares()
+        top = max(shares.values())
+        return (
+            {agent: share / top for agent, share in shares.items()},
+            result.extreme_throughput_ratio().mean,
+        )
+
+    def test_per_agent_shares_tracked(self, simulated):
+        shares, __ = simulated
+        model = aap1_relative_throughputs(16, Exponential(3.0))
+        for agent in range(1, 17):
+            assert model[agent] == pytest.approx(shares[agent], abs=0.07), agent
+
+    def test_extreme_ratio_tracked(self, simulated):
+        __, simulated_ratio = simulated
+        predicted = aap1_extreme_ratio(16, Exponential(3.0))
+        assert predicted == pytest.approx(simulated_ratio, rel=0.05)
+
+    def test_paper_table_4_1b_heavy_load_anchor(self):
+        # Table 4.1(b): AAP ratio 1.99 at 30 agents, load 7.5 (R̄ = 3).
+        predicted = aap1_extreme_ratio(30, Exponential(3.0))
+        assert predicted == pytest.approx(1.99, abs=0.06)

@@ -1,0 +1,125 @@
+"""Tests for the asynchronous, placement-aware settle model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ArbitrationError, SignalError
+from repro.signals.async_settle import AsyncContention
+from repro.signals.contention import ParallelContention
+
+
+class TestBasics:
+    def test_single_agent_settles_instantly(self):
+        result = AsyncContention(4).resolve([(0.5, 0b1010)])
+        assert result.winner_identity == 0b1010
+        assert result.last_change_time == 0.0
+
+    def test_paper_example_both_ends_of_bus(self):
+        result = AsyncContention(7).resolve([(0.0, 0b1010101), (1.0, 0b0011100)])
+        assert result.winner_identity == 0b1010101
+        # One exchange across the whole bus: the loser withdraws after
+        # seeing the winner's bits (1 propagation), and the final word
+        # must still cross back (settle counts that propagation).
+        assert result.settle_time <= 3.5
+
+    def test_empty_contention(self):
+        result = AsyncContention(4).resolve([])
+        assert result.winner_identity == 0
+        assert result.pattern_changes == 0
+
+    def test_position_validation(self):
+        with pytest.raises(SignalError):
+            AsyncContention(4).resolve([(1.5, 3)])
+
+    def test_identity_validation(self):
+        with pytest.raises(SignalError):
+            AsyncContention(4).resolve([(0.5, 0)])
+        with pytest.raises(SignalError):
+            AsyncContention(4).resolve([(0.5, 16)])
+
+    def test_duplicate_identities_rejected(self):
+        with pytest.raises(ArbitrationError):
+            AsyncContention(4).resolve([(0.1, 5), (0.9, 5)])
+
+    def test_logic_delay_validation(self):
+        with pytest.raises(SignalError):
+            AsyncContention(4, logic_delay=-0.1)
+
+    def test_logic_delay_slows_settling(self):
+        placements = [(0.0, 0b1010101), (1.0, 0b0011100), (0.5, 0b1001100)]
+        fast = AsyncContention(7, logic_delay=0.0).resolve(placements)
+        slow = AsyncContention(7, logic_delay=0.25).resolve(placements)
+        assert slow.settle_time > fast.settle_time
+        assert slow.winner_identity == fast.winner_identity
+
+
+class TestConvergenceProperties:
+    @given(st.data())
+    def test_always_finds_the_maximum(self, data):
+        width = data.draw(st.integers(min_value=2, max_value=8))
+        count = data.draw(st.integers(min_value=1, max_value=min(10, 2**width - 1)))
+        identities = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=2**width - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        positions = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        result = AsyncContention(width).resolve(list(zip(positions, identities)))
+        assert result.winner_identity == max(identities)
+
+    @given(st.data())
+    def test_taub_style_settle_bound(self, data):
+        # Taub proved the lines stop moving within k/2 end-to-end
+        # propagations for his electrical model; our observation-timed
+        # variant stays within a small tolerance of that, and well
+        # within k.
+        width = data.draw(st.integers(min_value=2, max_value=8))
+        count = data.draw(st.integers(min_value=2, max_value=min(10, 2**width - 1)))
+        identities = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=2**width - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        positions = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        result = AsyncContention(width).resolve(list(zip(positions, identities)))
+        assert result.last_change_time <= width / 2 + 0.5
+        assert result.settle_time <= width + 1.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=127),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        )
+    )
+    def test_agrees_with_synchronous_model(self, identities):
+        # Same winner as the synchronous-round model, for co-located
+        # agents (zero propagation between them).
+        synchronous = ParallelContention(7).resolve(identities)
+        placements = [(0.5, identity) for identity in identities]
+        asynchronous = AsyncContention(7).resolve(placements)
+        assert asynchronous.winner_identity == synchronous.winner_identity
+
+    def test_co_located_agents_settle_immediately(self):
+        result = AsyncContention(6).resolve([(0.3, 40), (0.3, 33), (0.3, 17)])
+        assert result.winner_identity == 40
+        assert result.last_change_time == pytest.approx(0.0)

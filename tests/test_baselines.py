@@ -1,0 +1,187 @@
+"""Tests for the baseline arbiters: fixed priority and the two AAPs."""
+
+import pytest
+
+from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
+from repro.baselines.fixed_priority import FixedPriorityArbiter
+from repro.errors import ArbitrationError
+
+from _utils import drive_arbiter
+
+
+class TestFixedPriority:
+    def test_highest_identity_always_wins(self):
+        arbiter = FixedPriorityArbiter(8)
+        for agent in (2, 5, 7):
+            arbiter.request(agent, 0.0)
+        assert arbiter.start_arbitration(0.0).winner == 7
+
+    def test_starves_low_identity(self):
+        # Agent 8 re-requests immediately; agent 1 never gets served.
+        arbiter = FixedPriorityArbiter(8)
+        arbiter.request(1, 0.0)
+        arbiter.request(8, 0.0)
+        for _ in range(10):
+            winner = arbiter.start_arbitration(0.0).winner
+            assert winner == 8
+            arbiter.grant(8, 0.0)
+            arbiter.request(8, 0.0)
+
+    def test_priority_bit_dominates_identity(self):
+        arbiter = FixedPriorityArbiter(8)
+        arbiter.request(7, 0.0)
+        arbiter.request(2, 0.0, priority=True)
+        assert arbiter.start_arbitration(0.0).winner == 2
+
+    def test_empty_arbitration_raises(self):
+        with pytest.raises(ArbitrationError):
+            FixedPriorityArbiter(4).start_arbitration(0.0)
+
+
+class TestBatchingAssuredAccess:
+    def test_batch_serves_descending_identity(self):
+        arbiter = BatchingAssuredAccess(8)
+        served = drive_arbiter(arbiter, [(0.0, 2), (0.0, 5), (0.0, 7)])
+        assert served == [7, 5, 2]
+
+    def test_newcomer_waits_for_batch_end(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(2, 0.0)
+        arbiter.request(5, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.5).winner, 0.5)  # 5 served
+        # 8 arrives mid-batch: even though 8 > 2, the batch member goes first.
+        arbiter.request(8, 1.0)
+        assert arbiter.start_arbitration(1.0).winner == 2
+
+    def test_request_after_batch_end_forms_fresh_batch(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(2, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.5)  # batch done
+        # 4 arrives to an idle bus and forms a new batch alone; 6 arrives
+        # later, so despite its higher identity it waits in the room.
+        arbiter.request(4, 1.0)
+        arbiter.request(6, 1.5)
+        winner = arbiter.start_arbitration(1.5).winner
+        arbiter.grant(winner, 1.5)
+        assert winner == 4
+        assert arbiter.start_arbitration(2.0).winner == 6
+
+    def test_mid_batch_arrivals_batch_together(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.2).winner, 0.2)  # 6
+        arbiter.request(7, 0.5)   # waits: batch {3} in progress
+        arbiter.request(4, 0.7)   # waits too
+        arbiter.grant(arbiter.start_arbitration(0.8).winner, 1.0)  # 3, batch ends
+        # New batch = {7, 4}: 7 first, and 5 arriving strictly after the
+        # batch formed must wait for it to end.
+        arbiter.request(5, 1.1)
+        winner = arbiter.start_arbitration(1.1).winner
+        arbiter.grant(winner, 1.2)
+        assert winner == 7
+        assert arbiter.start_arbitration(1.5).winner == 4
+
+    def test_simultaneous_with_formation_joins_batch(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(3, 2.0)
+        arbiter.request(6, 2.0)  # same instant: same request-line edge
+        assert arbiter.batch_members() == {3, 6}
+
+    def test_batches_formed_diagnostic(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(3, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)
+        arbiter.request(4, 1.0)
+        assert arbiter.batches_formed == 2
+
+    def test_priority_request_bypasses_batching(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.2).winner, 0.2)  # 6
+        arbiter.request(7, 0.5, priority=True)  # urgent: ignores the batch
+        assert arbiter.start_arbitration(0.5).winner == 7
+
+    def test_reset(self):
+        arbiter = BatchingAssuredAccess(8)
+        arbiter.request(3, 0.0)
+        arbiter.reset()
+        assert not arbiter.has_waiting()
+        assert arbiter.batch_members() == set()
+
+
+class TestFuturebusAssuredAccess:
+    def test_within_batch_descending_identity(self):
+        arbiter = FuturebusAssuredAccess(8)
+        served = drive_arbiter(arbiter, [(0.0, 2), (0.0, 5), (0.0, 7)])
+        assert served == [7, 5, 2]
+
+    def test_served_agent_inhibited_until_release(self):
+        arbiter = FuturebusAssuredAccess(8)
+        arbiter.request(5, 0.0)
+        arbiter.request(3, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 5
+        arbiter.release(5, 1.0)
+        arbiter.request(5, 1.0)  # 5 re-requests immediately but is inhibited
+        assert arbiter.start_arbitration(1.0).winner == 3
+
+    def test_late_joiner_admitted_to_open_batch(self):
+        # §2.2: an agent whose request arrives during a batch joins it if
+        # it has not been served in this batch.
+        arbiter = FuturebusAssuredAccess(8)
+        arbiter.request(3, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 3 served
+        arbiter.release(3, 1.0)
+        arbiter.request(6, 1.0)  # batch still open (3 inhibited)
+        assert arbiter.start_arbitration(1.0).winner == 6
+
+    def test_fairness_release_when_all_inhibited(self):
+        arbiter = FuturebusAssuredAccess(8)
+        arbiter.request(5, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)
+        arbiter.release(5, 1.0)
+        arbiter.request(5, 1.0)
+        # Only 5 is waiting and it is inhibited: the request line is low,
+        # a fairness release occurs and 5 competes again.
+        assert arbiter.has_waiting()
+        assert arbiter.start_arbitration(1.5).winner == 5
+        assert arbiter.fairness_releases == 1
+
+    def test_release_on_idle_bus(self):
+        arbiter = FuturebusAssuredAccess(8)
+        arbiter.request(5, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)
+        arbiter.release(5, 1.0)
+        # No outstanding requests at all: that, too, is a release cycle.
+        assert arbiter.inhibited_agents() == set()
+
+    def test_no_agent_served_twice_per_batch(self):
+        arbiter = FuturebusAssuredAccess(4)
+        for agent in (1, 2, 3, 4):
+            arbiter.request(agent, 0.0)
+        served = []
+        for _ in range(4):
+            winner = arbiter.start_arbitration(0.0).winner
+            arbiter.grant(winner, 0.0)
+            arbiter.release(winner, 0.5)
+            arbiter.request(winner, 0.5)  # greedy re-request
+            served.append(winner)
+        assert sorted(served) == [1, 2, 3, 4]
+
+    def test_priority_tenure_does_not_inhibit(self):
+        arbiter = FuturebusAssuredAccess(8)
+        arbiter.request(5, 0.0, priority=True)
+        arbiter.request(3, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # urgent 5
+        arbiter.release(5, 1.0)
+        assert 5 not in arbiter.inhibited_agents()
+
+    def test_reset(self):
+        arbiter = FuturebusAssuredAccess(8)
+        arbiter.request(5, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)
+        arbiter.release(5, 1.0)
+        arbiter.reset()
+        assert arbiter.inhibited_agents() == set()
+        assert arbiter.fairness_releases == 0

@@ -1,0 +1,145 @@
+"""Unit tests for the bus agent state machine."""
+
+import random
+
+import pytest
+
+from repro.bus.agent import BusAgent
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError, SimulationError
+from repro.workload.distributions import Deterministic, Exponential
+from repro.workload.scenarios import AgentSpec
+
+
+class Harness:
+    """Wires a BusAgent to a real simulator and records its requests."""
+
+    def __init__(self, spec, seed=1):
+        self.simulator = Simulator()
+        self.issued = []
+        self.agent = BusAgent(
+            spec,
+            rng=random.Random(seed),
+            issue=lambda agent_id, priority: self.issued.append(
+                (self.simulator.now, agent_id, priority)
+            ),
+            schedule=lambda delay, action: self.simulator.schedule(delay, action),
+        )
+
+
+class TestClosedLoop:
+    def test_first_request_after_one_think_time(self):
+        harness = Harness(AgentSpec(agent_id=1, interrequest=Deterministic(2.0)))
+        harness.agent.start()
+        harness.simulator.run()
+        assert harness.issued == [(2.0, 1, False)]
+
+    def test_stalls_until_completion(self):
+        harness = Harness(AgentSpec(agent_id=1, interrequest=Deterministic(2.0)))
+        harness.agent.start()
+        harness.simulator.run()
+        assert len(harness.issued) == 1  # stalled: no second request
+        harness.simulator.run(until=5.0)  # bus serves the request at 5.0
+        harness.agent.on_completion(5.0)
+        harness.simulator.run()
+        assert harness.issued[1] == (7.0, 1, False)
+
+    def test_outstanding_tracks_lifecycle(self):
+        harness = Harness(AgentSpec(agent_id=1, interrequest=Deterministic(1.0)))
+        harness.agent.start()
+        harness.simulator.run()
+        assert harness.agent.outstanding == 1
+        harness.agent.on_completion(2.0)
+        assert harness.agent.outstanding == 0
+
+    def test_completion_without_request_raises(self):
+        harness = Harness(AgentSpec(agent_id=1, interrequest=Deterministic(1.0)))
+        with pytest.raises(SimulationError):
+            harness.agent.on_completion(1.0)
+
+    def test_think_time_accumulated(self):
+        harness = Harness(AgentSpec(agent_id=1, interrequest=Deterministic(3.0)))
+        harness.agent.start()
+        harness.simulator.run()
+        harness.agent.on_completion(4.0)
+        harness.simulator.run()
+        assert harness.agent.total_think_time == pytest.approx(6.0)
+
+    def test_closed_loop_with_multi_outstanding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgentSpec(agent_id=1, interrequest=Deterministic(1.0), max_outstanding=2)
+
+
+class TestOpenLoop:
+    def _spec(self, r=3):
+        return AgentSpec(
+            agent_id=1,
+            interrequest=Deterministic(1.0),
+            open_loop=True,
+            max_outstanding=r,
+        )
+
+    def test_keeps_issuing_while_pending(self):
+        harness = Harness(self._spec(r=3))
+        harness.agent.start()
+        harness.simulator.run()
+        # No completions at all: issues until the r=3 cap.
+        assert [t for t, _, _ in harness.issued] == [1.0, 2.0, 3.0]
+        assert harness.agent.outstanding == 3
+
+    def test_blocks_at_capacity_and_resumes(self):
+        harness = Harness(self._spec(r=2))
+        harness.agent.start()
+        harness.simulator.run()
+        assert harness.agent.outstanding == 2
+        harness.agent.on_completion(10.0)
+        harness.simulator.run()
+        assert len(harness.issued) == 3  # resumed after the completion
+        assert harness.agent.outstanding == 2
+
+    def test_completions_counted(self):
+        harness = Harness(self._spec(r=2))
+        harness.agent.start()
+        harness.simulator.run()
+        harness.agent.on_completion(5.0)
+        assert harness.agent.completions == 1
+
+
+class TestPriorityRequests:
+    def test_zero_fraction_never_priority(self):
+        spec = AgentSpec(agent_id=1, interrequest=Exponential(1.0))
+        harness = Harness(spec)
+        harness.agent.start()
+        for _ in range(20):
+            harness.simulator.run()
+            harness.agent.on_completion(harness.simulator.now)
+        assert all(not priority for _, _, priority in harness.issued)
+
+    def test_full_fraction_always_priority(self):
+        spec = AgentSpec(
+            agent_id=1, interrequest=Exponential(1.0), priority_fraction=1.0
+        )
+        harness = Harness(spec)
+        harness.agent.start()
+        for _ in range(20):
+            harness.simulator.run()
+            harness.agent.on_completion(harness.simulator.now)
+        assert all(priority for _, _, priority in harness.issued)
+
+    def test_intermediate_fraction_mixes(self):
+        spec = AgentSpec(
+            agent_id=1, interrequest=Exponential(1.0), priority_fraction=0.5
+        )
+        harness = Harness(spec, seed=3)
+        harness.agent.start()
+        for _ in range(60):
+            harness.simulator.run()
+            harness.agent.on_completion(harness.simulator.now)
+        flags = [priority for _, _, priority in harness.issued]
+        assert any(flags) and not all(flags)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgentSpec(
+                agent_id=1, interrequest=Deterministic(1.0), priority_fraction=1.5
+            )

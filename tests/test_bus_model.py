@@ -1,0 +1,151 @@
+"""Timing tests for the bus system model (§4.1 rules)."""
+
+import pytest
+
+from repro.baselines.fixed_priority import FixedPriorityArbiter
+from repro.bus.model import BusSystem
+from repro.bus.timing import BusTiming
+from repro.core.round_robin import DistributedRoundRobin
+from repro.errors import ConfigurationError, SimulationError
+from repro.stats.collector import CompletionCollector
+from repro.workload.distributions import Deterministic
+from repro.workload.scenarios import AgentSpec, ScenarioSpec
+
+
+def _scenario(think_times):
+    agents = tuple(
+        AgentSpec(agent_id=i + 1, interrequest=Deterministic(think))
+        for i, think in enumerate(think_times)
+    )
+    return ScenarioSpec(name="micro", agents=agents)
+
+
+def _run(think_times, completions=4, timing=BusTiming(), protocol=None):
+    scenario = _scenario(think_times)
+    arbiter = protocol or DistributedRoundRobin(scenario.num_agents)
+    collector = CompletionCollector(
+        batches=2, batch_size=max(1, completions // 2), warmup=0, keep_order=True
+    )
+    records = []
+    original = collector.record
+    collector.record = lambda rec: (records.append(rec), original(rec))[1]
+    system = BusSystem(scenario, arbiter, collector, timing=timing, seed=1)
+    system.run()
+    return system, records
+
+
+class TestBusTiming:
+    def test_defaults_match_paper(self):
+        timing = BusTiming()
+        assert timing.transaction_time == 1.0
+        assert timing.arbitration_time == 0.5
+
+    def test_invalid_transaction_time(self):
+        with pytest.raises(ConfigurationError):
+            BusTiming(transaction_time=0.0)
+
+    def test_invalid_arbitration_time(self):
+        with pytest.raises(ConfigurationError):
+            BusTiming(arbitration_time=-0.5)
+
+
+class TestSingleAgentTiming:
+    def test_idle_bus_request_waits_one_arbitration(self):
+        # Lone agent, think 1.0: request at 1.0, arbitration 0.5, grant at
+        # 1.5, completion at 2.5 — so W (issue→completion) is 1.5.
+        __, records = _run([1.0], completions=4)
+        first = records[0]
+        assert first.issue_time == pytest.approx(1.0)
+        assert first.grant_time == pytest.approx(1.5)
+        assert first.completion_time == pytest.approx(2.5)
+        assert first.waiting_time == pytest.approx(1.5)
+        assert first.queueing_delay == pytest.approx(0.5)
+
+    def test_lone_agent_cycle_length(self):
+        # Cycle: think 1.0 + arbitration 0.5 + transaction 1.0 = 2.5.
+        __, records = _run([1.0], completions=4)
+        completions = [record.completion_time for record in records]
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(gap == pytest.approx(2.5) for gap in gaps)
+
+
+class TestOverlappedArbitration:
+    def test_back_to_back_transactions_under_contention(self):
+        # Two eager agents (think 0.5): once saturated, transactions run
+        # with zero gap because arbitration overlaps service.
+        system, records = _run([0.5, 0.5], completions=8)
+        completions = [record.completion_time for record in records]
+        gaps = [b - a for a, b in zip(completions[2:], completions[3:])]
+        assert all(gap == pytest.approx(1.0) for gap in gaps)
+
+    def test_simultaneous_requests_one_arbitration(self):
+        # Both agents request at 0.5; the higher identity wins the first
+        # arbitration (grant 1.0), the other follows back-to-back.
+        __, records = _run([0.5, 0.5], completions=2)
+        assert records[0].agent_id == 2
+        assert records[0].grant_time == pytest.approx(1.0)
+        assert records[1].agent_id == 1
+        assert records[1].grant_time == pytest.approx(2.0)
+
+    def test_request_landing_during_tenure_overlaps(self):
+        # Agent 1 thinks 10.0, agent 2 thinks 0.4.  Agent 2's requests
+        # keep the bus busy; agent 1's request lands mid-tenure and its
+        # arbitration must overlap (wait < transaction + arbitration).
+        __, records = _run([10.0, 0.4], completions=20)
+        agent1 = [r for r in records if r.agent_id == 1]
+        assert agent1, "agent 1 never served"
+        for record in agent1:
+            assert record.queueing_delay <= 1.5 + 1e-9
+
+
+class TestUtilisationAccounting:
+    def test_busy_time_equals_transactions(self):
+        system, __ = _run([0.5, 0.5], completions=10)
+        assert system.busy_time == pytest.approx(system.transactions * 1.0)
+
+    def test_utilization_at_most_one(self):
+        system, __ = _run([0.1, 0.1, 0.1], completions=12)
+        assert system.utilization() <= 1.0 + 1e-9
+
+    def test_saturated_bus_fully_utilised_after_rampup(self):
+        system, records = _run([0.1, 0.1, 0.1], completions=30)
+        # From the 4th completion on, there is always a pending winner.
+        late = [r.completion_time for r in records[3:]]
+        gaps = [b - a for a, b in zip(late, late[1:])]
+        assert all(gap == pytest.approx(1.0) for gap in gaps)
+
+
+class TestAlternativeTiming:
+    def test_slower_arbitration_stretches_idle_grants(self):
+        timing = BusTiming(transaction_time=1.0, arbitration_time=2.0)
+        __, records = _run([1.0], completions=2, timing=timing)
+        assert records[0].grant_time == pytest.approx(3.0)  # 1.0 + 2.0
+
+    def test_zero_arbitration_time(self):
+        timing = BusTiming(arbitration_time=0.0)
+        __, records = _run([1.0], completions=2, timing=timing)
+        assert records[0].grant_time == pytest.approx(1.0)
+
+    def test_rr_impl3_extra_pass_costs_a_round(self):
+        # Construct the impl-3 re-arbitration: agent 2 served, then only
+        # agent 3 (> 2) waiting: the first pass comes up empty.
+        from repro.core.base import Request  # noqa: F401  (documentation)
+
+        arbiter = DistributedRoundRobin(3, implementation=3)
+        __, records = _run([0.3, 0.3, 0.3], completions=12, protocol=arbiter)
+        assert arbiter.extra_passes >= 1
+
+
+class TestValidation:
+    def test_arbiter_too_small_rejected(self):
+        scenario = _scenario([1.0, 1.0, 1.0])
+        arbiter = DistributedRoundRobin(2)
+        collector = CompletionCollector(batches=2, batch_size=2, warmup=0)
+        with pytest.raises(SimulationError):
+            BusSystem(scenario, arbiter, collector, seed=1)
+
+    def test_fixed_priority_protocol_also_runs(self):
+        system, records = _run(
+            [0.5, 0.5], completions=6, protocol=FixedPriorityArbiter(2)
+        )
+        assert len(records) >= 6

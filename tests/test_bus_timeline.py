@@ -1,0 +1,83 @@
+"""Tests for the bus-activity timeline renderer."""
+
+import pytest
+
+from repro.bus.records import CompletionRecord
+from repro.bus.timeline import ownership_segments, render_timeline
+from repro.errors import ConfigurationError
+
+from _utils import completion_records
+from repro.workload.scenarios import equal_load
+
+
+def _record(agent, issue, grant, done):
+    return CompletionRecord(
+        agent_id=agent, issue_time=issue, grant_time=grant, completion_time=done
+    )
+
+
+class TestOwnershipSegments:
+    def test_sorted_tenures(self):
+        records = [
+            _record(2, 0.0, 1.0, 2.0),
+            _record(1, 0.0, 0.0, 1.0),
+        ]
+        assert ownership_segments(records) == [(0.0, 1.0, 1), (1.0, 2.0, 2)]
+
+    def test_back_to_back_allowed(self):
+        records = [_record(1, 0.0, 0.0, 1.0), _record(2, 0.0, 1.0, 2.0)]
+        ownership_segments(records)  # no exception
+
+    def test_overlap_rejected(self):
+        records = [_record(1, 0.0, 0.0, 1.5), _record(2, 0.0, 1.0, 2.0)]
+        with pytest.raises(ConfigurationError):
+            ownership_segments(records)
+
+    def test_simulation_records_never_overlap(self):
+        records = completion_records(equal_load(6, 2.0), "rr", completions=200)
+        ownership_segments(records)  # the single-master invariant holds
+
+
+class TestRenderTimeline:
+    def test_tenure_and_wait_marked(self):
+        text = render_timeline([_record(1, 0.0, 1.0, 2.0)], end=2.0, resolution=0.5)
+        row = [line for line in text.splitlines() if line.startswith("A1")][0]
+        assert row == "A1  |..##|"
+
+    def test_waiting_marked(self):
+        text = render_timeline([_record(1, 0.0, 1.0, 2.0)], end=2.0, resolution=0.5)
+        row = [line for line in text.splitlines() if line.startswith("A1")][0]
+        assert row.count("#") == 2
+        # The issue→grant interval renders as waiting dots.
+        assert "." in render_timeline(
+            [_record(1, 0.0, 1.0, 2.0)], end=2.0, resolution=0.25
+        )
+
+    def test_one_row_per_agent(self):
+        records = [
+            _record(1, 0.0, 0.0, 1.0),
+            _record(3, 0.0, 1.0, 2.0),
+        ]
+        text = render_timeline(records, end=2.0)
+        assert "A1" in text and "A3" in text and "A2" not in text
+
+    def test_empty_records(self):
+        assert render_timeline([]) == "(no completions)"
+
+    def test_width_limit_truncates(self):
+        records = [_record(1, 0.0, 0.0, 100.0)]
+        text = render_timeline(records, resolution=0.5, width_limit=40)
+        row = [line for line in text.splitlines() if line.startswith("A1")][0]
+        assert len(row) <= 46
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline([_record(1, 0.0, 0.0, 1.0)], resolution=0.0)
+
+    def test_saturated_bus_has_no_gaps(self):
+        records = completion_records(equal_load(4, 3.0), "rr", completions=40)
+        # Skip ramp-up, look at a steady window.
+        window = [r for r in records if 10.0 <= r.grant_time <= 20.0]
+        segments = ownership_segments(window)
+        for (__, end, __a), (start, __e, __b) in zip(segments, segments[1:]):
+            assert start == pytest.approx(end)

@@ -1,0 +1,89 @@
+"""Tests for the central oracle arbiters."""
+
+import pytest
+
+from repro.baselines.central import CentralFCFS, CentralRoundRobin
+from repro.errors import ArbitrationError, ConfigurationError
+
+from _utils import drive_arbiter
+
+
+class TestCentralRoundRobinDescending:
+    def test_full_house_cycles_descending(self):
+        arbiter = CentralRoundRobin(5)
+        served = drive_arbiter(arbiter, [(0.0, agent) for agent in range(1, 6)])
+        assert served == [5, 4, 3, 2, 1]
+
+    def test_pointer_scans_below_then_wraps(self):
+        arbiter = CentralRoundRobin(8)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        assert arbiter.start_arbitration(0.0).winner == 6
+        arbiter.grant(6, 0.0)
+        arbiter.request(7, 0.0)
+        # pointer = 6: 3 < 6 is next despite 7 > 6.
+        assert arbiter.start_arbitration(0.0).winner == 3
+
+    def test_each_agent_once_per_round_under_saturation(self):
+        arbiter = CentralRoundRobin(4)
+        for agent in range(1, 5):
+            arbiter.request(agent, 0.0)
+        served = []
+        for _ in range(12):
+            winner = arbiter.start_arbitration(0.0).winner
+            arbiter.grant(winner, 0.0)
+            arbiter.request(winner, 0.0)
+            served.append(winner)
+        for agent in range(1, 5):
+            assert served.count(agent) == 3
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConfigurationError):
+            CentralRoundRobin(4, direction="sideways")
+
+    def test_reset_restores_pointer(self):
+        arbiter = CentralRoundRobin(4)
+        arbiter.request(2, 0.0)
+        arbiter.start_arbitration(0.0)
+        arbiter.reset()
+        assert arbiter.pointer == 0
+
+
+class TestCentralRoundRobinAscending:
+    def test_classical_token_scan(self):
+        arbiter = CentralRoundRobin(5, direction="ascending")
+        served = drive_arbiter(arbiter, [(0.0, agent) for agent in range(1, 6)])
+        assert served == [1, 2, 3, 4, 5]
+
+    def test_wraps_upward(self):
+        arbiter = CentralRoundRobin(8, direction="ascending")
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        assert arbiter.start_arbitration(0.0).winner == 3
+        arbiter.grant(3, 0.0)
+        arbiter.request(2, 0.0)
+        # pointer = 3: next above is 6, not 2.
+        assert arbiter.start_arbitration(0.0).winner == 6
+
+
+class TestCentralFCFS:
+    def test_serves_in_arrival_order(self):
+        arbiter = CentralFCFS(8)
+        served = drive_arbiter(arbiter, [(0.0, 6), (0.5, 2), (1.0, 7)])
+        assert served == [6, 2, 7]
+
+    def test_tie_broken_by_higher_identity(self):
+        arbiter = CentralFCFS(8)
+        arbiter.request(3, 1.0)
+        arbiter.request(6, 1.0)
+        assert arbiter.start_arbitration(1.0).winner == 6
+
+    def test_priority_request_served_first(self):
+        arbiter = CentralFCFS(8)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 5.0, priority=True)
+        assert arbiter.start_arbitration(5.0).winner == 6
+
+    def test_empty_arbitration_raises(self):
+        with pytest.raises(ArbitrationError):
+            CentralFCFS(4).start_arbitration(0.0)

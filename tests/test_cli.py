@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_command(self):
+        args = build_parser().parse_args(["table", "4.1"])
+        assert args.command == "table"
+        assert args.number == "4.1"
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9.9"])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["--scale", "smoke", "protocols"])
+        assert args.scale == "smoke"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "protocols"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "rr"
+        assert args.agents == 10
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_protocols_lists_registry(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rr", "fcfs", "aap1", "central-rr", "hybrid"):
+            assert name in out
+
+    def test_run_prints_metrics(self, capsys):
+        code = main(
+            ["--scale", "smoke", "run", "--protocol", "fcfs", "--agents", "6", "--load", "2.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean W" in out
+        assert "fairness" in out
+
+    def test_table_smoke(self, capsys):
+        assert main(["--scale", "smoke", "table", "4.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4.5" in out
+        assert "10 agents" in out
+
+    def test_figure_smoke(self, capsys):
+        assert main(["--scale", "smoke", "figure"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4.1" in out
+        assert "FCFS" in out
+
+    def test_run_with_invalid_load_reports_error(self, capsys):
+        code = main(["--scale", "smoke", "run", "--agents", "4", "--load", "8.0"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_requested_protocols(self, capsys):
+        code = main(
+            [
+                "--scale", "smoke", "compare",
+                "--protocols", "rr", "fcfs",
+                "--agents", "6", "--load", "2.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rr" in out and "fcfs" in out and "t_N/t_1" in out
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.protocols == ["rr", "fcfs", "aap1", "aap2"]
+
+    def test_compare_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--protocols", "lottery"])
+
+
+class TestFigureCSVOption:
+    def test_csv_written(self, tmp_path, capsys):
+        target = tmp_path / "figure.csv"
+        code = main(["--scale", "smoke", "figure", "--csv", str(target)])
+        assert code == 0
+        assert target.read_text().startswith("x,fcfs,rr")
+        assert "series written" in capsys.readouterr().out

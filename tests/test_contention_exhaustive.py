@@ -1,0 +1,83 @@
+"""Exhaustive small-space verification of the contention models.
+
+For small identity widths the entire space of competitor subsets is
+enumerable; both settle models must find the maximum on *every* subset,
+not just sampled ones.  This is the strongest statement the test suite
+makes about the max-finding substrate.
+"""
+
+import itertools
+
+import pytest
+
+from repro.signals.async_settle import AsyncContention
+from repro.signals.binary_patterned import BinaryPatternedArbitration
+from repro.signals.contention import ParallelContention
+
+
+class TestExhaustiveSynchronous:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_every_subset_settles_to_max(self, width):
+        identities = list(range(1, 2**width))
+        contention = ParallelContention(width)
+        for size in range(1, len(identities) + 1):
+            for subset in itertools.combinations(identities, size):
+                result = contention.resolve(subset)
+                assert result.winner_identity == max(subset), subset
+
+    def test_width_4_all_pairs_and_triples(self):
+        identities = list(range(1, 16))
+        contention = ParallelContention(4)
+        for size in (1, 2, 3):
+            for subset in itertools.combinations(identities, size):
+                assert contention.resolve(subset).winner_identity == max(subset)
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_rounds_bounded_everywhere(self, width):
+        identities = list(range(1, 2**width))
+        contention = ParallelContention(width)
+        worst = 0
+        for size in range(1, len(identities) + 1):
+            for subset in itertools.combinations(identities, size):
+                worst = max(worst, contention.resolve(subset).rounds)
+        assert worst <= width + 1
+
+
+class TestExhaustiveBinaryPatterned:
+    def test_width_3_every_subset(self):
+        identities = list(range(1, 8))
+        arbiter = BinaryPatternedArbitration(3)
+        for size in range(1, 8):
+            for subset in itertools.combinations(identities, size):
+                outcome = arbiter.resolve(subset)
+                winners = [i for i, won in outcome.won.items() if won]
+                assert len(winners) == 1
+                assert subset[winners[0]] == max(subset)
+
+
+class TestExhaustiveAsynchronous:
+    @pytest.mark.parametrize(
+        "positions",
+        [
+            (0.0, 1.0),          # opposite ends
+            (0.0, 0.0),          # co-located
+            (0.25, 0.75),        # interior
+        ],
+    )
+    def test_width_3_all_pairs_all_placements(self, positions):
+        contention = AsyncContention(3)
+        for a, b in itertools.combinations(range(1, 8), 2):
+            result = contention.resolve(
+                [(positions[0], a), (positions[1], b)]
+            )
+            assert result.winner_identity == max(a, b)
+
+    def test_width_2_all_subsets_spread(self):
+        contention = AsyncContention(2)
+        identities = [1, 2, 3]
+        spots = [0.0, 0.5, 1.0]
+        for size in (1, 2, 3):
+            for subset in itertools.combinations(identities, size):
+                placements = list(zip(spots, subset))
+                result = contention.resolve(placements)
+                assert result.winner_identity == max(subset)

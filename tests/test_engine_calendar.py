@@ -1,0 +1,119 @@
+"""Unit tests for repro.engine.calendar."""
+
+import pytest
+
+from repro.engine.calendar import EventCalendar
+from repro.engine.event import Event, EventPriority
+from repro.errors import SimulationError
+
+
+def _noop():
+    pass
+
+
+class TestScheduling:
+    def test_empty_calendar_is_falsy(self):
+        assert not EventCalendar()
+
+    def test_len_counts_live_events(self):
+        calendar = EventCalendar()
+        calendar.schedule(1.0, _noop)
+        calendar.schedule(2.0, _noop)
+        assert len(calendar) == 2
+
+    def test_schedule_returns_event(self):
+        calendar = EventCalendar()
+        event = calendar.schedule(1.0, _noop)
+        assert isinstance(event, Event)
+
+    def test_pop_returns_earliest(self):
+        calendar = EventCalendar()
+        calendar.schedule(5.0, _noop, label="late")
+        calendar.schedule(1.0, _noop, label="early")
+        assert calendar.pop().label == "early"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventCalendar().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventCalendar().schedule(-1.0, _noop)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventCalendar().schedule(float("nan"), _noop)
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventCalendar().schedule(float("inf"), _noop)
+
+    def test_push_existing_event(self):
+        calendar = EventCalendar()
+        calendar.push(Event(2.0, _noop, label="pushed"))
+        assert calendar.pop().label == "pushed"
+
+    def test_push_validates_time(self):
+        with pytest.raises(SimulationError):
+            EventCalendar().push(Event(-2.0, _noop))
+
+
+class TestOrdering:
+    def test_priority_breaks_time_ties(self):
+        calendar = EventCalendar()
+        calendar.schedule(1.0, _noop, priority=EventPriority.REQUEST, label="request")
+        calendar.schedule(1.0, _noop, priority=EventPriority.RELEASE, label="release")
+        assert calendar.pop().label == "release"
+
+    def test_fifo_among_equal_time_and_priority(self):
+        calendar = EventCalendar()
+        for name in ("first", "second", "third"):
+            calendar.schedule(1.0, _noop, label=name)
+        assert [calendar.pop().label for _ in range(3)] == ["first", "second", "third"]
+
+    def test_full_drain_is_time_sorted(self):
+        calendar = EventCalendar()
+        times = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for time in times:
+            calendar.schedule(time, _noop)
+        popped = [calendar.pop().time for _ in range(len(times))]
+        assert popped == sorted(times)
+
+
+class TestCancellation:
+    def test_cancel_removes_from_len(self):
+        calendar = EventCalendar()
+        event = calendar.schedule(1.0, _noop)
+        calendar.cancel(event)
+        assert len(calendar) == 0
+
+    def test_cancelled_event_skipped_on_pop(self):
+        calendar = EventCalendar()
+        cancelled = calendar.schedule(1.0, _noop, label="cancelled")
+        calendar.schedule(2.0, _noop, label="kept")
+        calendar.cancel(cancelled)
+        assert calendar.pop().label == "kept"
+
+    def test_cancel_is_idempotent_for_len(self):
+        calendar = EventCalendar()
+        event = calendar.schedule(1.0, _noop)
+        calendar.schedule(2.0, _noop)
+        calendar.cancel(event)
+        calendar.cancel(event)
+        assert len(calendar) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        calendar = EventCalendar()
+        cancelled = calendar.schedule(1.0, _noop)
+        calendar.schedule(3.0, _noop)
+        calendar.cancel(cancelled)
+        assert calendar.peek_time() == 3.0
+
+    def test_peek_time_empty(self):
+        assert EventCalendar().peek_time() is None
+
+    def test_clear(self):
+        calendar = EventCalendar()
+        calendar.schedule(1.0, _noop)
+        calendar.clear()
+        assert not calendar

@@ -1,0 +1,71 @@
+"""Unit tests for repro.engine.event."""
+
+import pytest
+
+from repro.engine.event import Event, EventPriority
+
+
+def _noop():
+    pass
+
+
+class TestEvent:
+    def test_stores_time_and_action(self):
+        event = Event(3.5, _noop)
+        assert event.time == 3.5
+        assert event.action is _noop
+
+    def test_default_priority(self):
+        assert Event(0.0, _noop).priority == EventPriority.DEFAULT
+
+    def test_custom_priority(self):
+        assert Event(0.0, _noop, priority=EventPriority.RELEASE).priority == 0
+
+    def test_not_cancelled_initially(self):
+        assert not Event(0.0, _noop).cancelled
+
+    def test_cancel_marks(self):
+        event = Event(0.0, _noop)
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_is_idempotent(self):
+        event = Event(0.0, _noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_fire_runs_action(self):
+        ran = []
+        event = Event(1.0, lambda: ran.append(True))
+        event.fire()
+        assert ran == [True]
+
+    def test_time_coerced_to_float(self):
+        assert isinstance(Event(1, _noop).time, float)
+
+    def test_label_kept(self):
+        assert Event(0.0, _noop, label="grant").label == "grant"
+
+    def test_repr_mentions_label(self):
+        assert "grant" in repr(Event(0.0, _noop, label="grant"))
+
+
+class TestEventPriority:
+    def test_release_before_grant(self):
+        assert EventPriority.RELEASE < EventPriority.GRANT
+
+    def test_grant_before_arbitration(self):
+        assert EventPriority.GRANT < EventPriority.ARBITRATION
+
+    def test_arbitration_before_request(self):
+        assert EventPriority.ARBITRATION < EventPriority.REQUEST
+
+    def test_request_before_arb_kick(self):
+        # The kick must run after all same-instant requests so the
+        # competitor snapshot is complete.
+        assert EventPriority.REQUEST < EventPriority.ARB_KICK
+
+    def test_priorities_are_ints(self):
+        for priority in EventPriority:
+            assert isinstance(priority.value, int)

@@ -1,0 +1,123 @@
+"""Model-based stress tests of the event calendar and simulator.
+
+A reference model (sorted list with explicit tie-break keys) runs next
+to the heap-based calendar through random schedule/cancel/pop
+interleavings; the two must agree on every pop.
+"""
+
+import heapq
+
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.engine.calendar import EventCalendar
+from repro.engine.simulator import Simulator
+
+
+class _ReferenceCalendar:
+    """The obvious O(n log n) implementation, used as the oracle."""
+
+    def __init__(self):
+        self.items = []
+        self.sequence = 0
+
+    def schedule(self, time, priority, label):
+        self.items.append((time, priority, self.sequence, label))
+        self.sequence += 1
+
+    def cancel(self, label):
+        self.items = [item for item in self.items if item[3] != label]
+
+    def pop(self):
+        self.items.sort()
+        return self.items.pop(0)[3]
+
+    def __len__(self):
+        return len(self.items)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=5),
+        ),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=50)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestCalendarAgainstReference:
+    @given(operations)
+    @hyp_settings(max_examples=60, deadline=None)
+    def test_pops_agree_with_reference(self, ops):
+        calendar = EventCalendar()
+        reference = _ReferenceCalendar()
+        live = {}
+        counter = 0
+        for op in ops:
+            if op[0] == "schedule":
+                __, time, priority = op
+                label = f"e{counter}"
+                counter += 1
+                live[label] = calendar.schedule(
+                    time, lambda: None, priority=priority, label=label
+                )
+                reference.schedule(time, priority, label)
+            elif op[0] == "pop":
+                assert len(calendar) == len(reference)
+                if reference.items:
+                    expected = reference.pop()
+                    actual = calendar.pop().label
+                    assert actual == expected
+                    live.pop(actual, None)
+            else:  # cancel the op[1]-th live event, if any
+                if live:
+                    label = sorted(live)[op[1] % len(live)]
+                    calendar.cancel(live.pop(label))
+                    reference.cancel(label)
+        # Drain both completely and compare the tails.
+        while reference.items:
+            assert calendar.pop().label == reference.pop()
+        assert len(calendar) == 0
+
+
+class TestSimulatorClockMonotonicity:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=60
+        )
+    )
+    @hyp_settings(max_examples=50, deadline=None)
+    def test_fire_times_never_regress(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=30
+        )
+    )
+    @hyp_settings(max_examples=50, deadline=None)
+    def test_chained_scheduling_accumulates(self, delays):
+        sim = Simulator()
+        remaining = list(delays)
+        fired = []
+
+        def step():
+            fired.append(sim.now)
+            if remaining:
+                sim.schedule(remaining.pop(0), step)
+
+        sim.schedule(remaining.pop(0), step)
+        sim.run()
+        assert len(fired) == len(delays)
+        assert abs(fired[-1] - sum(delays)) < 1e-6

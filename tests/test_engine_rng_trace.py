@@ -1,0 +1,87 @@
+"""Unit tests for repro.engine.rng and repro.engine.trace."""
+
+from repro.engine.rng import RandomStreams, derive_seed
+from repro.engine.trace import Trace
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "agent/1") == derive_seed(42, "agent/1")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "agent/1") != derive_seed(42, "agent/2")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "agent/1") != derive_seed(2, "agent/1")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(7, "x")
+        assert 0 <= seed < 2**64
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(99).stream("agent/3").random()
+        second = RandomStreams(99).stream("agent/3").random()
+        assert first == second
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(5)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        solo = RandomStreams(3)
+        seq_before = [solo.agent_stream(1).random() for _ in range(5)]
+        both = RandomStreams(3)
+        both.agent_stream(2)  # created first, must not matter
+        seq_after = [both.agent_stream(1).random() for _ in range(5)]
+        assert seq_before == seq_after
+
+    def test_agent_stream_shortcut(self):
+        streams = RandomStreams(1)
+        assert streams.agent_stream(4) is streams.stream("agent/4")
+
+
+class TestTrace:
+    def test_records_and_iterates(self):
+        trace = Trace()
+        trace.record(1.0, "grant", 1)
+        trace.record(2.0, "release", 0)
+        assert trace.labels() == ["grant", "release"]
+        assert len(trace) == 2
+
+    def test_capacity_evicts_oldest(self):
+        trace = Trace(capacity=2)
+        for i in range(4):
+            trace.record(float(i), f"e{i}", 0)
+        assert trace.labels() == ["e2", "e3"]
+
+    def test_unbounded_capacity(self):
+        trace = Trace(capacity=None)
+        for i in range(100):
+            trace.record(float(i), "e", 0)
+        assert len(trace) == 100
+
+    def test_matching_filters_by_substring(self):
+        trace = Trace()
+        trace.record(1.0, "grant:3", 1)
+        trace.record(2.0, "release:3", 0)
+        trace.record(3.0, "grant:5", 1)
+        assert [r.label for r in trace.matching("grant")] == ["grant:3", "grant:5"]
+
+    def test_clear(self):
+        trace = Trace()
+        trace.record(1.0, "x", 0)
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_str_format(self):
+        trace = Trace()
+        trace.record(1.25, "grant", 1)
+        assert "grant" in str(next(iter(trace)))

@@ -1,0 +1,64 @@
+"""Sanity checks on the example scripts.
+
+Every example must at least compile and define a ``main``; the cheap
+ones are additionally executed end to end (stdout captured) so a broken
+API surface shows up here rather than in a user's terminal.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestAllExamples:
+    def test_expected_set_present(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {
+            "quickstart",
+            "fairness_study",
+            "prefetch_overlap",
+            "realtime_priority",
+            "worst_case_phase_lock",
+            "fault_tolerance",
+            "bus_monitor",
+            "capacity_planning",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_compiles_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_has_module_docstring_with_run_line(self, path):
+        doc = ast.get_docstring(ast.parse(path.read_text()))
+        assert doc and "Run:" in doc
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_main_guard_present(self, path):
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", ["bus_monitor", "fault_tolerance"])
+    def test_runs_to_completion(self, name, capsys):
+        path = next(path for path in EXAMPLES if path.stem == name)
+        module = _load(path)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 5

@@ -1,0 +1,84 @@
+"""Smoke tests for the multi-panel run() entry points of each table module."""
+
+import pytest
+
+from repro.experiments import (
+    figure_4_1,
+    table_4_1,
+    table_4_2,
+    table_4_3,
+    table_4_4,
+    table_4_5,
+)
+from repro.experiments.scale import SCALES
+
+SMOKE = SCALES["smoke"]
+
+
+class TestRunEntryPoints:
+    def test_table_4_1_panels(self):
+        panels = table_4_1.run(sizes=(6, 8), loads=(2.0,), scale=SMOKE)
+        assert len(panels) == 2
+        assert "6 agents" in panels[0].title
+        assert "8 agents" in panels[1].title
+
+    def test_table_4_2_panels(self):
+        panels = table_4_2.run(sizes=(6,), loads=(1.5, 2.5), scale=SMOKE)
+        assert len(panels) == 1
+        assert len(panels[0].rows) == 2
+        assert panels[0].headers[0] == "Load"
+
+    def test_table_4_3_panels(self):
+        panels = table_4_3.run(sizes=(6,), loads=(2.0,), scale=SMOKE)
+        row = panels[0].data[0]
+        assert row["overlap"] >= 1
+        assert 0.0 < row["rr"].productivity.mean <= 1.0
+
+    def test_table_4_4_panels(self):
+        panels = table_4_4.run(
+            factors=(2.0,), num_agents=8, base_loads=(1.0,), scale=SMOKE
+        )
+        assert len(panels) == 1
+        assert panels[0].data[0]["factor"] == 2.0
+
+    def test_table_4_5_panels(self):
+        panels = table_4_5.run(sizes=(8,), cvs=(0.0, 1.0), scale=SMOKE)
+        assert len(panels[0].rows) == 2
+        assert panels[0].data[0]["cv"] == 0.0
+
+    def test_figure_4_1_custom_point(self):
+        figure = figure_4_1.run(num_agents=6, load=2.0, scale=SMOKE, points=15)
+        assert len(figure.series["RR"]) == 15
+        assert figure.load == 2.0
+
+    def test_tables_render_without_error(self):
+        panels = table_4_1.run(sizes=(6,), loads=(2.0,), scale=SMOKE)
+        text = panels[0].render()
+        assert "Table 4.1" in text and "seed" in text
+
+
+class TestRunPanelValidationPaths:
+    def test_table_4_5_rejects_tiny_systems(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            table_4_5.run_panel(3, cvs=(0.0,), scale=SMOKE)
+
+    def test_table_4_4_infeasible_hot_load(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            # regular load 0.4 x factor 4 = 1.6 > 1 per agent: impossible.
+            table_4_4.run_panel(4.0, num_agents=8, base_loads=(3.2,), scale=SMOKE)
+
+
+class TestFigureCSVExport:
+    def test_csv_grid_and_monotonicity(self):
+        figure = figure_4_1.run(num_agents=6, load=2.0, scale=SMOKE, points=10)
+        csv = figure.series_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,fcfs,rr"
+        assert len(lines) == 11
+        fcfs_values = [float(line.split(",")[1]) for line in lines[1:]]
+        assert fcfs_values == sorted(fcfs_values)
+        assert fcfs_values[-1] == 1.0

@@ -1,0 +1,162 @@
+"""Tests for the experiment harness (smoke scale, shape assertions)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import figure_4_1, table_4_1, table_4_2, table_4_4, table_4_5
+from repro.experiments.formatting import ExperimentTable, ascii_plot, fmt_estimate
+from repro.experiments.runner import PROTOCOLS, make_arbiter, run_simulation
+from repro.experiments.scale import SCALES, Scale, current_scale
+from repro.stats.batch_means import batch_means
+from repro.workload.scenarios import equal_load
+
+from _utils import quick_settings
+
+SMOKE = SCALES["smoke"]
+
+
+class TestScale:
+    def test_known_scales(self):
+        assert {"smoke", "quick", "default", "paper"} <= set(SCALES)
+
+    def test_paper_scale_matches_paper(self):
+        paper = SCALES["paper"]
+        assert paper.batches == 10
+        assert paper.batch_size == 8000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale().name == "paper"
+
+    def test_explicit_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale("smoke").name == "smoke"
+
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "quick"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            current_scale("galactic")
+
+    def test_total_completions(self):
+        scale = Scale("x", batches=3, batch_size=10, warmup=5)
+        assert scale.total_completions == 35
+
+
+class TestRegistry:
+    def test_all_registered_protocols_instantiate(self):
+        for name in PROTOCOLS:
+            arbiter = make_arbiter(name, 8)
+            assert arbiter.num_agents == 8
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_arbiter("lottery", 8)
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_every_protocol_completes_a_run(self, name):
+        result = run_simulation(
+            equal_load(6, 2.0), name, quick_settings(batches=2, batch_size=150, warmup=50)
+        )
+        assert result.system_throughput().mean > 0.5
+
+
+class TestFormatting:
+    def test_fmt_estimate(self):
+        estimate = batch_means([1.0, 1.1, 0.9])
+        assert fmt_estimate(estimate).startswith("1.00 ±")
+
+    def test_table_render_aligns_columns(self):
+        table = ExperimentTable(title="T", headers=["A", "Blong"])
+        table.add_row(["1", "2"], {"a": 1})
+        text = table.render()
+        assert "T" in text and "Blong" in text and text.count("\n") >= 3
+
+    def test_table_data_records(self):
+        table = ExperimentTable(title="T", headers=["A"])
+        table.add_row(["1"], {"a": 1})
+        assert table.data == [{"a": 1}]
+
+    def test_ascii_plot_contains_legend(self):
+        plot = ascii_plot({"FCFS": [(0, 0), (1, 1)], "RR": [(0, 0), (2, 1)]})
+        assert "FCFS" in plot and "RR" in plot
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+
+class TestTable41Shape:
+    def test_panel_has_all_loads(self):
+        panel = table_4_1.run_panel(6, loads=(1.5, 2.5), scale=SMOKE)
+        assert len(panel.rows) == 2
+
+    def test_rr_ratio_near_one(self):
+        panel = table_4_1.run_panel(6, loads=(2.0,), scale=SCALES["quick"])
+        ratio = panel.data[0]["ratio_rr"]
+        assert ratio.covers(1.0) or abs(ratio.mean - 1.0) < 0.1
+
+    def test_aap_column_optional(self):
+        with_aap = table_4_1.run_panel(6, loads=(2.0,), scale=SMOKE, include_aap=True)
+        without = table_4_1.run_panel(6, loads=(2.0,), scale=SMOKE)
+        assert "t_N/t_1 AAP" in with_aap.headers
+        assert "t_N/t_1 AAP" not in without.headers
+
+
+class TestTable42Shape:
+    def test_rr_variance_exceeds_fcfs_at_saturation(self):
+        panel = table_4_2.run_panel(10, loads=(2.0,), scale=SCALES["quick"])
+        row = panel.data[0]
+        assert row["std_rr"].mean > row["std_fcfs"].mean
+
+    def test_conservation_of_mean_waiting(self):
+        # Footnote 4: RR and FCFS share the same mean waiting time.
+        panel = table_4_2.run_panel(10, loads=(2.0,), scale=SCALES["quick"])
+        row = panel.data[0]
+        assert row["mean_w_rr"].mean == pytest.approx(
+            row["mean_w_fcfs"].mean, rel=0.05
+        )
+
+
+class TestTable44Shape:
+    def test_low_load_ratio_tracks_demand(self):
+        panel = table_4_4.run_panel(2.0, num_agents=10, base_loads=(0.25,), scale=SCALES["quick"])
+        row = panel.data[0]
+        assert row["ratio_rr"].mean == pytest.approx(2.0, abs=0.4)
+
+    def test_saturation_pushes_ratio_toward_one(self):
+        panel = table_4_4.run_panel(
+            2.0, num_agents=10, base_loads=(5.0,), scale=SCALES["quick"]
+        )
+        row = panel.data[0]
+        assert row["ratio_rr"].mean < 1.3
+
+
+class TestTable45Shape:
+    def test_deterministic_worst_case_halves_throughput(self):
+        panel = table_4_5.run_panel(10, cvs=(0.0,), scale=SCALES["quick"])
+        row = panel.data[0]
+        assert row["ratio_rr"].mean == pytest.approx(0.5, abs=0.05)
+
+    def test_variability_restores_fairness(self):
+        panel = table_4_5.run_panel(10, cvs=(0.5,), scale=SCALES["quick"])
+        row = panel.data[0]
+        assert row["ratio_rr"].mean > 0.65
+
+
+class TestFigure41:
+    def test_series_present(self):
+        figure = figure_4_1.run(num_agents=8, load=1.5, scale=SMOKE)
+        assert set(figure.series) == {"FCFS", "RR"}
+
+    def test_render_mentions_parameters(self):
+        figure = figure_4_1.run(num_agents=8, load=1.5, scale=SMOKE)
+        text = figure.render()
+        assert "8 agents" in text and "1.5" in text
+
+    def test_cdf_series_monotone(self):
+        figure = figure_4_1.run(num_agents=8, load=1.5, scale=SMOKE)
+        for series in figure.series.values():
+            values = [y for _, y in series]
+            assert values == sorted(values)

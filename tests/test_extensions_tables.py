@@ -1,0 +1,116 @@
+"""Tests for the extension tables (E1–E3) and their CLI wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.extensions import run_table_e1, run_table_e2, run_table_e3
+from repro.experiments.scale import SCALES
+
+
+class TestTableE1:
+    def test_covers_every_distributed_protocol(self):
+        table = run_table_e1()
+        protocols = {row["protocol"] for row in table.data}
+        assert {"rr", "rr-impl3", "fcfs", "fcfs-aincr", "aap1", "hybrid"} <= protocols
+        assert not any(name.startswith("central") for name in protocols)
+
+    def test_line_costs_match_the_paper(self):
+        table = run_table_e1(num_agents=30)
+        by_name = {row["protocol"]: row for row in table.data}
+        assert by_name["rr"]["extra_lines"] == 1          # RR-priority bit
+        assert by_name["rr-impl3"]["extra_lines"] == 0    # the free variant
+        assert by_name["fcfs-aincr"]["extra_lines"] == 1  # a-incr line
+        # §3.2: FCFS at most doubles the identity width (+ priority bit).
+        assert by_name["fcfs"]["identity_width"] <= 2 * 5 + 1
+
+    def test_rr_needs_winner_broadcast(self):
+        table = run_table_e1()
+        by_name = {row["protocol"]: row for row in table.data}
+        assert by_name["rr"]["requires_winner_identity"] is True
+        assert by_name["fcfs"]["requires_winner_identity"] is False
+
+
+class TestTableE2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table_e2(trials=10, rounds=200, fault_rates=(0.01, 0.1))
+
+    def test_static_always_survives(self, table):
+        assert all(row["static_survival"] == 1.0 for row in table.data)
+
+    def test_rotating_degrades_with_fault_rate(self, table):
+        rates = [row["rotating_mean_grants"] for row in table.data]
+        assert rates[0] > rates[1]
+
+    def test_rotating_clearly_worse(self, table):
+        for row in table.data:
+            assert row["rotating_survival"] < row["static_survival"]
+
+
+class TestTableE3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        # Smoke-length runs are shorter than a few program phases, so
+        # the phase correlation dominates and fairness/conservation are
+        # not yet meaningful; quick scale covers many phases.
+        return run_table_e3(scale=SCALES["quick"])
+
+    def test_covers_protocol_set(self, table):
+        assert [row["protocol"] for row in table.data] == [
+            "rr", "fcfs", "fcfs-aincr", "aap1", "aap2",
+        ]
+
+    def test_fair_protocols_beat_batching_on_traces(self, table):
+        by_name = {row["protocol"]: row for row in table.data}
+        assert abs(by_name["rr"]["ratio"].mean - 1.0) < abs(
+            by_name["aap1"]["ratio"].mean - 1.0
+        )
+
+    def test_conservation_on_traces(self, table):
+        by_name = {row["protocol"]: row for row in table.data}
+        assert by_name["rr"]["mean_w"].mean == pytest.approx(
+            by_name["fcfs"]["mean_w"].mean, rel=0.08
+        )
+
+
+class TestCLIWiring:
+    def test_table_e1_via_cli(self, capsys):
+        assert main(["--scale", "smoke", "table", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table E1" in out and "winner broadcast" in out
+
+    def test_unknown_extension_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "E9"])
+
+
+class TestTableE4:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.experiments.extensions import run_table_e4
+
+        return run_table_e4(scale=SCALES["quick"])
+
+    def test_paper_rule_shows_the_pointer_reset_pathology(self, table):
+        by_name = {row["arbiter"]: row for row in table.data}
+        assert by_name["rr (paper rule)"]["normal_spread"] > 3.0
+
+    def test_frozen_pointer_restores_fairness(self, table):
+        by_name = {row["arbiter"]: row for row in table.data}
+        assert by_name["rr (frozen pointer)"]["normal_spread"] < 1.3
+
+    def test_fcfs_immune(self, table):
+        by_name = {row["arbiter"]: row for row in table.data}
+        assert by_name["fcfs"]["normal_spread"] < 1.3
+
+    def test_fix_costs_urgent_traffic_nothing(self, table):
+        by_name = {row["arbiter"]: row for row in table.data}
+        assert by_name["rr (frozen pointer)"]["urgent_w"] == pytest.approx(
+            by_name["rr (paper rule)"]["urgent_w"], rel=0.05
+        )
+
+    def test_e4_via_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["--scale", "smoke", "table", "E4"]) == 0
+        assert "Table E4" in capsys.readouterr().out

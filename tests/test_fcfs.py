@@ -1,0 +1,267 @@
+"""Unit tests for the distributed FCFS protocol (§3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fcfs import DistributedFCFS, PriorityCounterPolicy
+from repro.errors import ArbitrationError, ConfigurationError, ProtocolError
+
+from _utils import drive_arbiter
+
+
+class TestConstruction:
+    def test_strategy_validated(self):
+        with pytest.raises(ConfigurationError):
+            DistributedFCFS(8, strategy=3)
+
+    def test_counter_bits_match_paper(self):
+        # ceil(log2 N) counter bits for r = 1.
+        assert DistributedFCFS(10).counter_bits == 4
+        assert DistributedFCFS(30).counter_bits == 5
+
+    def test_multi_outstanding_adds_log2_r_bits(self):
+        # "only ceil(log2 r) more bits are needed" (§3.2).
+        base = DistributedFCFS(10).counter_bits
+        assert DistributedFCFS(10, max_outstanding=8).counter_bits == base + 3
+
+    def test_strategy_1_needs_no_extra_line(self):
+        assert DistributedFCFS(8, strategy=1).extra_lines == 0
+
+    def test_strategy_2_needs_a_incr_line(self):
+        assert DistributedFCFS(8, strategy=2).extra_lines == 1
+
+    def test_dual_lines_policy_needs_two(self):
+        arbiter = DistributedFCFS(
+            8, strategy=2, priority_policy=PriorityCounterPolicy.DUAL_LINES
+        )
+        assert arbiter.extra_lines == 2
+
+    def test_match_winner_requires_strategy_1(self):
+        with pytest.raises(ConfigurationError):
+            DistributedFCFS(
+                8, strategy=2, priority_policy=PriorityCounterPolicy.MATCH_WINNER
+            )
+
+    def test_dual_lines_requires_strategy_2(self):
+        with pytest.raises(ConfigurationError):
+            DistributedFCFS(
+                8, strategy=1, priority_policy=PriorityCounterPolicy.DUAL_LINES
+            )
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistributedFCFS(8, strategy=2, coincidence_window=-0.1)
+
+    def test_does_not_need_winner_identity(self):
+        assert DistributedFCFS(8).requires_winner_identity is False
+
+
+class TestStrategy1Semantics:
+    def test_same_interval_ties_fall_back_to_static_priority(self):
+        arbiter = DistributedFCFS(8, strategy=1)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.1)  # later arrival, same inter-arbitration gap
+        # No arbitration happened between the two arrivals: counters tie,
+        # the higher static identity wins — the strategy-1 coarseness.
+        assert arbiter.start_arbitration(0.2).winner == 6
+
+    def test_older_request_wins_after_one_lost_arbitration(self):
+        arbiter = DistributedFCFS(8, strategy=1)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        winner = arbiter.start_arbitration(0.5).winner  # 6 (tie → static)
+        arbiter.grant(winner, 0.5)
+        arbiter.request(7, 1.0)  # newer, counter 0
+        # 3 lost once: counter 1 beats 7's counter 0 despite lower id.
+        assert arbiter.start_arbitration(1.0).winner == 3
+
+    def test_loser_counters_increment(self):
+        arbiter = DistributedFCFS(8, strategy=1)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        arbiter.start_arbitration(0.5)
+        assert arbiter.pending_requests_counter(3) == 1
+        assert arbiter.pending_requests_counter(6) == 0
+
+    def test_counter_resets_per_request(self):
+        arbiter = DistributedFCFS(8, strategy=1)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.5).winner, 0.5)  # 6 served
+        arbiter.grant(arbiter.start_arbitration(1.0).winner, 1.0)  # 3 served
+        arbiter.request(3, 2.0)
+        assert arbiter.pending_requests_counter(3) == 0
+
+
+class TestStrategy2Semantics:
+    def test_exact_fcfs_for_distinct_arrivals(self):
+        arbiter = DistributedFCFS(8, strategy=2)
+        arrivals = [(0.0, 5), (0.5, 8), (1.2, 2), (1.7, 7)]
+        served = drive_arbiter(arbiter, arrivals)
+        assert served == [5, 8, 2, 7]
+
+    def test_simultaneous_arrivals_tie_to_static_priority(self):
+        arbiter = DistributedFCFS(8, strategy=2)
+        arbiter.request(3, 1.0)
+        arbiter.request(6, 1.0)
+        assert arbiter.start_arbitration(1.0).winner == 6
+
+    def test_coincidence_window_merges_near_arrivals(self):
+        arbiter = DistributedFCFS(8, strategy=2, coincidence_window=0.05)
+        arbiter.request(3, 1.00)
+        arbiter.request(6, 1.04)  # within the window: same tick
+        assert arbiter.start_arbitration(1.1).winner == 6
+
+    def test_outside_window_keeps_fcfs_order(self):
+        arbiter = DistributedFCFS(8, strategy=2, coincidence_window=0.05)
+        arbiter.request(3, 1.00)
+        arbiter.request(6, 1.10)  # outside the window: later tick
+        assert arbiter.start_arbitration(1.2).winner == 3
+
+    def test_window_anchored_at_pulse_not_last_arrival(self):
+        # Three arrivals 0.04 apart with window 0.05: the second shares
+        # the first's pulse; the third is 0.08 after the *pulse*, so it
+        # raises a new one.
+        arbiter = DistributedFCFS(8, strategy=2, coincidence_window=0.05)
+        arbiter.request(2, 1.00)
+        arbiter.request(4, 1.04)
+        arbiter.request(6, 1.08)
+        served = []
+        for _ in range(3):
+            winner = arbiter.start_arbitration(2.0).winner
+            arbiter.grant(winner, 2.0)
+            served.append(winner)
+        assert served == [4, 2, 6]
+
+
+class TestMultipleOutstanding:
+    def test_agent_queues_up_to_r(self):
+        arbiter = DistributedFCFS(8, strategy=2, max_outstanding=3)
+        for time in (0.0, 1.0, 2.0):
+            arbiter.request(4, time)
+        assert arbiter.pending_count(4) == 3
+
+    def test_exceeding_r_rejected(self):
+        arbiter = DistributedFCFS(8, max_outstanding=2)
+        arbiter.request(4, 0.0)
+        arbiter.request(4, 1.0)
+        with pytest.raises(ProtocolError):
+            arbiter.request(4, 2.0)
+
+    def test_grants_serve_fifo_within_agent(self):
+        arbiter = DistributedFCFS(8, strategy=2, max_outstanding=2)
+        arbiter.request(4, 0.0)
+        arbiter.request(4, 1.0)
+        first = arbiter.grant(4, 2.0)
+        second = arbiter.grant(4, 3.0)
+        assert first.issue_time == 0.0
+        assert second.issue_time == 1.0
+
+    def test_global_fcfs_across_agents_with_queues(self):
+        arbiter = DistributedFCFS(8, strategy=2, max_outstanding=2)
+        arbiter.request(4, 0.0)
+        arbiter.request(7, 0.5)
+        arbiter.request(4, 1.0)
+        served = []
+        for now in (2.0, 3.0, 4.0):
+            winner = arbiter.start_arbitration(now).winner
+            arbiter.grant(winner, now)
+            served.append(winner)
+        assert served == [4, 7, 4]
+
+
+class TestPriorityIntegration:
+    def test_priority_request_preempts_fcfs_order(self):
+        arbiter = DistributedFCFS(8, strategy=2)
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 1.0, priority=True)
+        assert arbiter.start_arbitration(1.5).winner == 6
+
+    def test_match_winner_freezes_cross_class_counters(self):
+        arbiter = DistributedFCFS(
+            8, strategy=1, priority_policy=PriorityCounterPolicy.MATCH_WINNER
+        )
+        arbiter.request(3, 0.0)               # non-priority
+        arbiter.request(6, 0.5, priority=True)
+        arbiter.start_arbitration(1.0)         # priority 6 wins
+        # 3 lost to a priority winner: with MATCH_WINNER its counter is
+        # untouched.
+        assert arbiter.pending_requests_counter(3) == 0
+
+    def test_overflow_policy_counts_cross_class_losses(self):
+        arbiter = DistributedFCFS(
+            8, strategy=1, priority_policy=PriorityCounterPolicy.OVERFLOW
+        )
+        arbiter.request(3, 0.0)
+        arbiter.request(6, 0.5, priority=True)
+        arbiter.start_arbitration(1.0)
+        assert arbiter.pending_requests_counter(3) == 1
+
+    def test_counter_overflow_wraps_and_is_counted(self):
+        arbiter = DistributedFCFS(
+            2, strategy=1, priority_policy=PriorityCounterPolicy.OVERFLOW
+        )
+        # modulus = 2**counter_bits = 4 for N=2.
+        arbiter.request(1, 0.0)
+        for i in range(5):
+            arbiter.request(2, float(i), priority=True)
+            winner = arbiter.start_arbitration(float(i) + 0.5).winner
+            assert winner == 2
+            arbiter.grant(2, float(i) + 0.5)
+        assert arbiter.counter_wraps >= 1
+
+    def test_dual_lines_separate_tick_streams(self):
+        arbiter = DistributedFCFS(
+            8, strategy=2, priority_policy=PriorityCounterPolicy.DUAL_LINES
+        )
+        arbiter.request(3, 0.0)                # non-priority tick stream
+        arbiter.request(6, 1.0, priority=True)  # priority stream
+        arbiter.request(2, 2.0)                # non-priority again
+        # Priority request wins outright.
+        winner = arbiter.start_arbitration(2.5).winner
+        arbiter.grant(winner, 2.5)
+        assert winner == 6
+        # Among non-priority, FCFS order survived the priority traffic.
+        assert arbiter.start_arbitration(3.0).winner == 3
+
+
+class TestErrors:
+    def test_arbitration_without_requests(self):
+        with pytest.raises(ArbitrationError):
+            DistributedFCFS(4).start_arbitration(0.0)
+
+    def test_grant_without_request(self):
+        with pytest.raises(ProtocolError):
+            DistributedFCFS(4).grant(2, 0.0)
+
+    def test_reset(self):
+        arbiter = DistributedFCFS(4, strategy=2)
+        arbiter.request(2, 0.0)
+        arbiter.reset()
+        assert not arbiter.has_waiting()
+        assert arbiter.pending_count(2) == 0
+
+
+class TestNoWrapInvariant:
+    @given(st.data())
+    def test_counter_never_wraps_without_priority_traffic(self, data):
+        # §3.2's sizing argument: with one outstanding request per agent a
+        # request sees at most N-1 counting events while it waits, so the
+        # modulo-N counter never wraps.  Exercise with random closed-loop
+        # traffic.
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        arbiter = DistributedFCFS(n, strategy=1)
+        waiting = set()
+        now = 0.0
+        for _ in range(60):
+            can_request = sorted(set(range(1, n + 1)) - waiting)
+            if waiting and (not can_request or data.draw(st.booleans())):
+                winner = arbiter.start_arbitration(now).winner
+                arbiter.grant(winner, now)
+                waiting.discard(winner)
+            else:
+                agent = data.draw(st.sampled_from(can_request))
+                arbiter.request(agent, now)
+                waiting.add(agent)
+            now += 1.0
+        assert arbiter.counter_wraps == 0

@@ -1,0 +1,97 @@
+"""Focused tests for the table/plot formatting layer."""
+
+import pytest
+
+from repro.experiments.formatting import ExperimentTable, ascii_plot, fmt_estimate
+from repro.stats.batch_means import BatchMeansEstimate
+
+
+class TestFmtEstimate:
+    def test_default_two_digits(self):
+        estimate = BatchMeansEstimate(
+            mean=1.23456, halfwidth=0.0456, std_between=0.1, batches=10
+        )
+        assert fmt_estimate(estimate) == "1.23 ± 0.05"
+
+    def test_custom_digits(self):
+        estimate = BatchMeansEstimate(
+            mean=1.23456, halfwidth=0.0456, std_between=0.1, batches=10
+        )
+        assert fmt_estimate(estimate, digits=3) == "1.235 ± 0.046"
+
+
+class TestExperimentTable:
+    def _table(self):
+        table = ExperimentTable(
+            title="T", headers=["a", "long-header"], notes="a note"
+        )
+        table.add_row(["1", "2"], {"a": 1})
+        table.add_row(["333", "4"], {"a": 333})
+        return table
+
+    def test_render_right_aligns_cells(self):
+        lines = self._table().render().splitlines()
+        assert lines[0] == "T"
+        # Cells are right-justified within column widths.
+        assert lines[3].startswith("  1")
+        assert lines[4].startswith("333")
+
+    def test_render_includes_notes(self):
+        assert "a note" in self._table().render()
+
+    def test_str_is_render(self):
+        table = self._table()
+        assert str(table) == table.render()
+
+    def test_cells_coerced_to_strings(self):
+        table = ExperimentTable(title="T", headers=["x"])
+        table.add_row([42], {"x": 42})
+        assert table.rows == [["42"]]
+
+    def test_data_rows_are_copies(self):
+        record = {"x": 1}
+        table = ExperimentTable(title="T", headers=["x"])
+        table.add_row(["1"], record)
+        record["x"] = 2
+        assert table.data[0]["x"] == 1
+
+    def test_wide_cell_stretches_column(self):
+        table = ExperimentTable(title="T", headers=["x"])
+        table.add_row(["a-very-wide-cell"], {})
+        header_line = table.render().splitlines()[1]
+        assert len(header_line) >= len("a-very-wide-cell")
+
+
+class TestAsciiPlot:
+    def test_single_series(self):
+        plot = ascii_plot({"only": [(0.0, 0.0), (1.0, 1.0)]})
+        assert "only" in plot
+        assert "*" in plot
+
+    def test_two_series_distinct_markers(self):
+        plot = ascii_plot(
+            {"a": [(0.0, 0.0), (1.0, 1.0)], "b": [(0.0, 1.0), (1.0, 0.0)]}
+        )
+        assert "*" in plot and "o" in plot
+
+    def test_axis_labels_present(self):
+        plot = ascii_plot(
+            {"s": [(0.0, 0.0), (10.0, 1.0)]}, x_label="W", y_label="F"
+        )
+        assert "F vs W" in plot
+
+    def test_degenerate_flat_series(self):
+        # Zero y-span must not divide by zero.
+        plot = ascii_plot({"flat": [(0.0, 0.5), (1.0, 0.5)]})
+        assert "flat" in plot
+
+    def test_degenerate_single_point(self):
+        plot = ascii_plot({"dot": [(2.0, 0.3)]})
+        assert "dot" in plot
+
+    def test_requested_dimensions(self):
+        plot = ascii_plot(
+            {"s": [(0.0, 0.0), (1.0, 1.0)]}, width=30, height=8
+        )
+        grid_lines = [line for line in plot.splitlines() if "|" in line]
+        assert len(grid_lines) == 8

@@ -1,0 +1,149 @@
+"""Tests for the §5 future-work extensions: hybrid and adaptive arbiters."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveArbiter
+from repro.core.hybrid import HybridArbiter
+from repro.errors import ArbitrationError, ConfigurationError
+
+from _utils import drive_arbiter
+
+
+class TestHybridOrdering:
+    def test_fcfs_across_distinct_arrivals(self):
+        arbiter = HybridArbiter(8)
+        served = drive_arbiter(arbiter, [(0.0, 5), (0.5, 8), (1.2, 2)])
+        assert served == [5, 8, 2]
+
+    def test_rr_within_simultaneous_cohort(self):
+        # Three simultaneous arrivals: plain FCFS would serve 7, 5, 2
+        # (static priority); the hybrid serves them round-robin.  With no
+        # previous winner the first pick is the highest, then the RR scan
+        # takes over inside the cohort.
+        arbiter = HybridArbiter(8)
+        for agent in (2, 5, 7):
+            arbiter.request(agent, 1.0)
+        served = []
+        for _ in range(3):
+            winner = arbiter.start_arbitration(2.0).winner
+            arbiter.grant(winner, 2.0)
+            served.append(winner)
+        assert served == [7, 5, 2]
+
+    def test_rr_pointer_carries_across_cohorts(self):
+        arbiter = HybridArbiter(8)
+        # First cohort: agents 6, 7.  7 then 6 served; last winner 6.
+        arbiter.request(6, 0.0)
+        arbiter.request(7, 0.0)
+        for _ in range(2):
+            arbiter.grant(arbiter.start_arbitration(1.0).winner, 1.0)
+        assert arbiter.last_winner == 6
+        # Second simultaneous cohort 3, 5, 7: RR from pointer 6 → 5 first
+        # (highest below 6), then 3, then 7.
+        for agent in (3, 5, 7):
+            arbiter.request(agent, 2.0)
+        served = []
+        for _ in range(3):
+            winner = arbiter.start_arbitration(3.0).winner
+            arbiter.grant(winner, 3.0)
+            served.append(winner)
+        assert served == [5, 3, 7]
+
+    def test_older_cohort_always_beats_newer(self):
+        arbiter = HybridArbiter(8)
+        arbiter.request(2, 0.0)
+        arbiter.request(8, 1.0)  # newer, higher id
+        assert arbiter.start_arbitration(1.5).winner == 2
+
+    def test_costs_two_extra_lines(self):
+        assert HybridArbiter(8).extra_lines == 2
+
+    def test_requires_winner_identity(self):
+        assert HybridArbiter(8).requires_winner_identity is True
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridArbiter(8, coincidence_window=-1.0)
+
+    def test_empty_arbitration_rejected(self):
+        with pytest.raises(ArbitrationError):
+            HybridArbiter(8).start_arbitration(0.0)
+
+    def test_reset(self):
+        arbiter = HybridArbiter(8)
+        arbiter.request(3, 0.0)
+        arbiter.start_arbitration(0.0)
+        arbiter.reset()
+        assert arbiter.last_winner == 0
+        assert not arbiter.has_waiting()
+
+
+class TestAdaptiveMode:
+    def test_starts_in_fcfs_mode(self):
+        assert AdaptiveArbiter(8).mode == "fcfs"
+
+    def test_spread_arrivals_keep_fcfs_mode(self):
+        arbiter = AdaptiveArbiter(8, history=10, rr_threshold=0.5)
+        for i, agent in enumerate((1, 2, 3, 4), start=1):
+            arbiter.request(agent, float(i))
+        assert arbiter.mode == "fcfs"
+        assert arbiter.coincidence_fraction == 0.0
+
+    def test_coincident_arrivals_flip_to_rr_mode(self):
+        arbiter = AdaptiveArbiter(8, history=10, rr_threshold=0.5)
+        for agent in (1, 2, 3, 4):
+            arbiter.request(agent, 5.0)  # all simultaneous
+        assert arbiter.coincidence_fraction >= 0.5
+        assert arbiter.mode == "rr"
+
+    def test_fcfs_mode_serves_in_arrival_order(self):
+        arbiter = AdaptiveArbiter(8)
+        served = drive_arbiter(arbiter, [(0.0, 6), (1.0, 3), (2.0, 8)])
+        assert served == [6, 3, 8]
+
+    def test_rr_mode_rotates_within_simultaneous_burst(self):
+        arbiter = AdaptiveArbiter(8, history=4, rr_threshold=0.5)
+        for agent in (2, 5, 7):
+            arbiter.request(agent, 1.0)
+        served = []
+        for _ in range(3):
+            winner = arbiter.start_arbitration(2.0).winner
+            arbiter.grant(winner, 2.0)
+            served.append(winner)
+        # RR scan: 7 first, then descending below the pointer.
+        assert served == [7, 5, 2]
+
+    def test_decision_counters(self):
+        arbiter = AdaptiveArbiter(8)
+        arbiter.request(1, 0.0)
+        arbiter.start_arbitration(0.5)
+        assert arbiter.fcfs_decisions + arbiter.rr_decisions == 1
+
+    def test_history_window_forgets_old_pattern(self):
+        arbiter = AdaptiveArbiter(8, history=4, rr_threshold=0.5)
+        # Burst of coincident arrivals first...
+        for agent in (1, 2, 3):
+            arbiter.request(agent, 0.0)
+        for _ in range(3):
+            arbiter.grant(arbiter.start_arbitration(1.0).winner, 1.0)
+        assert arbiter.mode == "rr"
+        # ...then spread arrivals push the burst out of the window.
+        for i, agent in enumerate((4, 5, 6, 7), start=2):
+            arbiter.request(agent, float(i))
+        assert arbiter.mode == "fcfs"
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(8, rr_threshold=1.5)
+
+    def test_history_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveArbiter(8, history=0)
+
+    def test_reset(self):
+        arbiter = AdaptiveArbiter(8)
+        arbiter.request(1, 0.0)
+        arbiter.start_arbitration(0.0)
+        arbiter.reset()
+        assert arbiter.rr_decisions == 0
+        assert arbiter.coincidence_fraction == 0.0

@@ -1,0 +1,149 @@
+"""Integration tests: the paper's qualitative claims, end to end.
+
+Each test runs full bus simulations at reduced scale and asserts a
+*shape* the paper reports — fairness of RR/FCFS, unfairness of the
+baselines, the conservation law, variance ordering, and the worst-case
+pathology.  These are the executable versions of the claims DESIGN.md
+maps to tables.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.workload.scenarios import equal_load, open_loop_equal_load, worst_case_rr
+
+from _utils import quick_settings
+
+
+SETTINGS = SimulationSettings(batches=5, batch_size=1200, warmup=400, seed=2026)
+
+
+@pytest.fixture(scope="module")
+def saturated_runs():
+    scenario = equal_load(10, 2.5)
+    return {
+        name: run_simulation(scenario, name, SETTINGS)
+        for name in ("rr", "fcfs", "fcfs-aincr", "aap1", "aap2", "fixed", "hybrid")
+    }
+
+
+class TestFairnessClaims:
+    def test_rr_is_perfectly_fair(self, saturated_runs):
+        ratio = saturated_runs["rr"].extreme_throughput_ratio()
+        assert abs(ratio.mean - 1.0) <= 0.05
+
+    def test_fcfs_strategy1_nearly_fair(self, saturated_runs):
+        # §4.2: at most ~6-9% advantage for the highest identity.
+        ratio = saturated_runs["fcfs"].extreme_throughput_ratio()
+        assert 0.95 <= ratio.mean <= 1.15
+
+    def test_fcfs_aincr_fair(self, saturated_runs):
+        ratio = saturated_runs["fcfs-aincr"].extreme_throughput_ratio()
+        assert abs(ratio.mean - 1.0) <= 0.05
+
+    def test_hybrid_fair(self, saturated_runs):
+        ratio = saturated_runs["hybrid"].extreme_throughput_ratio()
+        assert abs(ratio.mean - 1.0) <= 0.05
+
+    def test_aap1_strongly_favours_high_identities(self, saturated_runs):
+        # §2.3: up to 100% more bandwidth for the favoured agent.
+        ratio = saturated_runs["aap1"].extreme_throughput_ratio()
+        assert ratio.mean > 1.3
+
+    def test_aap2_also_unfair_but_batched(self, saturated_runs):
+        ratio = saturated_runs["aap2"].extreme_throughput_ratio()
+        assert ratio.mean > 1.05
+
+    def test_fixed_priority_starves_low_identity(self, saturated_runs):
+        shares = saturated_runs["fixed"].bandwidth_shares()
+        assert shares.get(1, 0.0) < 0.02
+        # The highest identity runs at its full closed-loop demand while
+        # the lowest is starved: at least ~1.5x the fair share vs ~0.
+        assert shares[10] > 0.15
+
+    def test_protocols_more_fair_than_baselines(self, saturated_runs):
+        # The headline: both new protocols dominate both AAPs on fairness.
+        for new in ("rr", "fcfs"):
+            for old in ("aap1", "aap2"):
+                assert abs(
+                    saturated_runs[new].extreme_throughput_ratio().mean - 1.0
+                ) < abs(saturated_runs[old].extreme_throughput_ratio().mean - 1.0)
+
+
+class TestConservationLaw:
+    def test_mean_waiting_equal_across_disciplines(self, saturated_runs):
+        # Footnote 4 [Klei76]: every work-conserving non-preemptive
+        # discipline that ignores service times has the same mean wait.
+        means = {
+            name: run.mean_waiting().mean
+            for name, run in saturated_runs.items()
+        }
+        reference = means["rr"]
+        for name, value in means.items():
+            assert value == pytest.approx(reference, rel=0.05), name
+
+    def test_same_total_throughput(self, saturated_runs):
+        for name, run in saturated_runs.items():
+            assert run.system_throughput().mean == pytest.approx(1.0, abs=0.02), name
+
+
+class TestVarianceOrdering:
+    def test_fcfs_has_minimum_waiting_variance(self, saturated_runs):
+        # [ShAh81] via §4.3: FCFS minimises waiting-time variance.
+        fcfs_std = saturated_runs["fcfs-aincr"].std_waiting().mean
+        for name in ("rr", "aap1", "aap2"):
+            assert saturated_runs[name].std_waiting().mean >= fcfs_std * 0.98, name
+
+    def test_rr_variance_grows_with_system_size(self):
+        ratios = []
+        for num_agents in (10, 30):
+            scenario = equal_load(num_agents, 2.5)
+            rr = run_simulation(scenario, "rr", SETTINGS)
+            fcfs = run_simulation(scenario, "fcfs", SETTINGS)
+            ratios.append(rr.std_waiting().mean / fcfs.std_waiting().mean)
+        assert ratios[1] > ratios[0] > 1.0
+
+
+class TestWorstCasePathology:
+    def test_rr_collapses_only_at_cv_zero(self):
+        from repro.experiments.table_4_5 import slow_to_other_ratio
+
+        deterministic = run_simulation(worst_case_rr(10, cv=0.0), "rr", SETTINGS)
+        jittered = run_simulation(worst_case_rr(10, cv=0.25), "rr", SETTINGS)
+        assert slow_to_other_ratio(deterministic).mean == pytest.approx(0.5, abs=0.05)
+        assert slow_to_other_ratio(jittered).mean > 0.6
+
+    def test_fcfs_immune_to_the_pathology(self):
+        from repro.experiments.table_4_5 import slow_to_other_ratio
+
+        scenario = worst_case_rr(10, cv=0.0)
+        fcfs = run_simulation(scenario, "fcfs", SETTINGS)
+        load_ratio = scenario.agent(1).offered_load() / scenario.agent(2).offered_load()
+        assert slow_to_other_ratio(fcfs).mean > load_ratio
+
+
+class TestOpenLoopExtension:
+    def test_multi_outstanding_fcfs_run(self):
+        # Moderate load so the r-cap rarely blocks the sources: the
+        # open-loop system then carries its full offered rate.
+        scenario = open_loop_equal_load(6, 0.6, max_outstanding=3)
+        result = run_simulation(
+            scenario, "fcfs-aincr", quick_settings(batches=3, batch_size=400, warmup=100)
+        )
+        assert result.system_throughput().mean == pytest.approx(0.6, abs=0.05)
+
+    def test_open_loop_rejected_by_single_outstanding_arbiters(self):
+        from repro.errors import ProtocolError
+        from repro.bus.model import BusSystem
+        from repro.core.round_robin import DistributedRoundRobin
+        from repro.stats.collector import CompletionCollector
+
+        scenario = open_loop_equal_load(4, 0.9, max_outstanding=3)
+        system = BusSystem(
+            scenario,
+            DistributedRoundRobin(4),
+            CompletionCollector(batches=2, batch_size=100, warmup=0),
+            seed=1,
+        )
+        with pytest.raises(ProtocolError):
+            system.run()

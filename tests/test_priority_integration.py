@@ -1,0 +1,122 @@
+"""Bus-level tests of priority-traffic integration (§2.4, §3.1, §3.2)."""
+
+import pytest
+
+from repro.bus.model import BusSystem
+from repro.experiments.runner import make_arbiter
+from repro.stats.collector import CompletionCollector
+from repro.workload.distributions import Exponential
+from repro.workload.scenarios import AgentSpec, ScenarioSpec
+
+
+def _mixed_scenario(num_agents=8, urgent_agents=(7, 8), load=2.5):
+    think = num_agents / load - 1.0
+    agents = tuple(
+        AgentSpec(
+            agent_id=i,
+            interrequest=Exponential(think),
+            priority_fraction=1.0 if i in urgent_agents else 0.0,
+        )
+        for i in range(1, num_agents + 1)
+    )
+    return ScenarioSpec(name="priority-mix", agents=agents)
+
+
+def _run(protocol, scenario=None, seed=5, completions=3000):
+    scenario = scenario or _mixed_scenario()
+    collector = CompletionCollector(
+        batches=2, batch_size=completions // 2, warmup=0, keep_records=True
+    )
+    system = BusSystem(
+        scenario, make_arbiter(protocol, scenario.num_agents), collector, seed=seed
+    )
+    system.run()
+    return collector.records
+
+
+def _mean_wait(records, priority):
+    waits = [r.waiting_time for r in records if r.priority == priority]
+    assert waits, f"no {'priority' if priority else 'normal'} completions"
+    return sum(waits) / len(waits)
+
+
+PROTOCOLS = ["rr", "rr-impl2", "rr-impl3", "fcfs", "fcfs-aincr", "aap1", "aap2"]
+
+
+class TestUrgentTrafficAcrossProtocols:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_urgent_requests_wait_less(self, protocol):
+        records = _run(protocol)
+        assert _mean_wait(records, True) < _mean_wait(records, False)
+
+    @pytest.mark.parametrize("protocol", ["rr", "fcfs"])
+    def test_urgent_wait_bounded_by_residual_plus_service(self, protocol):
+        # With no competing urgent traffic in flight, an urgent request
+        # waits at most: the settling arbitration + current tenure +
+        # other urgent requests.  Here two urgent agents compete, so the
+        # bound is loose but finite and far below the fair-share wait.
+        records = _run(protocol)
+        urgent = [r.waiting_time for r in records if r.priority]
+        assert sum(urgent) / len(urgent) < 4.0
+
+    def test_paper_faithful_rr_pointer_reset_starves_low_ids(self):
+        # Reproduction finding: §3.1's "record the winner of every
+        # arbitration" includes urgent wins, so steady urgent traffic
+        # from high identities keeps resetting the RR scan to the top —
+        # the normal class degenerates toward static priority.
+        records = _run("rr")
+        counts = {}
+        for record in records:
+            if not record.priority:
+                counts[record.agent_id] = counts.get(record.agent_id, 0) + 1
+        assert counts[6] > 3 * counts[1]
+
+    def test_frozen_pointer_variant_restores_fairness(self):
+        from repro.core.round_robin import DistributedRoundRobin
+        from repro.experiments.runner import PROTOCOLS
+
+        PROTOCOLS["rr-frozen-ptr"] = lambda n, r=1: DistributedRoundRobin(
+            n, record_priority_winners=False
+        )
+        try:
+            records = _run("rr-frozen-ptr")
+        finally:
+            del PROTOCOLS["rr-frozen-ptr"]
+        counts = {}
+        for record in records:
+            if not record.priority:
+                counts[record.agent_id] = counts.get(record.agent_id, 0) + 1
+        values = [counts[a] for a in sorted(counts)]
+        assert max(values) <= 1.25 * min(values)
+
+    def test_urgent_class_shares_by_protocol_rule(self):
+        # Two always-urgent agents: within the priority class the RR
+        # arbiter with IGNORE_RR falls back to static order, so agent 8
+        # is favoured over agent 7 under saturation-level urgency.
+        scenario = _mixed_scenario(urgent_agents=(7, 8), load=6.0)
+        records = _run("rr", scenario=scenario)
+        urgent_counts = {7: 0, 8: 0}
+        for record in records:
+            if record.priority:
+                urgent_counts[record.agent_id] += 1
+        assert urgent_counts[8] >= urgent_counts[7]
+
+
+class TestPriorityDoesNotBreakInvariants:
+    @pytest.mark.parametrize("protocol", ["rr", "fcfs-aincr", "aap2"])
+    def test_no_starvation_of_normal_traffic(self, protocol):
+        records = _run(protocol)
+        normal_agents = {r.agent_id for r in records if not r.priority}
+        assert normal_agents == {1, 2, 3, 4, 5, 6}
+
+    def test_fcfs_order_preserved_within_normal_class(self):
+        records = _run("fcfs-aincr")
+        normal = [r for r in records if not r.priority]
+        inversions = sum(
+            1
+            for earlier, later in zip(normal, normal[1:])
+            if later.issue_time < earlier.issue_time - 1e-9
+        )
+        # Urgent service can delay normal grants but never reorders the
+        # normal queue itself.
+        assert inversions == 0

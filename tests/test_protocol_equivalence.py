@@ -1,0 +1,138 @@
+"""Scheduling-equivalence tests: the paper's central claims.
+
+§3.1 claims the distributed RR protocol implements scheduling *identical*
+to the central round-robin arbiter, in all three implementations; §3.2
+claims the a-incr FCFS implementation is (nearly) exact FCFS.  These
+tests drive full bus simulations — identical arrival processes via
+common random numbers — and compare the complete grant sequences.
+"""
+
+import pytest
+
+from repro.workload.scenarios import equal_load, unequal_load, worst_case_rr
+
+from _utils import completion_records, grant_sequence
+
+
+SCENARIOS = [
+    equal_load(8, 2.0),
+    equal_load(12, 4.0),
+    equal_load(5, 0.8),
+    unequal_load(10, 0.15, 3.0),
+    worst_case_rr(8, cv=0.5),
+]
+
+
+class TestRRImplementationsAreIdentical:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_impl_2_schedules_identically(self, scenario):
+        # Implementations 1 and 2 have identical timing (one arbitration
+        # pass always), so their grant sequences match everywhere.
+        base = grant_sequence(scenario, "rr", seed=42)
+        assert grant_sequence(scenario, "rr-impl2", seed=42) == base
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [s for s in SCENARIOS if s.total_offered_load() >= 1.5],
+        ids=lambda s: s.name,
+    )
+    def test_impl_3_schedules_identically_under_saturation(self, scenario):
+        # Implementation 3 occasionally spends a second arbitration pass
+        # ("somewhat less efficient", §3.1).  Under saturation the pass is
+        # absorbed by the overlapped tenure, so the sequence still matches;
+        # at low load the timing skew can reorder near-simultaneous
+        # arrivals, which is why this test restricts to saturated runs and
+        # the selection *rule* is property-tested separately.
+        base = grant_sequence(scenario, "rr", seed=42)
+        assert grant_sequence(scenario, "rr-impl3", seed=42) == base
+
+    @pytest.mark.parametrize("seed", [1, 7, 99])
+    def test_identical_across_seeds(self, seed):
+        scenario = equal_load(10, 3.0)
+        base = grant_sequence(scenario, "rr", seed=seed)
+        assert grant_sequence(scenario, "rr-impl2", seed=seed) == base
+        assert grant_sequence(scenario, "rr-impl3", seed=seed) == base
+
+
+class TestRRMatchesCentralOracle:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_true_round_robin(self, scenario):
+        # "The RR protocol implements true round-robin scheduling,
+        # identical to the central round-robin arbiter" (§1).
+        assert grant_sequence(scenario, "rr", seed=11) == grant_sequence(
+            scenario, "central-rr", seed=11
+        )
+
+
+class TestFCFSMatchesCentralOracle:
+    @pytest.mark.parametrize("scenario", SCENARIOS[:4], ids=lambda s: s.name)
+    def test_a_incr_strategy_is_exact_fcfs(self, scenario):
+        # Strategy 2 with a zero coincidence window and continuous arrival
+        # times is exact FCFS.
+        assert grant_sequence(scenario, "fcfs-aincr", seed=23) == grant_sequence(
+            scenario, "central-fcfs", seed=23
+        )
+
+    def test_strategy_1_inversions_bounded_by_arbitration_interval(self):
+        # The lost-arbitration counter can only reorder requests whose
+        # arrivals fall between the same two successive arbitrations, so a
+        # grant may precede an *earlier* request only if the two issue
+        # times are within one inter-arbitration spacing (at most one
+        # transaction time here, since arbitrations run at least once per
+        # tenure under load).
+        scenario = equal_load(10, 2.0)
+        records = completion_records(scenario, "fcfs", completions=1000, seed=5)
+        max_interval = 1.5  # transaction + arbitration, a safe bound
+        for earlier, later in zip(records, records[1:]):
+            assert later.issue_time >= earlier.issue_time - max_interval
+
+    def test_strategy_2_has_no_issue_time_inversions(self):
+        scenario = equal_load(10, 2.0)
+        records = completion_records(scenario, "fcfs-aincr", completions=1000, seed=5)
+        for earlier, later in zip(records, records[1:]):
+            assert later.issue_time >= earlier.issue_time
+
+    def test_hybrid_matches_fcfs_for_spread_arrivals(self):
+        # With continuous arrival times there are no cohorts, so the
+        # hybrid degenerates to exact FCFS.
+        scenario = equal_load(10, 2.0)
+        assert grant_sequence(scenario, "hybrid", seed=31) == grant_sequence(
+            scenario, "central-fcfs", seed=31
+        )
+
+    def test_adaptive_matches_fcfs_for_spread_arrivals(self):
+        scenario = equal_load(10, 2.0)
+        assert grant_sequence(scenario, "adaptive", seed=31) == grant_sequence(
+            scenario, "central-fcfs", seed=31
+        )
+
+
+class TestSchedulesActuallyDiffer:
+    def test_rr_and_fcfs_are_not_the_same_discipline(self):
+        # Sanity guard on the equivalence tests above: under contention
+        # the two disciplines must produce different grant orders.
+        scenario = equal_load(10, 3.0)
+        assert grant_sequence(scenario, "rr", seed=3) != grant_sequence(
+            scenario, "fcfs-aincr", seed=3
+        )
+
+    def test_aap1_differs_from_rr(self):
+        scenario = equal_load(10, 3.0)
+        assert grant_sequence(scenario, "aap1", seed=3) != grant_sequence(
+            scenario, "rr", seed=3
+        )
+
+    def test_descending_and_ascending_central_rr_differ(self):
+        scenario = equal_load(10, 3.0)
+        base = grant_sequence(scenario, "central-rr", seed=3)
+        from repro.baselines.central import CentralRoundRobin
+        from repro.experiments.runner import PROTOCOLS
+
+        PROTOCOLS["central-rr-asc"] = lambda n: CentralRoundRobin(
+            n, direction="ascending"
+        )
+        try:
+            ascending = grant_sequence(scenario, "central-rr-asc", seed=3)
+        finally:
+            del PROTOCOLS["central-rr-asc"]
+        assert ascending != base

@@ -1,0 +1,109 @@
+"""Quality gates on the public API surface."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_core_protocols_exported(self):
+        for name in (
+            "DistributedRoundRobin",
+            "DistributedFCFS",
+            "HybridArbiter",
+            "AdaptiveArbiter",
+        ):
+            assert name in repro.__all__
+
+    def test_every_baseline_exported(self):
+        for name in (
+            "FixedPriorityArbiter",
+            "BatchingAssuredAccess",
+            "FuturebusAssuredAccess",
+            "CentralRoundRobin",
+            "CentralFCFS",
+        ):
+            assert name in repro.__all__
+
+    def test_errors_form_a_hierarchy(self):
+        for name in (
+            "ConfigurationError",
+            "SimulationError",
+            "ProtocolError",
+            "ArbitrationError",
+            "SignalError",
+            "StatisticsError",
+        ):
+            assert issubclass(getattr(repro, name), repro.ReproError)
+
+
+class TestDocumentation:
+    def test_every_public_object_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if isinstance(obj, (str, dict, tuple, int, float)):
+                continue
+            if not (inspect.getdoc(obj) or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_public_methods_of_core_classes_documented(self):
+        undocumented = []
+        for cls in (
+            repro.DistributedRoundRobin,
+            repro.DistributedFCFS,
+            repro.BusSystem,
+            repro.RunResult,
+            repro.ParallelContention,
+        ):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if not callable(member) and not isinstance(member, property):
+                    continue
+                doc = inspect.getdoc(member)
+                if not (doc or "").strip():
+                    undocumented.append(f"{cls.__name__}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_module_docstrings(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        # The exact code from README.md's quickstart, at reduced scale.
+        from repro import equal_load, run_simulation, SimulationSettings
+
+        scenario = equal_load(num_agents=10, total_load=1.5)
+        settings = SimulationSettings(
+            batches=3, batch_size=400, warmup=100, seed=1
+        )
+        rr = run_simulation(scenario, "rr", settings)
+        fcfs = run_simulation(scenario, "fcfs", settings)
+        assert rr.mean_waiting().mean == pytest.approx(
+            fcfs.mean_waiting().mean, rel=0.1
+        )
+        assert abs(rr.extreme_throughput_ratio().mean - 1.0) < 0.25

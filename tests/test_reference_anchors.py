@@ -1,0 +1,96 @@
+"""Anchored regression tests: hold the simulator to the paper's numbers.
+
+A focused subset of the paper's legible cells, each checked at reduced
+scale with a tolerance wide enough for the shorter runs but tight
+enough to catch a real modelling regression (the full-grid comparison
+lives in EXPERIMENTS.md at paper scale).
+"""
+
+import pytest
+
+from repro.experiments.reference import (
+    LOADS,
+    TABLE_4_2,
+    TABLE_4_4,
+    TABLE_4_5_RR_RATIO,
+    waiting_anchor,
+)
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.table_4_5 import slow_to_other_ratio
+from repro.workload.scenarios import equal_load, unequal_load, worst_case_rr
+
+SETTINGS = SimulationSettings(batches=5, batch_size=1500, warmup=500, seed=404)
+
+
+class TestReferenceTables:
+    def test_loads_vector(self):
+        assert LOADS == (0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00, 7.50)
+
+    def test_reference_shapes_consistent(self):
+        for table in TABLE_4_2.values():
+            assert len(table["w"]) == len(LOADS)
+            assert len(table["std_fcfs"]) == len(LOADS)
+        for panel in TABLE_4_4.values():
+            assert len(panel["rr"]) == len(LOADS) - 1
+
+    def test_waiting_anchor_lookup(self):
+        assert waiting_anchor(30, 7.50) == 27.00
+        assert waiting_anchor(30, 0.33) is None
+        assert waiting_anchor(7, 1.0) is None
+
+
+class TestTable42Anchors:
+    @pytest.mark.parametrize(
+        "num_agents,load",
+        [(10, 1.50), (10, 2.00), (10, 5.00), (30, 1.50), (30, 7.50)],
+    )
+    def test_mean_waiting_matches_paper(self, num_agents, load):
+        result = run_simulation(equal_load(num_agents, load), "fcfs", SETTINGS)
+        anchor = waiting_anchor(num_agents, load)
+        assert result.mean_waiting().mean == pytest.approx(anchor, rel=0.03)
+
+    @pytest.mark.parametrize("num_agents,load", [(10, 2.00), (30, 2.00)])
+    def test_std_waiting_matches_paper(self, num_agents, load):
+        index = LOADS.index(load)
+        rr = run_simulation(equal_load(num_agents, load), "rr", SETTINGS)
+        fcfs = run_simulation(equal_load(num_agents, load), "fcfs", SETTINGS)
+        assert rr.std_waiting().mean == pytest.approx(
+            TABLE_4_2[num_agents]["std_rr"][index], rel=0.10
+        )
+        assert fcfs.std_waiting().mean == pytest.approx(
+            TABLE_4_2[num_agents]["std_fcfs"][index], rel=0.10
+        )
+
+
+class TestTable44Anchors:
+    @pytest.mark.parametrize(
+        "factor,base_index,base_load",
+        [(2.0, 0, 0.25), (2.0, 4, 2.00), (4.0, 3, 1.50)],
+    )
+    def test_unequal_rate_ratios(self, factor, base_index, base_load):
+        scenario = unequal_load(30, base_load / 30, factor)
+        rr = run_simulation(scenario, "rr", SETTINGS)
+        fcfs = run_simulation(scenario, "fcfs", SETTINGS)
+        rr_anchor = TABLE_4_4[factor]["rr"][base_index]
+        fcfs_anchor = TABLE_4_4[factor]["fcfs"][base_index]
+        rr_ratio = rr.throughput_ratio(1, 2)
+        fcfs_ratio = fcfs.throughput_ratio(1, 2)
+        assert rr_ratio.mean == pytest.approx(
+            rr_anchor, rel=max(0.12, 3 * rr_ratio.relative_halfwidth)
+        )
+        assert fcfs_ratio.mean == pytest.approx(
+            fcfs_anchor, rel=max(0.12, 3 * fcfs_ratio.relative_halfwidth)
+        )
+
+
+class TestTable45Anchors:
+    @pytest.mark.parametrize("num_agents", [10, 30])
+    def test_deterministic_collapse(self, num_agents):
+        result = run_simulation(worst_case_rr(num_agents, cv=0.0), "rr", SETTINGS)
+        anchor = TABLE_4_5_RR_RATIO[(num_agents, 0.0)]
+        assert slow_to_other_ratio(result).mean == pytest.approx(anchor, abs=0.04)
+
+    def test_cv_quarter_recovery(self):
+        result = run_simulation(worst_case_rr(10, cv=0.25), "rr", SETTINGS)
+        anchor = TABLE_4_5_RR_RATIO[(10, 0.25)]
+        assert slow_to_other_ratio(result).mean == pytest.approx(anchor, abs=0.06)

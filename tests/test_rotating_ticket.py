@@ -1,0 +1,136 @@
+"""Tests for the prior-art baselines: rotating-priority RR and ticket FCFS."""
+
+import pytest
+
+from repro.baselines.rotating import RotatingPriorityRR
+from repro.baselines.ticket import TicketFCFS
+from repro.errors import ArbitrationError
+from repro.workload.scenarios import equal_load
+
+from _utils import drive_arbiter, grant_sequence
+
+
+class TestRotatingPriorityScheduling:
+    def test_full_house_cycles_descending(self):
+        arbiter = RotatingPriorityRR(5)
+        served = drive_arbiter(arbiter, [(0.0, agent) for agent in range(1, 6)])
+        assert served == [5, 4, 3, 2, 1]
+
+    def test_matches_static_rr_schedule_when_healthy(self):
+        # Fault-free, the rotating scheme is the same round-robin scan as
+        # the paper's static protocol — across a full bus simulation.
+        scenario = equal_load(8, 2.5)
+        assert grant_sequence(scenario, "rotating-rr", seed=13) == grant_sequence(
+            scenario, "rr", seed=13
+        )
+
+    def test_dynamic_numbers_are_a_permutation(self):
+        arbiter = RotatingPriorityRR(6)
+        for agent in range(1, 7):
+            arbiter.request(agent, 0.0)
+        outcome = arbiter.start_arbitration(0.0)
+        assert sorted(outcome.keys.values()) == [1, 2, 3, 4, 5, 6]
+
+    def test_rotation_follows_winner(self):
+        arbiter = RotatingPriorityRR(6)
+        arbiter.request(3, 0.0)
+        arbiter.request(5, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 5 wins
+        assert all(origin == 5 for origin in arbiter.origin.values())
+        # After winner 5, agent 4 holds the top dynamic number.
+        assert arbiter._current_number(4) == 6
+
+    def test_reset(self):
+        arbiter = RotatingPriorityRR(6)
+        arbiter.request(3, 0.0)
+        arbiter.start_arbitration(0.0)
+        arbiter.reset()
+        assert set(arbiter.origin.values()) == {1}
+
+
+class TestRotatingPriorityFragility:
+    def test_missed_broadcast_desynchronises(self):
+        arbiter = RotatingPriorityRR(6)
+        arbiter.drop_winner_observations(2)
+        arbiter.request(3, 0.0)
+        arbiter.request(5, 0.0)
+        arbiter.start_arbitration(0.0)
+        assert arbiter.desynchronised_agents() == frozenset({2})
+        assert arbiter.observations_dropped == 1
+
+    def test_desynchronised_numbers_collide(self):
+        # Agent 2 misses the arbitration in which 5 won; its rotation
+        # still assumes origin 1.  Another agent whose post-rotation
+        # number equals agent 2's stale number then collides with it.
+        arbiter = RotatingPriorityRR(6)
+        arbiter.drop_winner_observations(2)
+        arbiter.request(3, 0.0)
+        arbiter.request(5, 0.0)
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 5 wins
+        # Stale agent 2: number from origin 1; any agent with the same
+        # number from origin 5 collides.  Find one and request both.
+        stale_number = arbiter._current_number(2)
+        collider = next(
+            agent
+            for agent in range(1, 7)
+            if agent not in (2,)
+            and (5 - agent - 1) % 6 + 1 == 6 + 1 - stale_number  # inverse map
+        )
+        arbiter.request(2, 1.0)
+        arbiter.request(collider, 1.0)
+        with pytest.raises(ArbitrationError):
+            arbiter.start_arbitration(1.0)
+
+    def test_fault_free_runs_never_collide(self):
+        # Sub-critical arrivals so each agent is served before its next
+        # request; a healthy run must never raise a collision.
+        arbiter = RotatingPriorityRR(6)
+        served = drive_arbiter(
+            arbiter,
+            [(float(i) * 1.5, (i % 6) + 1) for i in range(24)],
+        )
+        assert len(served) == 24
+
+
+class TestTicketFCFS:
+    def test_serves_in_arrival_order(self):
+        arbiter = TicketFCFS(8)
+        served = drive_arbiter(arbiter, [(0.0, 6), (0.5, 2), (1.0, 7)])
+        assert served == [6, 2, 7]
+
+    def test_dispenser_serialises_simultaneous_arrivals(self):
+        # Unlike the distributed protocols, the central dispenser gives
+        # same-instant requests distinct tickets in arrival-call order.
+        arbiter = TicketFCFS(8)
+        arbiter.request(6, 1.0)
+        arbiter.request(3, 1.0)
+        assert arbiter.start_arbitration(1.0).winner == 6
+
+    def test_tickets_recycle_modulo(self):
+        arbiter = TicketFCFS(4)  # ticket modulus 8
+        for round_index in range(5):
+            arbiter.request(1, float(round_index))
+            arbiter.grant(arbiter.start_arbitration(float(round_index)).winner, 0.0)
+        arbiter.request(2, 10.0)
+        assert arbiter.live_tickets()[2] == 5 % arbiter.ticket_modulus
+
+    def test_matches_central_fcfs_for_distinct_arrivals(self):
+        scenario = equal_load(8, 2.0)
+        assert grant_sequence(scenario, "ticket-fcfs", seed=21) == grant_sequence(
+            scenario, "central-fcfs", seed=21
+        )
+
+    def test_matches_paper_a_incr_arbiter(self):
+        # The paper's distributed a-incr design reproduces the ticket
+        # oracle's schedule on continuous arrivals.
+        scenario = equal_load(8, 2.0)
+        assert grant_sequence(scenario, "ticket-fcfs", seed=22) == grant_sequence(
+            scenario, "fcfs-aincr", seed=22
+        )
+
+    def test_reset(self):
+        arbiter = TicketFCFS(4)
+        arbiter.request(1, 0.0)
+        arbiter.reset()
+        assert not arbiter.has_waiting()
+        assert arbiter.live_tickets() == {}

@@ -1,0 +1,218 @@
+"""Unit tests for the distributed round-robin protocol (§3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.round_robin import DistributedRoundRobin, RRPriorityPolicy
+from repro.errors import ArbitrationError, ConfigurationError
+
+from _utils import drive_arbiter
+
+
+def _request_all(arbiter, agents, now=0.0):
+    for agent in agents:
+        arbiter.request(agent, now)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("impl", [1, 2, 3])
+    def test_valid_implementations(self, impl):
+        DistributedRoundRobin(8, implementation=impl)
+
+    def test_invalid_implementation(self):
+        with pytest.raises(ConfigurationError):
+            DistributedRoundRobin(8, implementation=4)
+
+    def test_impl_1_and_2_cost_one_extra_line(self):
+        assert DistributedRoundRobin(8, implementation=1).extra_lines == 1
+        assert DistributedRoundRobin(8, implementation=2).extra_lines == 1
+
+    def test_impl_3_costs_no_extra_line(self):
+        assert DistributedRoundRobin(8, implementation=3).extra_lines == 0
+
+    def test_requires_winner_identity(self):
+        # §3.1: all three implementations need the winner identity on the
+        # bus, so binary-patterned lines cannot be used without a
+        # winner broadcast.
+        assert DistributedRoundRobin(8).requires_winner_identity is True
+
+    def test_identity_width_has_priority_and_rr_bits(self):
+        arbiter = DistributedRoundRobin(10)  # k = 4
+        assert arbiter.identity_width == 6
+
+
+class TestScanOrder:
+    """The RR scan from winner j: j-1, …, 1, N, N-1, …, j."""
+
+    @pytest.mark.parametrize("impl", [1, 2, 3])
+    def test_first_arbitration_highest_wins(self, impl):
+        arbiter = DistributedRoundRobin(8, implementation=impl)
+        _request_all(arbiter, [2, 5, 7])
+        assert arbiter.start_arbitration(0.0).winner == 7
+
+    @pytest.mark.parametrize("impl", [1, 2, 3])
+    def test_below_previous_winner_has_priority(self, impl):
+        arbiter = DistributedRoundRobin(8, implementation=impl)
+        _request_all(arbiter, [2, 5, 7])
+        first = arbiter.start_arbitration(0.0)
+        arbiter.grant(first.winner, 0.0)  # 7 served
+        # 2 and 5 remain; 8 joins: 5 < 7 must win before 8.
+        arbiter.request(8, 1.0)
+        assert arbiter.start_arbitration(1.0).winner == 5
+
+    @pytest.mark.parametrize("impl", [1, 2, 3])
+    def test_wraps_to_top_when_nobody_below(self, impl):
+        arbiter = DistributedRoundRobin(8, implementation=impl)
+        _request_all(arbiter, [3, 6])
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 6
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 3
+        arbiter.request(5, 1.0)
+        arbiter.request(7, 1.0)
+        # last winner 3; nobody below 3 → highest overall wins.
+        assert arbiter.start_arbitration(1.0).winner == 7
+
+    @pytest.mark.parametrize("impl", [1, 2, 3])
+    def test_full_house_serves_descending_cycle(self, impl):
+        arbiter = DistributedRoundRobin(5, implementation=impl)
+        arrivals = [(0.0, agent) for agent in range(1, 6)]
+        served = drive_arbiter(arbiter, arrivals)
+        assert served == [5, 4, 3, 2, 1]
+
+    def test_no_starvation_under_persistent_requests(self):
+        # Every agent re-requests immediately: each must be served exactly
+        # once per round.
+        arbiter = DistributedRoundRobin(6)
+        _request_all(arbiter, range(1, 7))
+        served = []
+        for _ in range(18):
+            winner = arbiter.start_arbitration(0.0).winner
+            arbiter.grant(winner, 0.0)
+            served.append(winner)
+            arbiter.request(winner, 0.0)  # immediately re-request
+        for agent in range(1, 7):
+            assert served.count(agent) == 3
+
+
+class TestImplementation3:
+    def test_empty_low_round_triggers_second_pass(self):
+        arbiter = DistributedRoundRobin(8, implementation=3)
+        _request_all(arbiter, [4, 6])
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 6 wins
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 4 wins
+        # last winner = 4; only 5 and 7 requesting — both above 4.
+        arbiter.request(5, 1.0)
+        arbiter.request(7, 1.0)
+        outcome = arbiter.start_arbitration(1.0)
+        assert outcome.winner == 7
+        assert outcome.rounds == 2
+        assert arbiter.extra_passes == 1
+
+    def test_initial_last_winner_is_n_plus_1(self):
+        arbiter = DistributedRoundRobin(8, implementation=3)
+        assert arbiter.last_winner == 9
+
+    def test_first_arbitration_needs_no_second_pass(self):
+        arbiter = DistributedRoundRobin(8, implementation=3)
+        _request_all(arbiter, [2, 5])
+        assert arbiter.start_arbitration(0.0).rounds == 1
+
+    def test_single_pass_when_low_requests_exist(self):
+        arbiter = DistributedRoundRobin(8, implementation=3)
+        _request_all(arbiter, [3, 7])
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 7
+        assert arbiter.start_arbitration(0.0).rounds == 1  # 3 < 7 competes
+
+
+class TestImplementation1Keys:
+    def test_rr_bit_is_msb_of_basic_layout(self):
+        arbiter = DistributedRoundRobin(8)  # k = 4
+        _request_all(arbiter, [2, 7])
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 7
+        arbiter.request(8, 1.0)
+        outcome = arbiter.start_arbitration(1.0)
+        # agent 2 is below last winner 7: RR bit set → key 0b1_0010 = 18.
+        assert outcome.keys[2] == (1 << 4) | 2
+        assert outcome.keys[8] == 8
+
+    def test_winner_recorded_without_rr_bit(self):
+        arbiter = DistributedRoundRobin(8)
+        _request_all(arbiter, [2, 7])
+        arbiter.start_arbitration(0.0)
+        assert arbiter.last_winner == 7  # static identity, not the keyed value
+
+
+class TestErrorsAndReset:
+    def test_arbitration_without_requests_raises(self):
+        with pytest.raises(ArbitrationError):
+            DistributedRoundRobin(4).start_arbitration(0.0)
+
+    def test_reset_restores_initial_pointer(self):
+        arbiter = DistributedRoundRobin(8)
+        _request_all(arbiter, [5])
+        arbiter.start_arbitration(0.0)
+        arbiter.reset()
+        assert arbiter.last_winner == 0
+        assert not arbiter.has_waiting()
+
+    def test_arbitration_counter(self):
+        arbiter = DistributedRoundRobin(4)
+        _request_all(arbiter, [1, 2])
+        arbiter.start_arbitration(0.0)
+        assert arbiter.arbitrations == 1
+
+
+class TestPriorityIntegration:
+    def test_priority_request_beats_rr_favourite(self):
+        arbiter = DistributedRoundRobin(8)
+        _request_all(arbiter, [5, 7])
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 7 wins
+        # 5 is the RR favourite now, but 6 arrives with an urgent request.
+        arbiter.request(6, 1.0, priority=True)
+        assert arbiter.start_arbitration(1.0).winner == 6
+
+    def test_priority_among_priorities_ignore_rr(self):
+        arbiter = DistributedRoundRobin(8, priority_policy=RRPriorityPolicy.IGNORE_RR)
+        arbiter.request(3, 0.0, priority=True)
+        arbiter.request(6, 0.0, priority=True)
+        assert arbiter.start_arbitration(0.0).winner == 6
+
+    def test_rr_within_priority_class(self):
+        arbiter = DistributedRoundRobin(
+            8, priority_policy=RRPriorityPolicy.RR_WITHIN_CLASS
+        )
+        arbiter.request(3, 0.0, priority=True)
+        arbiter.request(6, 0.0, priority=True)
+        winner = arbiter.start_arbitration(0.0).winner
+        arbiter.grant(winner, 0.0)
+        assert winner == 6
+        arbiter.request(6, 1.0, priority=True)
+        # RR within class: 3 < last winner 6, so 3 goes first.
+        assert arbiter.start_arbitration(1.0).winner == 3
+
+    @pytest.mark.parametrize("impl", [2, 3])
+    def test_priority_competes_despite_gating(self, impl):
+        arbiter = DistributedRoundRobin(8, implementation=impl)
+        _request_all(arbiter, [2, 7])
+        arbiter.grant(arbiter.start_arbitration(0.0).winner, 0.0)  # 7
+        arbiter.request(8, 1.0, priority=True)
+        # Non-priority gating would exclude 8 (above last winner 7); the
+        # urgent request competes anyway and wins.
+        assert arbiter.start_arbitration(1.0).winner == 8
+
+
+class TestSelectionRuleProperty:
+    @given(
+        st.sets(st.integers(min_value=1, max_value=20), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=21),
+    )
+    def test_winner_matches_oracle_rule(self, waiting, last_winner):
+        # Winner = max below last winner if any, else global max: the
+        # definition of the descending RR scan.
+        for impl in (1, 2, 3):
+            arbiter = DistributedRoundRobin(20, implementation=impl)
+            arbiter.last_winner = last_winner
+            for agent in waiting:
+                arbiter.request(agent, 0.0)
+            below = {a for a in waiting if a < last_winner}
+            expected = max(below) if below else max(waiting)
+            assert arbiter.start_arbitration(0.0).winner == expected

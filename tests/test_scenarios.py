@@ -1,0 +1,156 @@
+"""Tests for the workload scenario builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import Deterministic
+from repro.workload.scenarios import (
+    AgentSpec,
+    ScenarioSpec,
+    equal_load,
+    mean_interrequest_for_load,
+    open_loop_equal_load,
+    unequal_load,
+    worst_case_rr,
+)
+
+
+class TestLoadMath:
+    @pytest.mark.parametrize("load,mean", [(0.5, 1.0), (0.2, 4.0), (1.0, 0.0)])
+    def test_inverts_offered_load(self, load, mean):
+        assert mean_interrequest_for_load(load) == pytest.approx(mean)
+
+    def test_round_trips_through_agent_spec(self):
+        mean = mean_interrequest_for_load(0.125)
+        spec = AgentSpec(agent_id=1, interrequest=Deterministic(mean))
+        assert spec.offered_load() == pytest.approx(0.125)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_interrequest_for_load(0.0)
+        with pytest.raises(ConfigurationError):
+            mean_interrequest_for_load(1.2)
+
+    def test_transaction_time_scales(self):
+        assert mean_interrequest_for_load(0.5, transaction_time=2.0) == pytest.approx(2.0)
+
+
+class TestEqualLoad:
+    def test_population_size(self):
+        scenario = equal_load(30, 1.5)
+        assert scenario.num_agents == 30
+        assert len(scenario.agents) == 30
+
+    def test_total_offered_load(self):
+        scenario = equal_load(30, 1.5)
+        assert scenario.total_offered_load() == pytest.approx(1.5)
+
+    def test_identical_agents(self):
+        scenario = equal_load(10, 2.0)
+        means = {spec.interrequest.mean for spec in scenario.agents}
+        assert len(means) == 1
+
+    def test_paper_example_load_2_with_10_agents(self):
+        # Per-agent load 0.2 → mean inter-request 4.0 (used in §4.1's
+        # saturation discussion).
+        scenario = equal_load(10, 2.0)
+        assert scenario.agents[0].interrequest.mean == pytest.approx(4.0)
+
+    def test_cv_propagates(self):
+        scenario = equal_load(10, 2.0, cv=0.5)
+        assert scenario.agents[0].interrequest.cv == pytest.approx(0.5)
+
+    def test_agent_ids_are_1_to_n(self):
+        scenario = equal_load(5, 1.0)
+        assert [spec.agent_id for spec in scenario.agents] == [1, 2, 3, 4, 5]
+
+
+class TestUnequalLoad:
+    def test_hot_agent_rate_factor(self):
+        scenario = unequal_load(30, 0.05, 2.0)
+        assert scenario.agent(1).offered_load() == pytest.approx(0.10)
+        assert scenario.agent(2).offered_load() == pytest.approx(0.05)
+
+    def test_total_matches_paper_rows(self):
+        # 29 regular agents at L/30 plus one at 2L/30: Table 4.4(a)'s
+        # first row has total 0.26 for a base of 0.25.
+        scenario = unequal_load(30, 0.25 / 30, 2.0)
+        assert scenario.total_offered_load() == pytest.approx(0.2583, abs=1e-3)
+
+    def test_custom_hot_agent(self):
+        scenario = unequal_load(10, 0.05, 4.0, hot_agent=7)
+        assert scenario.agent(7).offered_load() == pytest.approx(0.20)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            unequal_load(10, 0.05, 0.0)
+
+    def test_hot_load_must_stay_feasible(self):
+        with pytest.raises(ConfigurationError):
+            unequal_load(10, 0.3, 4.0)  # hot agent would need load 1.2
+
+
+class TestWorstCaseRR:
+    def test_paper_means(self):
+        scenario = worst_case_rr(10)
+        assert scenario.agent(1).interrequest.mean == pytest.approx(9.5)
+        assert scenario.agent(2).interrequest.mean == pytest.approx(6.4)
+
+    def test_load_ratio_30_agents(self):
+        # The paper's Table 4.5(b): load ratio 0.90 for 30 agents.
+        scenario = worst_case_rr(30)
+        ratio = scenario.agent(1).offered_load() / scenario.agent(2).offered_load()
+        assert ratio == pytest.approx(0.898, abs=0.005)
+
+    def test_load_ratio_64_agents(self):
+        scenario = worst_case_rr(64)
+        ratio = scenario.agent(1).offered_load() / scenario.agent(2).offered_load()
+        assert ratio == pytest.approx(0.952, abs=0.005)
+
+    def test_cv_zero_is_deterministic(self):
+        scenario = worst_case_rr(10, cv=0.0)
+        assert scenario.agent(1).interrequest.cv == 0.0
+
+    def test_too_few_agents_rejected(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_rr(4)
+
+    def test_custom_slow_agent(self):
+        scenario = worst_case_rr(10, slow_agent=5)
+        assert scenario.agent(5).interrequest.mean == pytest.approx(9.5)
+        assert scenario.agent(1).interrequest.mean == pytest.approx(6.4)
+
+
+class TestOpenLoopEqualLoad:
+    def test_arrival_rate_load(self):
+        scenario = open_loop_equal_load(10, 0.8)
+        # Mean inter-arrival = S / per-agent load = 1 / 0.08 = 12.5.
+        assert scenario.agents[0].interrequest.mean == pytest.approx(12.5)
+
+    def test_open_loop_flags(self):
+        scenario = open_loop_equal_load(10, 0.8, max_outstanding=4)
+        assert scenario.agents[0].open_loop is True
+        assert scenario.agents[0].max_outstanding == 4
+
+    def test_unstable_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            open_loop_equal_load(10, 1.2)
+
+
+class TestScenarioSpecValidation:
+    def test_duplicate_agent_ids_rejected(self):
+        specs = (
+            AgentSpec(agent_id=1, interrequest=Deterministic(1.0)),
+            AgentSpec(agent_id=1, interrequest=Deterministic(2.0)),
+        )
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="dup", agents=specs)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="empty", agents=())
+
+    def test_unknown_agent_lookup(self):
+        scenario = equal_load(3, 0.5)
+        with pytest.raises(ConfigurationError):
+            scenario.agent(9)

@@ -1,0 +1,252 @@
+"""Model-based tests: each arbiter vs an independent reference policy.
+
+Hypothesis drives random request/arbitrate/grant interleavings through
+an arbiter while a *plainly written* reference model of its scheduling
+policy runs alongside; every winner must match.  Unlike the
+bus-simulation equivalence tests, these exercise arbitrary request
+patterns (including ones no closed-loop workload would produce) and
+keep the reference logic independent of the implementation's.
+"""
+
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
+from repro.baselines.fixed_priority import FixedPriorityArbiter
+from repro.core.fcfs import DistributedFCFS
+from repro.core.round_robin import DistributedRoundRobin
+
+
+class _Driver:
+    """Random closed-loop driver: requests and grants in random order."""
+
+    def __init__(self, arbiter, data, num_agents, steps=80):
+        self.arbiter = arbiter
+        self.data = data
+        self.num_agents = num_agents
+        self.steps = steps
+        self.now = 0.0
+        self.waiting = set()
+
+    def run(self, on_request, check_winner):
+        for __ in range(self.steps):
+            idle = sorted(set(range(1, self.num_agents + 1)) - self.waiting)
+            serve = self.waiting and (
+                not idle or self.data.draw(st.booleans(), label="serve?")
+            )
+            if serve:
+                winner = self.arbiter.start_arbitration(self.now).winner
+                check_winner(winner, self.now)
+                self.arbiter.grant(winner, self.now)
+                self.now += 1.0
+                self.arbiter.release(winner, self.now)
+                self.waiting.discard(winner)
+            else:
+                agent = self.data.draw(st.sampled_from(idle), label="requester")
+                self.arbiter.request(agent, self.now)
+                self.waiting.add(agent)
+                on_request(agent, self.now)
+            self.now += self.data.draw(
+                st.floats(min_value=0.01, max_value=2.0), label="gap"
+            )
+
+
+class TestFixedPriorityOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_always_the_maximum_waiting_identity(self, data):
+        num_agents = data.draw(st.integers(min_value=2, max_value=12))
+        driver = _Driver(FixedPriorityArbiter(num_agents), data, num_agents)
+        driver.run(
+            on_request=lambda agent, now: None,
+            check_winner=lambda winner, now: (
+                # reference: plain max over the waiting set
+                None if winner == max(driver.waiting) else (_ for _ in ()).throw(
+                    AssertionError(f"{winner} != max{sorted(driver.waiting)}")
+                )
+            ),
+        )
+
+
+class TestRoundRobinOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_descending_scan_from_previous_winner(self, data):
+        num_agents = data.draw(st.integers(min_value=2, max_value=12))
+        arbiter = DistributedRoundRobin(num_agents)
+        driver = _Driver(arbiter, data, num_agents)
+        state = {"pointer": 0}
+
+        def check(winner, now):
+            below = {a for a in driver.waiting if a < state["pointer"]}
+            expected = max(below) if below else max(driver.waiting)
+            assert winner == expected
+            state["pointer"] = winner
+
+        driver.run(on_request=lambda agent, now: None, check_winner=check)
+
+
+class TestFCFSOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_a_incr_serves_oldest_request(self, data):
+        num_agents = data.draw(st.integers(min_value=2, max_value=12))
+        arbiter = DistributedFCFS(num_agents, strategy=2)
+        driver = _Driver(arbiter, data, num_agents)
+        issue_time = {}
+
+        def check(winner, now):
+            # reference: earliest issue time wins; id breaks exact ties.
+            expected = min(
+                driver.waiting, key=lambda agent: (issue_time[agent], -agent)
+            )
+            assert winner == expected
+
+        driver.run(
+            on_request=lambda agent, now: issue_time.__setitem__(agent, now),
+            check_winner=check,
+        )
+
+
+class TestBatchingOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_batch_membership_and_order(self, data):
+        num_agents = data.draw(st.integers(min_value=2, max_value=12))
+        arbiter = BatchingAssuredAccess(num_agents)
+        driver = _Driver(arbiter, data, num_agents)
+        model = {"batch": set(), "room": set()}
+
+        def on_request(agent, now):
+            if model["batch"]:
+                model["room"].add(agent)
+            else:
+                model["batch"].add(agent)
+
+        def check(winner, now):
+            assert winner == max(model["batch"])
+            model["batch"].discard(winner)
+            if not model["batch"]:
+                model["batch"], model["room"] = model["room"], set()
+
+        driver.run(on_request=on_request, check_winner=check)
+
+
+class TestFuturebusOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_inhibit_and_release_semantics(self, data):
+        num_agents = data.draw(st.integers(min_value=2, max_value=12))
+        arbiter = FuturebusAssuredAccess(num_agents)
+        driver = _Driver(arbiter, data, num_agents)
+        inhibited = set()
+
+        def check(winner, now):
+            eligible = driver.waiting - inhibited
+            if not eligible:
+                inhibited.clear()  # fairness release
+                eligible = set(driver.waiting)
+            assert winner == max(eligible)
+            inhibited.add(winner)
+            # At tenure end the request line is low whenever every
+            # remaining waiter is inhibited (or none remain): release.
+            remaining = driver.waiting - {winner}
+            if not (remaining - inhibited):
+                inhibited.clear()
+
+        def on_request(agent, now):
+            # Request-line check: if all waiting are inhibited, release.
+            if driver.waiting and not (driver.waiting - inhibited):
+                inhibited.clear()
+
+        driver.run(on_request=on_request, check_winner=check)
+
+
+class TestMultiOutstandingFCFSOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_globally_oldest_request_served_first(self, data):
+        num_agents = data.draw(st.integers(min_value=2, max_value=8))
+        capacity = data.draw(st.integers(min_value=2, max_value=4))
+        arbiter = DistributedFCFS(num_agents, strategy=2, max_outstanding=capacity)
+        now = 0.0
+        pending = []  # (issue_time, agent) in issue order
+        per_agent = {agent: 0 for agent in range(1, num_agents + 1)}
+        for __ in range(80):
+            can_request = [a for a, n in per_agent.items() if n < capacity]
+            serve = pending and (
+                not can_request or data.draw(st.booleans(), label="serve?")
+            )
+            if serve:
+                winner = arbiter.start_arbitration(now).winner
+                # reference: the globally oldest pending request's agent
+                # (ties impossible: strictly increasing issue times).
+                expected = pending[0][1]
+                assert winner == expected
+                arbiter.grant(winner, now)
+                pending.pop(0)
+                per_agent[winner] -= 1
+            else:
+                agent = data.draw(st.sampled_from(sorted(can_request)), label="agent")
+                arbiter.request(agent, now)
+                pending.append((now, agent))
+                per_agent[agent] += 1
+            now += data.draw(
+                st.floats(min_value=0.01, max_value=1.0), label="gap"
+            )
+        assert arbiter.counter_wraps == 0  # §3.2 sizing holds for r > 1 too
+
+
+class TestHybridOracle:
+    @given(st.data())
+    @hyp_settings(max_examples=40, deadline=None)
+    def test_fcfs_by_tick_rr_within_cohort(self, data):
+        from repro.core.hybrid import HybridArbiter
+
+        num_agents = data.draw(st.integers(min_value=2, max_value=10))
+        arbiter = HybridArbiter(num_agents)
+        driver = _Driver(arbiter, data, num_agents)
+        tick_of = {}
+        state = {"tick": 0, "pointer": 0}
+
+        def on_request(agent, now):
+            # Distinct arrival instants in this driver: every request is
+            # its own tick unless two land at the same instant (the
+            # driver's gaps are strictly positive, so they never do).
+            state["tick"] += 1
+            tick_of[agent] = state["tick"]
+
+        def check(winner, now):
+            oldest_tick = min(tick_of[a] for a in driver.waiting)
+            cohort = {a for a in driver.waiting if tick_of[a] == oldest_tick}
+            below = {a for a in cohort if a < state["pointer"]}
+            expected = max(below) if below else max(cohort)
+            assert winner == expected
+            state["pointer"] = winner
+
+        driver.run(on_request=on_request, check_winner=check)
+
+
+class TestAdaptiveOracleSpreadArrivals:
+    @given(st.data())
+    @hyp_settings(max_examples=30, deadline=None)
+    def test_fcfs_mode_for_non_coincident_arrivals(self, data):
+        from repro.core.adaptive import AdaptiveArbiter
+
+        num_agents = data.draw(st.integers(min_value=2, max_value=10))
+        arbiter = AdaptiveArbiter(num_agents)
+        driver = _Driver(arbiter, data, num_agents)
+        issue_time = {}
+
+        def check(winner, now):
+            # With strictly positive inter-arrival gaps the coincidence
+            # fraction stays 0 and the arbiter schedules pure FCFS.
+            assert arbiter.mode == "fcfs"
+            expected = min(
+                driver.waiting, key=lambda agent: (issue_time[agent], -agent)
+            )
+            assert winner == expected
+
+        driver.run(
+            on_request=lambda agent, now: issue_time.__setitem__(agent, now),
+            check_winner=check,
+        )

@@ -1,0 +1,65 @@
+"""Tests for the repository's utility scripts."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGenerateApiDocs:
+    def test_writes_reference_for_every_package(self, tmp_path, monkeypatch):
+        module = _load("generate_api_docs")
+        monkeypatch.setattr(module, "OUT", tmp_path / "api.md")
+        module.main()
+        text = (tmp_path / "api.md").read_text()
+        for package in (
+            "repro.core",
+            "repro.signals",
+            "repro.baselines",
+            "repro.bus",
+            "repro.stats",
+            "repro.analysis",
+            "repro.workload",
+            "repro.experiments",
+        ):
+            assert f"## `{package}`" in text
+        assert "DistributedRoundRobin" in text
+        assert "min_integer_crossing" in text
+
+    def test_committed_api_doc_is_current_enough(self):
+        # The committed docs/api.md must at least know every top-level
+        # subpackage (regen with `make apidocs` after API changes).
+        committed = (SCRIPTS.parent / "docs" / "api.md").read_text()
+        for name in ("HandshakeBus", "AsyncContention", "TicketFCFS"):
+            assert name in committed, f"docs/api.md is stale: missing {name}"
+
+
+class TestGenerateExperiments:
+    def test_module_loads_and_references_resolve(self):
+        module = _load("generate_experiments")
+        # The paper-reference aliases must be the packaged tables.
+        from repro.experiments import reference
+
+        assert module.PAPER_4_2 is reference.TABLE_4_2
+        assert module.LOADS == reference.LOADS
+        assert set(module.PAPER_4_5) == {10, 30, 64}
+
+    def test_fmt_helper(self):
+        module = _load("generate_experiments")
+        assert module._fmt(None) == "—"
+        assert module._fmt(1.2345) == "1.23"
+
+        class Est:
+            mean = 2.5
+
+        assert module._fmt(Est()) == "2.50"

@@ -1,0 +1,72 @@
+"""Tests for the binary-patterned arbitration model [John83]."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ArbitrationError, SignalError
+from repro.signals.binary_patterned import BinaryPatternedArbitration
+
+
+class TestResolve:
+    def test_single_round(self):
+        outcome = BinaryPatternedArbitration(6).resolve([5, 9, 3])
+        assert outcome.rounds == 1
+
+    def test_only_max_wins(self):
+        outcome = BinaryPatternedArbitration(6).resolve([5, 9, 3])
+        assert outcome.won == {0: False, 1: True, 2: False}
+
+    def test_winner_identity_hidden_by_default(self):
+        outcome = BinaryPatternedArbitration(6).resolve([5, 9])
+        assert outcome.winner_identity is None
+
+    def test_broadcast_variant_reveals_winner(self):
+        arbiter = BinaryPatternedArbitration(6, broadcast_winner=True)
+        outcome = arbiter.resolve([5, 9])
+        assert outcome.winner_identity == 9
+
+    def test_broadcast_costs_extra_round(self):
+        arbiter = BinaryPatternedArbitration(6, broadcast_winner=True)
+        assert arbiter.resolve([5, 9]).rounds == 2
+
+    def test_empty_contention(self):
+        outcome = BinaryPatternedArbitration(4).resolve([])
+        assert outcome.won == {}
+        assert outcome.rounds == 0
+
+    def test_identity_zero_rejected(self):
+        with pytest.raises(SignalError):
+            BinaryPatternedArbitration(4).resolve([0])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ArbitrationError):
+            BinaryPatternedArbitration(4).resolve([3, 3])
+
+    def test_capacity_enforced(self):
+        with pytest.raises(SignalError):
+            BinaryPatternedArbitration(3).resolve([8])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SignalError):
+            BinaryPatternedArbitration(0)
+
+
+class TestEquivalenceWithFullLines:
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=127),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_same_winner_as_settle_process(self, identities):
+        # Johnson's lines pick the same winner as the full wired-OR
+        # settle; they only hide its identity and settle faster.
+        from repro.signals.contention import ParallelContention
+
+        settled = ParallelContention(7).resolve(identities).winner_identity
+        outcome = BinaryPatternedArbitration(7).resolve(identities)
+        winner_index = identities.index(settled)
+        assert outcome.won[winner_index] is True
+        assert sum(outcome.won.values()) == 1

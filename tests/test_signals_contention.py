@@ -1,0 +1,142 @@
+"""Tests for the parallel contention settle process, incl. property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ArbitrationError, SignalError
+from repro.signals.contention import ContentionResult, ParallelContention, applied_pattern
+
+
+class TestAppliedPattern:
+    def test_paper_example_first_agent(self):
+        # Agents 1010101 and 0011100: the first removes its three lowest
+        # bits, leaving 1010000 (§2.1's worked example).
+        observed = 0b1010101 | 0b0011100
+        assert applied_pattern(0b1010101, observed, 7) == 0b1010000
+
+    def test_paper_example_second_agent(self):
+        observed = 0b1010101 | 0b0011100
+        assert applied_pattern(0b0011100, observed, 7) == 0
+
+    def test_paper_example_reapply(self):
+        # Next round: lines carry 1010000; the first agent is no longer
+        # dominated anywhere and reapplies its full identity.
+        assert applied_pattern(0b1010101, 0b1010000, 7) == 0b1010101
+
+    def test_undominated_agent_applies_everything(self):
+        assert applied_pattern(0b111, 0b111, 3) == 0b111
+
+    def test_fully_dominated_agent_withdraws_all(self):
+        assert applied_pattern(0b011, 0b100, 3) == 0
+
+    def test_negative_identity_rejected(self):
+        with pytest.raises(SignalError):
+            applied_pattern(-1, 0, 3)
+
+    def test_observed_wider_than_bundle_rejected(self):
+        with pytest.raises(SignalError):
+            applied_pattern(0b01, 0b100, 2)
+
+
+class TestResolve:
+    def test_single_competitor_wins_in_one_round(self):
+        result = ParallelContention(4).resolve([0b1010])
+        assert result.winner_identity == 0b1010
+
+    def test_two_competitors(self):
+        result = ParallelContention(7).resolve([0b1010101, 0b0011100])
+        assert result.winner_identity == 0b1010101
+
+    def test_empty_contention_reports_nobody(self):
+        result = ParallelContention(4).resolve([])
+        assert result.empty
+        assert result.rounds == 0
+
+    def test_identity_zero_rejected(self):
+        with pytest.raises(SignalError):
+            ParallelContention(4).resolve([0])
+
+    def test_identity_too_wide_rejected(self):
+        with pytest.raises(SignalError):
+            ParallelContention(3).resolve([8])
+
+    def test_duplicate_identities_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ParallelContention(4).resolve([5, 5])
+
+    def test_history_starts_with_full_or(self):
+        result = ParallelContention(4).resolve([0b1000, 0b0111])
+        assert result.history[0] == 0b1111
+
+    def test_history_ends_with_winner(self):
+        result = ParallelContention(4).resolve([0b1000, 0b0111])
+        assert result.history[-1] == result.winner_identity
+
+    def test_all_agents_competing_full_house(self):
+        width = 4
+        identities = list(range(1, 16))
+        result = ParallelContention(width).resolve(identities)
+        assert result.winner_identity == 15
+
+    def test_adjacent_identities(self):
+        result = ParallelContention(6).resolve([0b101010, 0b101011])
+        assert result.winner_identity == 0b101011
+
+    def test_result_type(self):
+        assert isinstance(ParallelContention(3).resolve([1]), ContentionResult)
+
+
+class TestSettleProperties:
+    @given(
+        st.integers(min_value=2, max_value=10).flatmap(
+            lambda width: st.tuples(
+                st.just(width),
+                st.lists(
+                    st.integers(min_value=1, max_value=2**10 - 1),
+                    min_size=1,
+                    max_size=24,
+                    unique=True,
+                ).map(lambda ids: [i for i in ids if i < 2**width] or [1]),
+            )
+        )
+    )
+    def test_settles_to_maximum(self, width_and_ids):
+        width, identities = width_and_ids
+        result = ParallelContention(width).resolve(identities)
+        assert result.winner_identity == max(identities)
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=255),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_rounds_bounded_by_width(self, identities):
+        width = 8
+        result = ParallelContention(width).resolve(identities)
+        # The synchronous-round model settles within k rounds (+1 to
+        # confirm the fixpoint); Taub's k/2 bound is for the analog
+        # process with worst-case physical placement.
+        assert 1 <= result.rounds <= width + 1
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=127),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_winner_visible_to_all(self, identities):
+        # At the end of arbitration the settled word equals the winner's
+        # identity, so every agent knows who won — the property the RR
+        # protocol depends on (§1, requirement 2).
+        result = ParallelContention(7).resolve(identities)
+        assert result.winner_identity in identities
+
+    @given(st.integers(min_value=1, max_value=63))
+    def test_self_contention(self, identity):
+        result = ParallelContention(6).resolve([identity])
+        assert result.winner_identity == identity

@@ -1,0 +1,124 @@
+"""Unit tests for the wired-OR line and the arbitration line bundle."""
+
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.lines import ArbitrationLineBundle, lines_required
+from repro.signals.wired_or import WiredOrLine
+
+
+class TestWiredOrLine:
+    def test_floats_low_initially(self):
+        assert WiredOrLine().value is False
+
+    def test_single_driver_pulls_high(self):
+        line = WiredOrLine()
+        line.assert_(1)
+        assert line.value is True
+
+    def test_or_of_multiple_drivers(self):
+        line = WiredOrLine()
+        line.assert_(1)
+        line.assert_(2)
+        line.release(1)
+        assert line.value is True  # driver 2 still holds it
+        line.release(2)
+        assert line.value is False
+
+    def test_assert_is_idempotent(self):
+        line = WiredOrLine()
+        line.assert_(1)
+        line.assert_(1)
+        line.release(1)
+        assert line.value is False
+
+    def test_release_without_assert_raises(self):
+        with pytest.raises(SignalError):
+            WiredOrLine().release(1)
+
+    def test_release_if_held_is_lenient(self):
+        WiredOrLine().release_if_held(1)  # no exception
+
+    def test_asserting_set_reported(self):
+        line = WiredOrLine()
+        line.assert_(3)
+        line.assert_(7)
+        assert line.asserting == frozenset({3, 7})
+
+    def test_clear_removes_everyone(self):
+        line = WiredOrLine()
+        line.assert_(1)
+        line.clear()
+        assert line.value is False
+
+
+class TestLinesRequired:
+    @pytest.mark.parametrize(
+        "agents,width",
+        [(1, 1), (2, 2), (3, 2), (7, 3), (8, 4), (10, 4), (15, 4), (30, 5), (63, 6), (64, 7)],
+    )
+    def test_ceil_log2_n_plus_1(self, agents, width):
+        assert lines_required(agents) == width
+
+    def test_futurebus_uses_six_lines(self):
+        # The paper: "in the Futurebus standard, k=6" (up to 63 devices).
+        assert lines_required(63) == 6
+
+    def test_zero_agents_rejected(self):
+        with pytest.raises(SignalError):
+            lines_required(0)
+
+
+class TestArbitrationLineBundle:
+    def test_observed_is_wired_or_word(self):
+        bundle = ArbitrationLineBundle(4)
+        bundle.apply(1, 0b1010)
+        bundle.apply(2, 0b0011)
+        assert bundle.observed() == 0b1011
+
+    def test_reapply_replaces_pattern(self):
+        bundle = ArbitrationLineBundle(4)
+        bundle.apply(1, 0b1111)
+        bundle.apply(1, 0b1000)
+        assert bundle.observed() == 0b1000
+
+    def test_withdraw(self):
+        bundle = ArbitrationLineBundle(4)
+        bundle.apply(1, 0b101)
+        bundle.withdraw(1)
+        assert bundle.observed() == 0
+
+    def test_applied_by_tracks_driver(self):
+        bundle = ArbitrationLineBundle(4)
+        bundle.apply(9, 0b110)
+        assert bundle.applied_by(9) == 0b110
+        assert bundle.applied_by(2) == 0
+
+    def test_capacity(self):
+        assert ArbitrationLineBundle(5).capacity == 31
+
+    def test_too_wide_value_rejected(self):
+        with pytest.raises(SignalError):
+            ArbitrationLineBundle(3).apply(1, 0b1000)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SignalError):
+            ArbitrationLineBundle(3).apply(1, -1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SignalError):
+            ArbitrationLineBundle(0)
+
+    def test_clear(self):
+        bundle = ArbitrationLineBundle(3)
+        bundle.apply(1, 0b111)
+        bundle.clear()
+        assert bundle.observed() == 0
+        assert bundle.applied_by(1) == 0
+
+    def test_independent_drivers_on_shared_line(self):
+        bundle = ArbitrationLineBundle(2)
+        bundle.apply(1, 0b10)
+        bundle.apply(2, 0b10)
+        bundle.withdraw(1)
+        assert bundle.observed() == 0b10

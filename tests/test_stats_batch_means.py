@@ -1,0 +1,121 @@
+"""Tests for the batch-means confidence intervals."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.batch_means import BatchMeansEstimate, batch_means, t_quantile
+
+
+class TestTQuantile:
+    def test_paper_setting_nine_dof(self):
+        # 10 batches → 9 degrees of freedom at 90% confidence.
+        assert t_quantile(0.95, 9) == pytest.approx(1.833, abs=0.01)
+
+    def test_one_dof(self):
+        assert t_quantile(0.95, 1) == pytest.approx(6.314, abs=0.01)
+
+    def test_large_dof_approaches_normal(self):
+        assert t_quantile(0.95, 1000) == pytest.approx(1.645, abs=0.01)
+
+    def test_95_confidence_values(self):
+        assert t_quantile(0.975, 9) == pytest.approx(2.262, abs=0.01)
+
+    def test_invalid_dof(self):
+        with pytest.raises(StatisticsError):
+            t_quantile(0.95, 0)
+
+    def test_monotone_decreasing_in_dof(self):
+        values = [t_quantile(0.95, df) for df in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestBatchMeans:
+    def test_mean_of_batches(self):
+        estimate = batch_means([2.0, 4.0, 6.0])
+        assert estimate.mean == pytest.approx(4.0)
+
+    def test_identical_batches_zero_halfwidth(self):
+        estimate = batch_means([3.0] * 10)
+        assert estimate.halfwidth == 0.0
+        assert estimate.std_between == 0.0
+
+    def test_paper_formula_ten_batches(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        estimate = batch_means(values, confidence=0.90)
+        std = math.sqrt(sum((v - 5.5) ** 2 for v in values) / 9)
+        expected = t_quantile(0.95, 9) * std / math.sqrt(10)
+        assert estimate.halfwidth == pytest.approx(expected)
+
+    def test_confidence_level_recorded(self):
+        estimate = batch_means([1.0, 2.0], confidence=0.95)
+        assert estimate.confidence == 0.95
+
+    def test_wider_interval_at_higher_confidence(self):
+        values = [1.0, 3.0, 2.0, 4.0, 5.0]
+        assert (
+            batch_means(values, 0.95).halfwidth > batch_means(values, 0.90).halfwidth
+        )
+
+    def test_nan_batches_dropped(self):
+        estimate = batch_means([2.0, float("nan"), 4.0])
+        assert estimate.batches == 2
+        assert estimate.mean == pytest.approx(3.0)
+
+    def test_too_few_batches_rejected(self):
+        with pytest.raises(StatisticsError):
+            batch_means([1.0])
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(StatisticsError):
+            batch_means([float("nan")] * 5)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(StatisticsError):
+            batch_means([1.0, 2.0], confidence=1.5)
+
+    def test_covers(self):
+        estimate = BatchMeansEstimate(
+            mean=5.0, halfwidth=0.5, std_between=0.4, batches=10
+        )
+        assert estimate.covers(5.4)
+        assert not estimate.covers(5.6)
+
+    def test_relative_halfwidth(self):
+        estimate = BatchMeansEstimate(
+            mean=4.0, halfwidth=0.2, std_between=0.1, batches=10
+        )
+        assert estimate.relative_halfwidth == pytest.approx(0.05)
+
+    def test_relative_halfwidth_zero_mean(self):
+        estimate = BatchMeansEstimate(
+            mean=0.0, halfwidth=0.2, std_between=0.1, batches=10
+        )
+        assert estimate.relative_halfwidth == math.inf
+
+    def test_str_format(self):
+        estimate = batch_means([1.0, 2.0, 3.0])
+        assert "±" in str(estimate)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_mean_within_sample_range(self, values):
+        estimate = batch_means(values)
+        assert min(values) - 1e-9 <= estimate.mean <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=3, max_size=20),
+        st.floats(min_value=-5.0, max_value=5.0),
+    )
+    def test_shift_invariance(self, values, shift):
+        base = batch_means(values)
+        shifted = batch_means([v + shift for v in values])
+        assert shifted.mean == pytest.approx(base.mean + shift, abs=1e-6)
+        assert shifted.halfwidth == pytest.approx(base.halfwidth, abs=1e-6)

@@ -1,0 +1,153 @@
+"""Tests for the empirical CDF and the overlap-crossing rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.cdf import EmpiricalCDF, min_integer_crossing
+
+
+class TestEmpiricalCDF:
+    def test_evaluate_steps(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4.0) == 1.0
+        assert cdf.evaluate(99.0) == 1.0
+
+    def test_right_continuity_includes_equal_samples(self):
+        cdf = EmpiricalCDF([2.0, 2.0, 3.0])
+        assert cdf.evaluate(2.0) == pytest.approx(2 / 3)
+
+    def test_min_max_mean(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        assert cdf.min == 1.0
+        assert cdf.max == 3.0
+        assert cdf.mean == pytest.approx(2.0)
+
+    def test_std(self):
+        cdf = EmpiricalCDF([1.0, 3.0])
+        assert cdf.std == pytest.approx(1.0)
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.quantile(0.5) == 2.0
+        assert cdf.quantile(1.0) == 4.0
+        assert cdf.quantile(0.01) == 1.0
+
+    def test_quantile_validation(self):
+        cdf = EmpiricalCDF([1.0])
+        with pytest.raises(StatisticsError):
+            cdf.quantile(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticsError):
+            EmpiricalCDF([])
+
+    def test_series(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        assert cdf.series([0.0, 1.5, 3.0]) == [(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]
+
+    def test_len(self):
+        assert len(EmpiricalCDF([1.0, 2.0, 3.0])) == 3
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=200))
+    def test_monotone_non_decreasing(self, samples):
+        cdf = EmpiricalCDF(samples)
+        points = sorted({0.0, 25.0, 50.0, 75.0, 100.0} | set(samples))
+        values = [cdf.evaluate(p) for p in points]
+        assert values == sorted(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=200))
+    def test_bounds(self, samples):
+        cdf = EmpiricalCDF(samples)
+        assert cdf.evaluate(cdf.max) == 1.0
+        assert cdf.evaluate(cdf.min - 1.0) == 0.0
+
+
+class TestMinIntegerCrossing:
+    def test_finds_first_strict_crossing(self):
+        # RR has a longer tail: beyond 3 the FCFS CDF is higher.
+        rr = EmpiricalCDF([1.0, 2.0, 3.0, 8.0, 9.0])
+        fcfs = EmpiricalCDF([2.0, 3.0, 3.5, 4.0, 4.5])
+        crossing = min_integer_crossing(rr, fcfs, margin=0.0)
+        assert crossing == 4
+        assert rr.evaluate(4) < fcfs.evaluate(4)
+
+    def test_no_crossing_returns_none(self):
+        left = EmpiricalCDF([1.0, 2.0])
+        right = EmpiricalCDF([3.0, 4.0])
+        # The left CDF is always >= the right one: never strictly below.
+        assert min_integer_crossing(left, right, margin=0.0) is None
+        # Reversed, it is below immediately.
+        assert min_integer_crossing(right, left, margin=0.0) == 1
+
+    def test_upper_bound_respected(self):
+        rr = EmpiricalCDF([1.0, 2.0, 3.0, 8.0, 9.0])
+        fcfs = EmpiricalCDF([2.0, 3.0, 3.5, 4.0, 4.5])
+        assert min_integer_crossing(rr, fcfs, upper=3, margin=0.0) is None
+
+    def test_identical_distributions_never_cross(self):
+        samples = [1.0, 2.0, 3.0]
+        assert (
+            min_integer_crossing(EmpiricalCDF(samples), EmpiricalCDF(samples))
+            is None
+        )
+
+    def test_default_margin_suppresses_tail_noise(self):
+        # A one-sample-in-ten-thousand lead deep in the left tail must
+        # not be reported as the crossing.
+        rr = EmpiricalCDF([2.1] + [10.0] * 4000 + [30.0] * 999)
+        fcfs = EmpiricalCDF([1.9, 2.0] + [10.0] * 4998)
+        noisy = min_integer_crossing(rr, fcfs, margin=0.0)
+        robust = min_integer_crossing(rr, fcfs)
+        assert noisy == 2
+        assert robust == 10
+
+
+class TestKSDistance:
+    def test_identical_samples_zero_distance(self):
+        from repro.stats.cdf import ks_distance
+
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert ks_distance(EmpiricalCDF(samples), EmpiricalCDF(samples)) == 0.0
+
+    def test_disjoint_supports_distance_one(self):
+        from repro.stats.cdf import ks_distance
+
+        low = EmpiricalCDF([1.0, 2.0])
+        high = EmpiricalCDF([10.0, 11.0])
+        assert ks_distance(low, high) == 1.0
+
+    def test_known_half_overlap(self):
+        from repro.stats.cdf import ks_distance
+
+        first = EmpiricalCDF([1.0, 2.0])
+        second = EmpiricalCDF([2.0, 3.0])
+        # At x = 1: |0.5 - 0| = 0.5 is the supremum.
+        assert ks_distance(first, second) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        from repro.stats.cdf import ks_distance
+
+        a = EmpiricalCDF([1.0, 5.0, 9.0])
+        b = EmpiricalCDF([2.0, 3.0, 4.0])
+        assert ks_distance(a, b) == ks_distance(b, a)
+
+    def test_rr_vs_fcfs_distance_exceeds_seed_noise(self):
+        from repro.stats.cdf import ks_distance
+        from repro.experiments.runner import SimulationSettings, run_simulation
+        from repro.workload.scenarios import equal_load
+
+        scenario = equal_load(10, 2.0)
+
+        def cdf(protocol, seed):
+            settings = SimulationSettings(
+                batches=3, batch_size=800, warmup=200, seed=seed, keep_samples=True
+            )
+            return run_simulation(scenario, protocol, settings).waiting_cdf()
+
+        protocol_gap = ks_distance(cdf("rr", 1), cdf("fcfs", 1))
+        seed_noise = ks_distance(cdf("rr", 1), cdf("rr", 2))
+        assert protocol_gap > 2 * seed_noise

@@ -1,0 +1,115 @@
+"""Tests for the run-level result object."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.workload.scenarios import equal_load, unequal_load
+
+from _utils import quick_settings
+
+
+@pytest.fixture(scope="module")
+def rr_result():
+    return run_simulation(equal_load(8, 2.0), "rr", quick_settings(keep_samples=True))
+
+
+@pytest.fixture(scope="module")
+def fcfs_result():
+    return run_simulation(
+        equal_load(8, 2.0), "fcfs", quick_settings(keep_samples=True)
+    )
+
+
+class TestHeadlineEstimates:
+    def test_system_throughput_near_saturation(self, rr_result):
+        # Load 2.0 saturates the bus: throughput ≈ 1 transaction per unit.
+        assert rr_result.system_throughput().mean == pytest.approx(1.0, abs=0.02)
+
+    def test_mean_waiting_includes_transaction(self, rr_result):
+        # W is issue → completion, so it is at least the transaction time
+        # plus the idle-bus arbitration delay.
+        assert rr_result.mean_waiting().mean >= 1.5
+
+    def test_queueing_is_waiting_minus_transaction(self, rr_result):
+        waiting = rr_result.mean_waiting().mean
+        queueing = rr_result.mean_queueing().mean
+        assert waiting - queueing == pytest.approx(1.0, abs=1e-6)
+
+    def test_std_waiting_positive_under_contention(self, rr_result):
+        assert rr_result.std_waiting().mean > 0.0
+
+    def test_utilization_bounded(self, rr_result):
+        assert 0.0 < rr_result.utilization <= 1.0
+
+
+class TestFairnessMetrics:
+    def test_extreme_ratio_uses_highest_and_lowest(self, rr_result):
+        direct = rr_result.throughput_ratio(8, 1)
+        extreme = rr_result.extreme_throughput_ratio()
+        assert direct.mean == pytest.approx(extreme.mean)
+
+    def test_bandwidth_shares_sum_to_one(self, rr_result):
+        shares = rr_result.bandwidth_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == set(range(1, 9))
+
+    def test_rr_shares_equal(self, rr_result):
+        shares = rr_result.bandwidth_shares()
+        for share in shares.values():
+            assert share == pytest.approx(1 / 8, abs=0.01)
+
+    def test_agent_throughput(self, rr_result):
+        # 8 agents sharing a saturated bus: 1/8 transaction per unit each.
+        estimate = rr_result.agent_throughput(4)
+        assert estimate.mean == pytest.approx(1 / 8, abs=0.01)
+
+
+class TestDistributional:
+    def test_waiting_cdf_matches_mean(self, rr_result):
+        cdf = rr_result.waiting_cdf()
+        assert cdf.mean == pytest.approx(rr_result.mean_waiting().mean, rel=0.02)
+
+    def test_overlap_metrics_consistency(self, fcfs_result):
+        metrics = fcfs_result.overlap_metrics(4.0)
+        # E[min(v, W)] + E[(W - v)+] == E[W], batch by batch.
+        assert metrics.overlapped.mean + metrics.residual_waiting.mean == (
+            pytest.approx(metrics.total_waiting.mean)
+        )
+
+    def test_overlap_zero_overlaps_nothing(self, fcfs_result):
+        metrics = fcfs_result.overlap_metrics(0.0)
+        assert metrics.overlapped.mean == 0.0
+        assert metrics.residual_waiting.mean == pytest.approx(
+            metrics.total_waiting.mean
+        )
+
+    def test_huge_overlap_covers_everything(self, fcfs_result):
+        metrics = fcfs_result.overlap_metrics(10_000.0)
+        assert metrics.residual_waiting.mean == pytest.approx(0.0)
+        assert metrics.productivity.mean == pytest.approx(1.0)
+
+    def test_productivity_between_zero_and_one(self, fcfs_result):
+        metrics = fcfs_result.overlap_metrics(3.0)
+        assert 0.0 < metrics.productivity.mean <= 1.0
+
+    def test_negative_overlap_rejected(self, fcfs_result):
+        with pytest.raises(StatisticsError):
+            fcfs_result.overlap_metrics(-1.0)
+
+    def test_overlap_requires_samples(self):
+        result = run_simulation(equal_load(8, 2.0), "rr", quick_settings())
+        with pytest.raises(StatisticsError):
+            result.overlap_metrics(3.0)
+
+    def test_overlap_requires_homogeneous_population(self):
+        result = run_simulation(
+            unequal_load(8, 0.1, 2.0), "rr", quick_settings(keep_samples=True)
+        )
+        with pytest.raises(StatisticsError):
+            result.overlap_metrics(3.0)
+
+    def test_cdf_requires_samples(self):
+        result = run_simulation(equal_load(8, 2.0), "rr", quick_settings())
+        with pytest.raises(StatisticsError):
+            result.waiting_cdf()

@@ -1,0 +1,88 @@
+"""Property tests: whole-system invariants under randomised workloads.
+
+Hypothesis generates scenario parameters and a protocol; a full bus
+simulation then has to satisfy the physical invariants no correct
+arbiter may violate — one master at a time, no lost or invented
+requests, waits bounded below by the hardware minimum, conservation of
+work.
+"""
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.bus.model import BusSystem
+from repro.bus.timeline import ownership_segments
+from repro.experiments.runner import PROTOCOLS, make_arbiter
+from repro.stats.collector import CompletionCollector
+from repro.workload.scenarios import equal_load
+
+
+scenario_params = st.tuples(
+    st.integers(min_value=2, max_value=16),                  # agents
+    st.floats(min_value=0.2, max_value=4.0),                 # total load factor
+    st.sampled_from([0.0, 0.5, 1.0]),                        # CV
+    st.sampled_from(sorted(PROTOCOLS)),                      # protocol
+    st.integers(min_value=0, max_value=2**16),               # seed
+)
+
+
+def _simulate(num_agents, load_factor, cv, protocol, seed, completions=300):
+    total_load = min(load_factor, num_agents * 0.95)
+    scenario = equal_load(num_agents, total_load, cv=cv)
+    arbiter = make_arbiter(protocol, num_agents)
+    collector = CompletionCollector(
+        batches=2,
+        batch_size=completions // 2,
+        warmup=0,
+        keep_records=True,
+    )
+    system = BusSystem(scenario, arbiter, collector, seed=seed)
+    system.run()
+    return system, collector
+
+
+class TestPhysicalInvariants:
+    @given(scenario_params)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_one_master_at_a_time(self, params):
+        __, collector = _simulate(*params)
+        ownership_segments(collector.records)  # raises on overlap
+
+    @given(scenario_params)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_no_invented_completions(self, params):
+        system, collector = _simulate(*params)
+        issued = sum(agent.requests_issued for agent in system.agents.values())
+        completed = sum(agent.completions for agent in system.agents.values())
+        outstanding = sum(agent.outstanding for agent in system.agents.values())
+        assert completed + outstanding == issued
+        assert completed >= collector.total_recorded
+
+    @given(scenario_params)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_waits_bounded_below(self, params):
+        __, collector = _simulate(*params)
+        # Hardware floor: one transaction; plus arbitration when idle.
+        for record in collector.records:
+            assert record.waiting_time >= 1.0 - 1e-9
+            assert record.queueing_delay >= 0.0
+
+    @given(scenario_params)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_utilization_and_clock_sane(self, params):
+        system, collector = _simulate(*params)
+        assert 0.0 < system.utilization() <= 1.0 + 1e-9
+        last = max(record.completion_time for record in collector.records)
+        assert system.simulator.now >= last - 1e-9
+
+    @given(scenario_params)
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_determinism(self, params):
+        __, first = _simulate(*params, completions=150)
+        __, second = _simulate(*params, completions=150)
+        assert [r.agent_id for r in first.records] == [
+            r.agent_id for r in second.records
+        ]
+        assert [r.completion_time for r in first.records] == [
+            r.completion_time for r in second.records
+        ]

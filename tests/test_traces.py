@@ -1,0 +1,137 @@
+"""Tests for trace-driven workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.scenarios import AgentSpec, ScenarioSpec
+from repro.workload.traces import (
+    TraceDistribution,
+    load_trace,
+    save_trace,
+    synthesize_program_trace,
+)
+
+
+class TestTraceDistribution:
+    def test_replays_in_order(self):
+        trace = TraceDistribution([1.0, 2.0, 3.0])
+        rng = random.Random(0)
+        assert [trace.sample(rng) for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_cycles_by_default(self):
+        trace = TraceDistribution([1.0, 2.0])
+        rng = random.Random(0)
+        assert [trace.sample(rng) for _ in range(5)] == [1.0, 2.0, 1.0, 2.0, 1.0]
+
+    def test_no_cycle_exhausts(self):
+        trace = TraceDistribution([1.0], cycle=False)
+        rng = random.Random(0)
+        trace.sample(rng)
+        with pytest.raises(ConfigurationError):
+            trace.sample(rng)
+
+    def test_offset_phases_agents_apart(self):
+        base = [1.0, 2.0, 3.0]
+        shifted = TraceDistribution(base, offset=1)
+        rng = random.Random(0)
+        assert shifted.sample(rng) == 2.0
+
+    def test_declared_moments_match_samples(self):
+        trace = TraceDistribution([2.0, 4.0])
+        assert trace.mean == pytest.approx(3.0)
+        assert trace.cv == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceDistribution([])
+        with pytest.raises(ConfigurationError):
+            TraceDistribution([-1.0])
+        with pytest.raises(ConfigurationError):
+            TraceDistribution([1.0], offset=-1)
+
+    def test_usable_in_scenario(self):
+        from repro.experiments.runner import SimulationSettings, run_simulation
+
+        trace = synthesize_program_trace(500, seed=3)
+        agents = tuple(
+            AgentSpec(
+                agent_id=i,
+                interrequest=TraceDistribution(trace, offset=i * 37),
+            )
+            for i in range(1, 5)
+        )
+        scenario = ScenarioSpec(name="trace-driven", agents=agents)
+        result = run_simulation(
+            scenario,
+            "rr",
+            SimulationSettings(batches=2, batch_size=200, warmup=50, seed=1),
+        )
+        assert result.system_throughput().mean > 0.0
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "bus.trace"
+        save_trace(path, [1.5, 2.25, 0.75], header="synthetic test trace")
+        assert load_trace(path) == [1.5, 2.25, 0.75]
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "bus.trace"
+        path.write_text("# header\n1.0\n\n2.0  # inline\n")
+        assert load_trace(path) == [1.0, 2.0]
+
+    def test_bad_number_reported_with_line(self, tmp_path):
+        path = tmp_path / "bus.trace"
+        path.write_text("1.0\nnot-a-number\n")
+        with pytest.raises(ConfigurationError, match=":2:"):
+            load_trace(path)
+
+    def test_negative_rejected(self, tmp_path):
+        path = tmp_path / "bus.trace"
+        path.write_text("-0.5\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "bus.trace"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestSynthesizer:
+    def test_requested_length(self):
+        assert len(synthesize_program_trace(321, seed=1)) == 321
+
+    def test_deterministic_by_seed(self):
+        assert synthesize_program_trace(100, seed=5) == synthesize_program_trace(
+            100, seed=5
+        )
+        assert synthesize_program_trace(100, seed=5) != synthesize_program_trace(
+            100, seed=6
+        )
+
+    def test_burstier_than_renewal(self):
+        # Phase alternation makes the trace's CV exceed the exponential's
+        # 1.0: that burstiness is what the synthesizer exists to provide.
+        trace = TraceDistribution(synthesize_program_trace(5000, seed=2))
+        assert trace.cv > 1.1
+
+    def test_autocorrelated_phases(self):
+        # Neighbouring samples come from the same program phase far more
+        # often than not: lag-1 autocorrelation is clearly positive.
+        values = synthesize_program_trace(5000, seed=4)
+        mean = sum(values) / len(values)
+        num = sum(
+            (a - mean) * (b - mean) for a, b in zip(values, values[1:])
+        )
+        den = sum((v - mean) ** 2 for v in values)
+        assert num / den > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_program_trace(0)
+        with pytest.raises(ConfigurationError):
+            synthesize_program_trace(10, compute_mean=0.0)
