@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test bench tables experiments apidocs examples clean
+.PHONY: install test bench bench-all tables experiments apidocs examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -11,7 +11,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Engine micro-benchmarks -> BENCH_engine.json (median timings), plus the
+# sweep-executor wall-clock demos (parallel speedup, warm-cache replay).
 bench:
+	$(PYTHON) scripts/run_benchmarks.py
+	REPRO_SCALE=$(SCALE) PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_sweep_parallel.py -q -s
+
+# The full benchmark suite (ablations and table regenerations included).
+bench-all:
 	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 tables:

@@ -5,17 +5,25 @@ Runs the full experiment harness (at the scale given by ``REPRO_SCALE``,
 paper fidelity with ``REPRO_SCALE=paper``) and writes EXPERIMENTS.md with
 the paper's published numbers beside ours.
 
-Usage:  REPRO_SCALE=paper python scripts/generate_experiments.py
+Usage:  REPRO_SCALE=paper python scripts/generate_experiments.py [--jobs N] [--cache]
+
+``--jobs N`` fans the independent table cells over N worker processes
+(0 = one per core); ``--cache`` replays previously computed cells from
+the on-disk result cache.  Either way the output is bit-identical to a
+serial, uncached run.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 from pathlib import Path
 
 from repro.experiments import figure_4_1, table_4_1, table_4_2, table_4_3, table_4_4, table_4_5
+from repro.experiments.cache import ResultCache
 from repro.experiments.scale import current_scale
+from repro.experiments.sweep import SweepExecutor
 
 OUT = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
 
@@ -49,11 +57,11 @@ def _fmt(value, digits=2):
     return f"{value:.{digits}f}"
 
 
-def section_4_1(scale, out):
+def section_4_1(scale, out, executor):
     out.append("## Table 4.1 — bandwidth allocation, equal request rates\n")
     out.append("Throughput ratio of the highest-identity agent to the lowest "
                "(t_N/t_1).  Paper values in parentheses.\n")
-    for panel in table_4_1.run(scale=scale):
+    for panel in table_4_1.run(scale=scale, executor=executor):
         n = panel.data[0]["num_agents"]
         paper = PAPER_4_1.get(n, {})
         out.append(f"\n### {n} agents\n")
@@ -80,10 +88,10 @@ def section_4_1(scale, out):
                "toward 2.0. All reproduced.\n")
 
 
-def section_4_2(scale, out):
+def section_4_2(scale, out, executor):
     out.append("## Table 4.2 — waiting-time standard deviation\n")
     out.append("W is issue → transaction completion (the paper's W).\n")
-    for panel in table_4_2.run(scale=scale):
+    for panel in table_4_2.run(scale=scale, executor=executor):
         n = panel.data[0]["num_agents"]
         paper = PAPER_4_2[n]
         out.append(f"\n### {n} agents\n")
@@ -102,12 +110,12 @@ def section_4_2(scale, out):
                "and the growth of σRR/σFCFS with N and load reproduced.\n")
 
 
-def section_4_3(scale, out):
+def section_4_3(scale, out, executor):
     out.append("## Table 4.3 — execution overlapped with bus waiting\n")
     out.append("v = min integer with CDF_RR(v) < CDF_FCFS(v); "
                "residual = E[(W−v)+].  Paper's v in parentheses where "
                "legible in our source.\n")
-    for panel in table_4_3.run(scale=scale):
+    for panel in table_4_3.run(scale=scale, executor=executor):
         n = panel.data[0]["num_agents"]
         paper_v = PAPER_4_3_OVERLAP.get(n)
         out.append(f"\n### {n} agents\n")
@@ -128,9 +136,9 @@ def section_4_3(scale, out):
                "crossing values near the paper's overlap column.\n")
 
 
-def section_4_4(scale, out):
+def section_4_4(scale, out, executor):
     out.append("## Table 4.4 — unequal request rates (30 agents)\n")
-    for panel, factor in zip(table_4_4.run(scale=scale), (2.0, 4.0)):
+    for panel, factor in zip(table_4_4.run(scale=scale, executor=executor), (2.0, 4.0)):
         paper = PAPER_4_4[factor]
         out.append(f"\n### agent 1 at {factor:g}×\n")
         out.append("| Load | λ | t1/t2 RR (paper) | t1/t2 FCFS (paper) |")
@@ -146,11 +154,11 @@ def section_4_4(scale, out):
                "to the demand ratio. Reproduced.\n")
 
 
-def section_4_5(scale, out):
+def section_4_5(scale, out, executor):
     out.append("## Table 4.5 — worst-case bus allocation for RR\n")
     out.append("Slow agent (deterministic inter-request n−0.5) vs regular "
                "agents (n−3.6).  The FCFS column is our added reference.\n")
-    for panel in table_4_5.run(scale=scale):
+    for panel in table_4_5.run(scale=scale, executor=executor):
         n = panel.data[0]["num_agents"]
         paper = PAPER_4_5.get(n, {})
         out.append(f"\n### {n} agents\n")
@@ -168,9 +176,9 @@ def section_4_5(scale, out):
                "service exactly as the paper reports.\n")
 
 
-def section_figure(scale, out):
+def section_figure(scale, out, executor):
     out.append("## Figure 4.1 — CDF of the bus waiting time (30 agents, load 1.5)\n")
-    figure = figure_4_1.run(scale=scale)
+    figure = figure_4_1.run(scale=scale, executor=executor)
     out.append("```")
     out.append(figure.render())
     out.append("```")
@@ -183,6 +191,19 @@ def section_figure(scale, out):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (0 = one per core; default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse cached cell results ($REPRO_CACHE_DIR or ~/.cache/repro-arb)",
+    )
+    args = parser.parse_args()
+    executor = SweepExecutor(
+        jobs=args.jobs, cache=ResultCache() if args.cache else None
+    )
     scale = current_scale()
     started = time.time()
     out = [
@@ -213,12 +234,16 @@ def main():
     for section in (section_4_1, section_4_2, section_4_3, section_4_4,
                     section_4_5, section_figure):
         print(f"running {section.__name__} ...", flush=True)
-        section(scale, out)
+        section(scale, out, executor)
         out.append("")
     out.append(f"_Generated in {time.time() - started:.0f}s at scale "
                f"{scale.name}._")
     OUT.write_text("\n".join(out) + "\n", encoding="utf-8")
-    print(f"wrote {OUT}")
+    stats = executor.stats
+    print(
+        f"wrote {OUT} (jobs={executor.jobs}, simulated {stats.executed} cells, "
+        f"{stats.cache_hits} cache hits)"
+    )
 
 
 if __name__ == "__main__":

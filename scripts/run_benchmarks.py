@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Run the engine micro-benchmarks and write BENCH_engine.json.
+
+Invokes ``benchmarks/test_engine_microbench.py`` under pytest-benchmark,
+then condenses the raw calibration data to one entry per benchmark
+(median / mean / stddev in microseconds) so regressions diff cleanly.
+
+Usage::
+
+    python scripts/run_benchmarks.py [--out BENCH_engine.json]
+                                     [--compare BASELINE.json]
+                                     [--tolerance 0.15]
+
+``--compare`` exits non-zero if any benchmark's median regressed more
+than ``--tolerance`` (fractional) against the given baseline file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_engine.json"
+BENCH_FILE = "benchmarks/test_engine_microbench.py"
+
+
+def run_microbench(raw_path: Path) -> dict:
+    """Run pytest-benchmark and return its raw JSON payload."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BENCH_FILE,
+        "--benchmark-only",
+        f"--benchmark-json={raw_path}",
+        "-q",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    subprocess.run(command, cwd=ROOT, env=env, check=True)
+    return json.loads(raw_path.read_text(encoding="utf-8"))
+
+
+def condense(raw: dict) -> dict:
+    """One compact entry per benchmark, timings in microseconds."""
+    benchmarks = {}
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "median_us": round(stats["median"] * 1e6, 3),
+            "mean_us": round(stats["mean"] * 1e6, 3),
+            "stddev_us": round(stats["stddev"] * 1e6, 3),
+            "rounds": stats["rounds"],
+        }
+    return {
+        "source": BENCH_FILE,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": benchmarks,
+    }
+
+
+def compare(current: dict, baseline_path: Path, tolerance: float) -> int:
+    """Report median deltas vs a baseline; non-zero on regression."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))["benchmarks"]
+    status = 0
+    for name, entry in sorted(current["benchmarks"].items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"  {name}: no baseline entry")
+            continue
+        delta = entry["median_us"] / reference["median_us"] - 1.0
+        marker = ""
+        if delta > tolerance:
+            marker = "  <-- REGRESSION"
+            status = 1
+        print(
+            f"  {name}: {reference['median_us']:.1f}us -> "
+            f"{entry['median_us']:.1f}us ({delta:+.1%}){marker}"
+        )
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="fail if a median regressed past --tolerance vs this file",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional median slowdown (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = run_microbench(Path(tmp) / "raw.json")
+    summary = condense(raw)
+    args.out.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    for name, entry in sorted(summary["benchmarks"].items()):
+        print(f"  {name}: median {entry['median_us']:.1f}us")
+
+    if args.compare is not None:
+        print(f"comparing against {args.compare} (tolerance {args.tolerance:.0%})")
+        return compare(summary, args.compare, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

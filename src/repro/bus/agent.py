@@ -18,6 +18,11 @@ from repro.workload.scenarios import AgentSpec
 
 __all__ = ["BusAgent"]
 
+#: Think times drawn per batched RNG call.  Batching amortises the
+#: per-draw dispatch through the Distribution interface; the variate
+#: *sequence* is unchanged, so results stay bit-identical.
+_THINK_BLOCK = 64
+
 
 class BusAgent:
     """Request-generation state machine for one agent.
@@ -57,6 +62,12 @@ class BusAgent:
         #: accounting in the overlap experiments.
         self.total_think_time = 0.0
         self._generation_blocked = False
+        #: Pre-drawn think times, consumed from the end.  Batching is only
+        #: sequence-preserving when think draws are the *only* draws on
+        #: this agent's stream; priority classing interleaves a uniform
+        #: draw per request, so such agents fall back to one-at-a-time.
+        self._think_buffer: list = []
+        self._batch_draws = spec.priority_fraction <= 0.0
 
     @property
     def agent_id(self) -> int:
@@ -68,7 +79,16 @@ class BusAgent:
         self._schedule_next_request()
 
     def _schedule_next_request(self) -> None:
-        think = self.spec.interrequest.sample(self.rng)
+        if self._batch_draws:
+            buffer = self._think_buffer
+            if not buffer:
+                buffer.extend(
+                    self.spec.interrequest.sample_batch(self.rng, _THINK_BLOCK)
+                )
+                buffer.reverse()  # consume in draw order via pop()
+            think = buffer.pop()
+        else:
+            think = self.spec.interrequest.sample(self.rng)
         self.total_think_time += think
         self._schedule(think, self._generate_request)
 

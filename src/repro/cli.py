@@ -35,9 +35,11 @@ from repro.experiments import (
     table_4_4,
     table_4_5,
 )
+from repro.experiments.cache import ResultCache
 from repro.experiments.formatting import fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
 from repro.experiments.scale import SCALES, current_scale
+from repro.experiments.sweep import SweepExecutor
 from repro.workload.scenarios import equal_load
 
 __all__ = ["main", "build_parser"]
@@ -50,12 +52,16 @@ _TABLES = {
     "4.5": table_4_5,
 }
 
-#: Extension tables (beyond the paper): name -> callable(scale, seed).
+#: Extension tables (beyond the paper): name -> callable(scale, seed, executor).
 _EXTENSION_TABLES = {
-    "E1": lambda scale, seed: extensions.run_table_e1(),
-    "E2": lambda scale, seed: extensions.run_table_e2(seed=seed),
-    "E3": lambda scale, seed: extensions.run_table_e3(scale=scale, seed=seed),
-    "E4": lambda scale, seed: extensions.run_table_e4(scale=scale, seed=seed),
+    "E1": lambda scale, seed, executor: extensions.run_table_e1(),
+    "E2": lambda scale, seed, executor: extensions.run_table_e2(seed=seed),
+    "E3": lambda scale, seed, executor: extensions.run_table_e3(
+        scale=scale, seed=seed, executor=executor
+    ),
+    "E4": lambda scale, seed, executor: extensions.run_table_e4(
+        scale=scale, seed=seed, executor=executor
+    ),
 }
 
 
@@ -76,6 +82,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, help="master random seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for table/figure sweeps (0 = one per core; "
+            "default: $REPRO_JOBS or 1 = serial); results are identical "
+            "for any worker count"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse cached simulation results ($REPRO_CACHE_DIR or ~/.cache/repro-arb)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache results under PATH (implies --cache)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -130,8 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _emit_tables(module, scale, seed) -> None:
-    for panel in module.run(scale=scale, seed=seed):
+def _make_executor(args) -> SweepExecutor:
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    return SweepExecutor(jobs=args.jobs, cache=cache)
+
+
+def _emit_tables(module, scale, seed, executor) -> None:
+    for panel in module.run(scale=scale, seed=seed, executor=executor):
         print(panel.render())
         print()
 
@@ -190,22 +225,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = current_scale(args.scale)
     try:
         if args.command == "table":
+            executor = _make_executor(args)
             if args.number in _EXTENSION_TABLES:
-                print(_EXTENSION_TABLES[args.number](scale, args.seed).render())
+                print(
+                    _EXTENSION_TABLES[args.number](scale, args.seed, executor).render()
+                )
                 print()
             else:
-                _emit_tables(_TABLES[args.number], scale, args.seed)
+                _emit_tables(_TABLES[args.number], scale, args.seed, executor)
         elif args.command == "figure":
-            figure = figure_4_1.run(scale=scale, seed=args.seed)
+            figure = figure_4_1.run(
+                scale=scale, seed=args.seed, executor=_make_executor(args)
+            )
             print(figure.render())
             if args.csv:
                 with open(args.csv, "w", encoding="utf-8") as handle:
                     handle.write(figure.series_csv())
                 print(f"(series written to {args.csv})")
         elif args.command == "all":
+            executor = _make_executor(args)
             for number in sorted(_TABLES):
-                _emit_tables(_TABLES[number], scale, args.seed)
-            print(figure_4_1.run(scale=scale, seed=args.seed).render())
+                _emit_tables(_TABLES[number], scale, args.seed, executor)
+            print(figure_4_1.run(scale=scale, seed=args.seed, executor=executor).render())
         elif args.command == "protocols":
             for name in sorted(PROTOCOLS):
                 arbiter = PROTOCOLS[name](8)

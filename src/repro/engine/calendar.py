@@ -25,6 +25,8 @@ class EventCalendar:
     pop.
     """
 
+    __slots__ = ("_heap", "_sequence", "_live")
+
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._sequence = 0
@@ -67,10 +69,18 @@ class EventCalendar:
         heapq.heappush(self._heap, (event.time, event.priority, self._sequence, event))
         self._sequence += 1
         self._live += 1
+        event._queued = True
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (idempotent)."""
-        if not event.cancelled:
+        """Cancel a previously scheduled event (idempotent).
+
+        Only an event that is still queued counts against the live total;
+        cancelling one that already fired (or was already cancelled) is a
+        no-op.  Without the ``queued`` guard a late cancel would drive the
+        live count below the true queue size, making ``__bool__`` /
+        ``__len__`` lie and letting a simulation run exit early.
+        """
+        if event._queued and not event.cancelled:
             event.cancel()
             self._live -= 1
 
@@ -84,6 +94,7 @@ class EventCalendar:
         """
         while self._heap:
             __, __, __, event = heapq.heappop(self._heap)
+            event._queued = False
             if event.cancelled:
                 continue
             self._live -= 1
@@ -93,12 +104,14 @@ class EventCalendar:
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` if empty."""
         while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)[3]._queued = False
         if not self._heap:
             return None
         return self._heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for __, __, __, event in self._heap:
+            event._queued = False
         self._heap.clear()
         self._live = 0

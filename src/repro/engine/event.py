@@ -56,7 +56,7 @@ class Event:
         Optional human-readable tag used by tracing and error messages.
     """
 
-    __slots__ = ("time", "action", "priority", "label", "_cancelled")
+    __slots__ = ("time", "action", "priority", "label", "_cancelled", "_queued")
 
     def __init__(
         self,
@@ -70,11 +70,23 @@ class Event:
         self.priority = int(priority)
         self.label = label
         self._cancelled = False
+        self._queued = False
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called on this event."""
         return self._cancelled
+
+    @property
+    def queued(self) -> bool:
+        """Whether the event currently sits in a calendar awaiting its pop.
+
+        Maintained by :class:`~repro.engine.calendar.EventCalendar`: set on
+        push, cleared when the event is popped (fired or discarded).  The
+        calendar uses it to keep its live count honest when asked to cancel
+        an event that has already run.
+        """
+        return self._queued
 
     def cancel(self) -> None:
         """Mark the event so the calendar skips it instead of firing it.

@@ -7,6 +7,7 @@ prints the same rows the paper reports.  Fidelity is controlled by
 10 x 8000-sample runs of §4.1).
 """
 
+from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.formatting import ExperimentTable, ascii_plot, fmt_estimate
 from repro.experiments.runner import (
     PROTOCOLS,
@@ -15,6 +16,7 @@ from repro.experiments.runner import (
     run_simulation,
 )
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 
 __all__ = [
     "PROTOCOLS",
@@ -26,4 +28,8 @@ __all__ = [
     "ExperimentTable",
     "ascii_plot",
     "fmt_estimate",
+    "ResultCache",
+    "cache_key",
+    "SweepCell",
+    "SweepExecutor",
 ]

@@ -1,0 +1,191 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A simulation is a pure function of ``(scenario, protocol, settings)``
+(see ``docs/architecture.md`` — every random stream derives from
+``settings.seed``), so its :class:`~repro.stats.summary.RunResult` can be
+cached on disk and replayed on any later invocation with the same
+inputs.  Regenerating a table, or re-running a benchmark ablation after
+an unrelated code change, then costs one pickle load per cell instead of
+one simulation.
+
+Keys are SHA-256 digests of a canonical description of the cell:
+
+- the scenario: every agent's identity, workload distribution
+  (:meth:`~repro.workload.distributions.Distribution.spec_key`), loop
+  mode and priority mix;
+- the protocol name;
+- every :class:`~repro.experiments.runner.SimulationSettings` field,
+  including the nested bus timing;
+- a cache-format epoch (:data:`CACHE_EPOCH`) plus the package version,
+  so results produced by older engine revisions are never replayed
+  against newer code.
+
+The description deliberately excludes cosmetic fields (scenario
+``notes``) and anything derivable from the above.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+import repro
+from repro.errors import ConfigurationError
+from repro.experiments.runner import SimulationSettings
+from repro.stats.summary import RunResult
+from repro.workload.scenarios import ScenarioSpec
+
+__all__ = ["CACHE_EPOCH", "cache_key", "ResultCache", "default_cache_dir"]
+
+#: Bump when a change anywhere in the engine, protocols, workload or
+#: statistics layers alters simulation output for identical inputs.
+#: Stale entries are then simply never looked up again.
+CACHE_EPOCH = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-arb``."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-arb"
+
+
+def _describe_scenario(scenario: ScenarioSpec) -> list:
+    return [
+        [
+            spec.agent_id,
+            list(spec.interrequest.spec_key()),
+            spec.priority_fraction,
+            spec.open_loop,
+            spec.max_outstanding,
+        ]
+        for spec in scenario.agents
+    ]
+
+
+def _describe_settings(settings: SimulationSettings) -> list:
+    timing = settings.timing
+    return [
+        settings.batches,
+        settings.batch_size,
+        settings.warmup,
+        settings.keep_samples,
+        settings.keep_order,
+        settings.keep_records,
+        settings.seed,
+        [timing.transaction_time, timing.arbitration_time, timing.clock_period],
+        settings.confidence,
+        settings.max_events,
+    ]
+
+
+def cache_key(
+    scenario: ScenarioSpec,
+    protocol: str,
+    settings: SimulationSettings,
+) -> str:
+    """Stable hex digest identifying one simulation cell."""
+    payload = {
+        "epoch": CACHE_EPOCH,
+        "version": repro.__version__,
+        "protocol": protocol,
+        "scenario": _describe_scenario(scenario),
+        "settings": _describe_settings(settings),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of pickled :class:`RunResult`s, one file per cell key.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first store.  Defaults to
+        :func:`default_cache_dir`.
+
+    Writes are atomic (temp file + rename) so a crashed run can never
+    leave a half-written entry for a later run to load; unreadable
+    entries are treated as misses and deleted.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ConfigurationError(
+                f"cache path {self.directory} exists and is not a directory"
+            )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt or version-incompatible entry: drop it and re-run.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for __ in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -27,15 +27,13 @@ import random
 from typing import Optional, Sequence
 
 from repro.baselines.rotating import RotatingPriorityRR
-from repro.bus.model import BusSystem
 from repro.errors import ArbitrationError
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
-from repro.experiments.runner import PROTOCOLS, make_arbiter
+from repro.experiments.runner import PROTOCOLS, SimulationSettings, make_arbiter
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.faults import FaultyWinnerRegisterRR
-from repro.stats.collector import CompletionCollector
-from repro.stats.summary import RunResult
 from repro.workload.scenarios import AgentSpec, ScenarioSpec
 from repro.workload.traces import TraceDistribution, synthesize_program_trace
 
@@ -153,9 +151,11 @@ def run_table_e3(
     num_agents: int = 12,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
     """Table E3: fairness under trace-driven workloads ([EgGi87] angle)."""
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     trace = synthesize_program_trace(
         4000, seed=seed, compute_mean=16.0, communicate_mean=1.0
     )
@@ -174,18 +174,20 @@ def run_table_e3(
             f"phase trace (CV > 1, autocorrelated), one phase offset per agent"
         ),
     )
-    for protocol in ("rr", "fcfs", "fcfs-aincr", "aap1", "aap2"):
-        collector = CompletionCollector(
-            batches=scale.batches, batch_size=scale.batch_size, warmup=scale.warmup
-        )
-        system = BusSystem(
-            scenario, make_arbiter(protocol, num_agents), collector, seed=seed
-        )
-        system.run()
-        result = RunResult(
-            scenario, protocol, collector, system.utilization(),
-            system.simulator.now, seed,
-        )
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=seed,
+    )
+    protocols = ("rr", "fcfs", "fcfs-aincr", "aap1", "aap2")
+    results = executor.run(
+        [
+            SweepCell(scenario, protocol, settings, tag=f"E3/n{num_agents}/{protocol}")
+            for protocol in protocols
+        ]
+    )
+    for protocol, result in zip(protocols, results):
         table.add_row(
             [
                 protocol,
@@ -209,6 +211,7 @@ def run_table_e4(
     load: float = 2.5,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
     """Table E4: the urgent-traffic pointer-reset finding (§3.1).
 
@@ -218,10 +221,10 @@ def run_table_e4(
     paper-faithful RR rule vs the frozen-pointer amendment vs FCFS,
     which is immune by construction.
     """
-    from repro.core.round_robin import DistributedRoundRobin
     from repro.workload.distributions import Exponential
 
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     think = num_agents / load - 1.0
     agents = tuple(
         AgentSpec(
@@ -232,13 +235,12 @@ def run_table_e4(
         for i in range(1, num_agents + 1)
     )
     scenario = ScenarioSpec(name=f"urgent-mix-n{num_agents}", agents=agents)
+    # display label -> registered protocol name
     variants = {
-        "rr (paper rule)": lambda: DistributedRoundRobin(num_agents),
-        "rr (frozen pointer)": lambda: DistributedRoundRobin(
-            num_agents, record_priority_winners=False
-        ),
-        "fcfs": lambda: make_arbiter("fcfs", num_agents),
-        "fcfs-aincr": lambda: make_arbiter("fcfs-aincr", num_agents),
+        "rr (paper rule)": "rr",
+        "rr (frozen pointer)": "rr-frozen",
+        "fcfs": "fcfs",
+        "fcfs-aincr": "fcfs-aincr",
     }
     table = ExperimentTable(
         title=(
@@ -251,19 +253,24 @@ def run_table_e4(
             f"{tuple(urgent_agents)} issue only priority requests"
         ),
     )
-    for name, factory in variants.items():
-        collector = CompletionCollector(
-            batches=scale.batches,
-            batch_size=scale.batch_size,
-            warmup=scale.warmup,
-            keep_records=True,
-        )
-        system = BusSystem(scenario, factory(), collector, seed=seed)
-        system.run()
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=seed,
+        keep_records=True,
+    )
+    results = executor.run(
+        [
+            SweepCell(scenario, protocol, settings, tag=f"E4/{protocol}")
+            for protocol in variants.values()
+        ]
+    )
+    for (name, _protocol), result in zip(variants.items(), results):
         counts = {}
         urgent_waits = []
         normal_waits = []
-        for record in collector.records:
+        for record in result.collector.records:
             if record.priority:
                 urgent_waits.append(record.waiting_time)
             else:

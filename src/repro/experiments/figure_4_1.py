@@ -14,8 +14,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.formatting import ascii_plot
 from repro.experiments.params import DEFAULT_SEED
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.stats.cdf import EmpiricalCDF
 from repro.workload.scenarios import equal_load
 
@@ -68,9 +69,11 @@ def run(
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
     points: int = 60,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureResult:
     """Reproduce Figure 4.1 (defaults: the paper's 30 agents, load 1.5)."""
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     settings = SimulationSettings(
         batches=scale.batches,
         batch_size=scale.batch_size,
@@ -79,8 +82,12 @@ def run(
         keep_samples=True,
     )
     scenario = equal_load(num_agents, load)
-    rr = run_simulation(scenario, "rr", settings)
-    fcfs = run_simulation(scenario, "fcfs", settings)
+    rr, fcfs = executor.run(
+        [
+            SweepCell(scenario, "rr", settings, tag=f"fig4.1/n{num_agents}/rr"),
+            SweepCell(scenario, "fcfs", settings, tag=f"fig4.1/n{num_agents}/fcfs"),
+        ]
+    )
     rr_cdf = rr.waiting_cdf()
     fcfs_cdf = fcfs.waiting_cdf()
     upper = math.ceil(max(rr_cdf.quantile(0.999), fcfs_cdf.quantile(0.999)))

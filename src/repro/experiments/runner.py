@@ -8,7 +8,7 @@ and the benchmarks share one vocabulary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
@@ -45,6 +45,8 @@ PROTOCOLS: Dict[str, Callable[[int, int], Arbiter]] = {
     "rr": lambda n, r=1: DistributedRoundRobin(n, implementation=1),
     "rr-impl2": lambda n, r=1: DistributedRoundRobin(n, implementation=2),
     "rr-impl3": lambda n, r=1: DistributedRoundRobin(n, implementation=3),
+    # the frozen-pointer amendment studied in extension Table E4
+    "rr-frozen": lambda n, r=1: DistributedRoundRobin(n, record_priority_winners=False),
     "fcfs": lambda n, r=1: DistributedFCFS(n, strategy=1, max_outstanding=r),
     "fcfs-aincr": lambda n, r=1: DistributedFCFS(n, strategy=2, max_outstanding=r),
     # §5 future-work extensions
@@ -76,15 +78,22 @@ def make_arbiter(protocol: str, num_agents: int, max_outstanding: int = 1) -> Ar
 
 @dataclass(frozen=True)
 class SimulationSettings:
-    """Run-length and instrumentation knobs for one simulation."""
+    """Run-length and instrumentation knobs for one simulation.
+
+    ``timing`` uses a ``default_factory`` so every settings object owns
+    its own :class:`~repro.bus.timing.BusTiming` instance — a shared
+    class-level default could silently alias timing overrides across
+    settings objects if :class:`BusTiming` ever grew mutable state.
+    """
 
     batches: int = 10
     batch_size: int = 2500
     warmup: int = 1000
     keep_samples: bool = False
     keep_order: bool = False
+    keep_records: bool = False
     seed: int = 12345
-    timing: BusTiming = BusTiming()
+    timing: BusTiming = field(default_factory=BusTiming)
     confidence: float = 0.90
     max_events: Optional[int] = None
 
@@ -109,6 +118,7 @@ def run_simulation(
         warmup=settings.warmup,
         keep_samples=settings.keep_samples,
         keep_order=settings.keep_order,
+        keep_records=settings.keep_records,
     )
     system = BusSystem(
         scenario=scenario,

@@ -1,0 +1,199 @@
+"""Parallel sweep execution over independent simulation cells.
+
+The paper's evaluation is a grid: every table cell is one independent
+``(scenario, protocol, settings)`` simulation, and nothing couples the
+cells — each derives all of its randomness from its own settings seed.
+This module fans such grids out over a :class:`concurrent.futures.
+ProcessPoolExecutor`, with a serial fallback, and consults the
+content-addressed :class:`~repro.experiments.cache.ResultCache` before
+executing anything.
+
+Determinism guarantees (the common-random-numbers discipline the paper's
+protocol comparisons depend on):
+
+- every cell's random streams derive from ``settings.seed`` and the
+  agent identities only, so execution order and worker placement cannot
+  perturb results: serial and parallel sweeps return bit-identical
+  :class:`~repro.stats.summary.RunResult` metrics;
+- each cell executes against a private copy of its scenario (the process
+  boundary provides one for workers; the serial path deep-copies), so
+  stateful workload distributions — trace replay — start every cell from
+  the same position regardless of how many cells share a spec;
+- results are returned in cell order, whatever order workers finish in.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.stats.summary import RunResult
+from repro.workload.scenarios import ScenarioSpec
+
+__all__ = ["SweepCell", "SweepExecutor", "default_jobs"]
+
+_ENV_JOBS = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` (0 = all cores), else 1 (serial)."""
+    raw = os.environ.get(_ENV_JOBS)
+    if raw is None:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"${_ENV_JOBS} must be an integer, got {raw!r}")
+    return resolve_jobs(jobs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a jobs request: None -> default, 0 -> cpu count."""
+    if jobs is None:
+        return default_jobs()
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation in a sweep grid."""
+
+    scenario: ScenarioSpec
+    protocol: str
+    settings: SimulationSettings
+    #: Caller's label for the cell (e.g. ``"load=1.50/rr"``); carried
+    #: through untouched for diagnostics.
+    tag: Optional[str] = None
+
+
+def _execute_payload(payload: Tuple[ScenarioSpec, str, SimulationSettings]) -> RunResult:
+    """Worker entry point: must be module-level so it pickles."""
+    scenario, protocol, settings = payload
+    return run_simulation(scenario, protocol, settings)
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting for one executor, across all its sweeps."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    parallel_batches: int = 0
+    serial_batches: int = 0
+
+    def snapshot(self) -> "SweepStats":
+        return SweepStats(
+            self.executed, self.cache_hits, self.parallel_batches, self.serial_batches
+        )
+
+
+class SweepExecutor:
+    """Runs sweep cells, caching results and fanning out over processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default via ``$REPRO_JOBS``) runs
+        serially in-process; ``0`` means one per CPU core.  The executor
+        silently falls back to serial execution where process pools are
+        unavailable (restricted environments, missing ``fork``/spawn
+        support), so callers never need two code paths.
+    cache:
+        Optional :class:`ResultCache`.  When set, every cell is looked
+        up before execution and every executed cell is stored after.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.stats = SweepStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, cells: Sequence[SweepCell]) -> List[RunResult]:
+        """Execute (or replay) every cell; results in cell order."""
+        results: List[Optional[RunResult]] = [None] * len(cells)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(cells)
+        for index, cell in enumerate(cells):
+            if self.cache is not None:
+                key = cache_key(cell.scenario, cell.protocol, cell.settings)
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = cached
+                    continue
+            pending.append(index)
+
+        if pending:
+            fresh = self._execute([cells[i] for i in pending])
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    key = keys[index]
+                    assert key is not None
+                    self.cache.put(key, result)
+            self.stats.executed += len(pending)
+        return [result for result in results if result is not None]
+
+    def simulate(
+        self,
+        scenario: ScenarioSpec,
+        protocol: str,
+        settings: SimulationSettings,
+    ) -> RunResult:
+        """Single-cell convenience wrapper around :meth:`run`."""
+        return self.run([SweepCell(scenario, protocol, settings)])[0]
+
+    # -- execution backends ---------------------------------------------------
+
+    def _execute(self, cells: Sequence[SweepCell]) -> List[RunResult]:
+        if self.jobs > 1 and len(cells) > 1:
+            try:
+                return self._execute_parallel(cells)
+            except (OSError, ImportError, PermissionError, BrokenExecutor):
+                # No usable process pool here (sandbox, exotic platform):
+                # the serial path produces identical results, just slower.
+                pass
+        return self._execute_serial(cells)
+
+    def _execute_serial(self, cells: Sequence[SweepCell]) -> List[RunResult]:
+        self.stats.serial_batches += 1
+        results = []
+        for cell in cells:
+            # Private scenario copy: mirrors the process-boundary pickling
+            # of the parallel path, so stateful distributions (trace
+            # replay) start every cell from the same position either way.
+            scenario = copy.deepcopy(cell.scenario)
+            results.append(run_simulation(scenario, cell.protocol, cell.settings))
+        return results
+
+    def _execute_parallel(self, cells: Sequence[SweepCell]) -> List[RunResult]:
+        payloads = [(cell.scenario, cell.protocol, cell.settings) for cell in cells]
+        workers = min(self.jobs, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_execute_payload, payloads))
+        self.stats.parallel_batches += 1
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cache = "on" if self.cache is not None else "off"
+        return (
+            f"SweepExecutor(jobs={self.jobs}, cache={cache}, "
+            f"executed={self.stats.executed}, hits={self.stats.cache_hits})"
+        )

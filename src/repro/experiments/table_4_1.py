@@ -16,8 +16,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.workload.scenarios import equal_load
 
 __all__ = ["run", "run_panel"]
@@ -29,9 +30,17 @@ def run_panel(
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
     include_aap: bool = False,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
-    """One panel of Table 4.1 (one system size)."""
+    """One panel of Table 4.1 (one system size).
+
+    All (load, protocol) cells are independent simulations; they are
+    submitted to the ``executor`` as one sweep, so a parallel executor
+    runs the whole panel concurrently and a cache-backed one replays
+    previously computed cells.
+    """
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     headers = ["Load", "λ", "t_N/t_1 RR", "t_N/t_1 FCFS"]
     if include_aap:
         headers.append("t_N/t_1 AAP")
@@ -47,12 +56,19 @@ def run_panel(
         seed=seed,
     )
     protocols = ["rr", "fcfs"] + (["aap1"] if include_aap else [])
+    cells = [
+        SweepCell(
+            equal_load(num_agents, load),
+            protocol,
+            settings,
+            tag=f"t4.1/n{num_agents}/L{load:g}/{protocol}",
+        )
+        for load in loads
+        for protocol in protocols
+    ]
+    outcomes = iter(executor.run(cells))
     for load in loads:
-        scenario = equal_load(num_agents, load)
-        results = {
-            protocol: run_simulation(scenario, protocol, settings)
-            for protocol in protocols
-        }
+        results = {protocol: next(outcomes) for protocol in protocols}
         throughput = results["rr"].system_throughput()
         ratios = {
             protocol: result.extreme_throughput_ratio()
@@ -83,8 +99,10 @@ def run(
     loads: Sequence[float] = PAPER_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """All panels of Table 4.1 (the AAP column appears for 30 agents)."""
+    executor = executor or SweepExecutor()
     return tuple(
         run_panel(
             num_agents,
@@ -92,6 +110,7 @@ def run(
             scale=scale,
             seed=seed,
             include_aap=(num_agents == 30),
+            executor=executor,
         )
         for num_agents in sizes
     )

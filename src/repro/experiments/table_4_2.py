@@ -14,8 +14,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.workload.scenarios import equal_load
 
 __all__ = ["run", "run_panel"]
@@ -26,9 +27,11 @@ def run_panel(
     loads: Sequence[float] = PAPER_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
     """One panel of Table 4.2 (one system size)."""
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     table = ExperimentTable(
         title=f"Table 4.2: waiting-time standard deviation ({num_agents} agents)",
         headers=["Load", "λ", "W", "σ_W FCFS", "σ_W RR", "σ_RR/σ_FCFS"],
@@ -40,10 +43,20 @@ def run_panel(
         warmup=scale.warmup,
         seed=seed,
     )
+    cells = [
+        SweepCell(
+            equal_load(num_agents, load),
+            protocol,
+            settings,
+            tag=f"t4.2/n{num_agents}/L{load:g}/{protocol}",
+        )
+        for load in loads
+        for protocol in ("rr", "fcfs")
+    ]
+    outcomes = iter(executor.run(cells))
     for load in loads:
-        scenario = equal_load(num_agents, load)
-        rr = run_simulation(scenario, "rr", settings)
-        fcfs = run_simulation(scenario, "fcfs", settings)
+        rr = next(outcomes)
+        fcfs = next(outcomes)
         throughput = rr.system_throughput()
         mean_w = rr.mean_waiting()
         mean_w_fcfs = fcfs.mean_waiting()
@@ -78,10 +91,12 @@ def run(
     loads: Sequence[float] = PAPER_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """All panels of Table 4.2."""
+    executor = executor or SweepExecutor()
     return tuple(
-        run_panel(num_agents, loads=loads, scale=scale, seed=seed)
+        run_panel(num_agents, loads=loads, scale=scale, seed=seed, executor=executor)
         for num_agents in sizes
     )
 

@@ -16,8 +16,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.stats.cdf import min_integer_crossing
 from repro.workload.scenarios import equal_load
 
@@ -29,9 +30,11 @@ def run_panel(
     loads: Sequence[float] = PAPER_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
     """One panel of Table 4.3 (one system size)."""
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     table = ExperimentTable(
         title=f"Table 4.3: execution overlapped with bus waits ({num_agents} agents)",
         headers=[
@@ -55,10 +58,20 @@ def run_panel(
         seed=seed,
         keep_samples=True,
     )
+    cells = [
+        SweepCell(
+            equal_load(num_agents, load),
+            protocol,
+            settings,
+            tag=f"t4.3/n{num_agents}/L{load:g}/{protocol}",
+        )
+        for load in loads
+        for protocol in ("rr", "fcfs")
+    ]
+    outcomes = iter(executor.run(cells))
     for load in loads:
-        scenario = equal_load(num_agents, load)
-        rr = run_simulation(scenario, "rr", settings)
-        fcfs = run_simulation(scenario, "fcfs", settings)
+        rr = next(outcomes)
+        fcfs = next(outcomes)
         rr_cdf = rr.waiting_cdf()
         fcfs_cdf = fcfs.waiting_cdf()
         overlap = min_integer_crossing(rr_cdf, fcfs_cdf)
@@ -94,10 +107,12 @@ def run(
     loads: Sequence[float] = PAPER_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """All panels of Table 4.3."""
+    executor = executor or SweepExecutor()
     return tuple(
-        run_panel(num_agents, loads=loads, scale=scale, seed=seed)
+        run_panel(num_agents, loads=loads, scale=scale, seed=seed, executor=executor)
         for num_agents in sizes
     )
 

@@ -15,8 +15,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.workload.scenarios import unequal_load
 
 __all__ = ["run", "run_panel", "BASE_LOADS"]
@@ -32,9 +33,11 @@ def run_panel(
     base_loads: Sequence[float] = BASE_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
     """One panel of Table 4.4 (one rate factor)."""
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     table = ExperimentTable(
         title=(
             f"Table 4.4: unequal request rates — agent 1 at {factor:g}x "
@@ -49,12 +52,24 @@ def run_panel(
         warmup=scale.warmup,
         seed=seed,
     )
-    for base in base_loads:
-        regular_load = base / num_agents
-        scenario = unequal_load(num_agents, regular_load, factor)
+    scenarios = [
+        unequal_load(num_agents, base / num_agents, factor) for base in base_loads
+    ]
+    cells = [
+        SweepCell(
+            scenario,
+            protocol,
+            settings,
+            tag=f"t4.4/f{factor:g}/L{base:g}/{protocol}",
+        )
+        for scenario, base in zip(scenarios, base_loads)
+        for protocol in ("rr", "fcfs")
+    ]
+    outcomes = iter(executor.run(cells))
+    for scenario, base in zip(scenarios, base_loads):
         total = scenario.total_offered_load()
-        rr = run_simulation(scenario, "rr", settings)
-        fcfs = run_simulation(scenario, "fcfs", settings)
+        rr = next(outcomes)
+        fcfs = next(outcomes)
         throughput = rr.system_throughput()
         ratio_rr = rr.throughput_ratio(1, 2)
         ratio_fcfs = fcfs.throughput_ratio(1, 2)
@@ -84,10 +99,19 @@ def run(
     base_loads: Sequence[float] = BASE_LOADS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """Both panels of Table 4.4."""
+    executor = executor or SweepExecutor()
     return tuple(
-        run_panel(factor, num_agents=num_agents, base_loads=base_loads, scale=scale, seed=seed)
+        run_panel(
+            factor,
+            num_agents=num_agents,
+            base_loads=base_loads,
+            scale=scale,
+            seed=seed,
+            executor=executor,
+        )
         for factor in factors
     )
 

@@ -18,8 +18,9 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_CVS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.stats.batch_means import BatchMeansEstimate, batch_means
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import worst_case_rr
@@ -49,9 +50,11 @@ def run_panel(
     cvs: Sequence[float] = PAPER_CVS,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> ExperimentTable:
     """One panel of Table 4.5 (one system size)."""
     scale = scale or current_scale()
+    executor = executor or SweepExecutor()
     table = ExperimentTable(
         title=f"Table 4.5: worst-case bus allocation for RR ({num_agents} agents)",
         headers=["CV", "Load_s/Load_o", "t_s/t_o RR", "t_s/t_o FCFS"],
@@ -66,11 +69,22 @@ def run_panel(
         warmup=scale.warmup,
         seed=seed,
     )
-    for cv in cvs:
-        scenario = worst_case_rr(num_agents, cv=cv)
+    scenarios = [worst_case_rr(num_agents, cv=cv) for cv in cvs]
+    cells = [
+        SweepCell(
+            scenario,
+            protocol,
+            settings,
+            tag=f"t4.5/n{num_agents}/cv{cv:g}/{protocol}",
+        )
+        for scenario, cv in zip(scenarios, cvs)
+        for protocol in ("rr", "fcfs")
+    ]
+    outcomes = iter(executor.run(cells))
+    for scenario, cv in zip(scenarios, cvs):
         load_ratio = scenario.agent(1).offered_load() / scenario.agent(2).offered_load()
-        rr = run_simulation(scenario, "rr", settings)
-        fcfs = run_simulation(scenario, "fcfs", settings)
+        rr = next(outcomes)
+        fcfs = next(outcomes)
         ratio_rr = slow_to_other_ratio(rr)
         ratio_fcfs = slow_to_other_ratio(fcfs)
         table.add_row(
@@ -96,14 +110,16 @@ def run(
     cvs: Optional[Sequence[float]] = None,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """All panels of Table 4.5.
 
     The paper sweeps all CVs for 10 agents and reports only CV = 0 for
     30 and 64; we sweep all CVs everywhere unless ``cvs`` is given.
     """
+    executor = executor or SweepExecutor()
     return tuple(
-        run_panel(num_agents, cvs=cvs or PAPER_CVS, scale=scale, seed=seed)
+        run_panel(num_agents, cvs=cvs or PAPER_CVS, scale=scale, seed=seed, executor=executor)
         for num_agents in sizes
     )
 

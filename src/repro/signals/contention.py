@@ -92,11 +92,31 @@ class ParallelContention:
         process is proven to settle within ``width`` rounds, and exceeding
         the bound raises :class:`~repro.errors.ArbitrationError` because it
         would mean the local rule is mis-implemented.
+    cache_size:
+        Upper bound on the settle-result memo.  The settled word, round
+        count and per-round history are a pure function of the *set* of
+        competing identities (each round recomputes every agent's pattern
+        from the same observed snapshot), so repeat contentions — the
+        overwhelmingly common case in a long simulation, where the same
+        few agent subsets collide over and over — are answered from the
+        memo without re-running the rounds.  Set to 0 to disable, e.g. to
+        compare against the uncached path in tests.
     """
 
-    def __init__(self, width: int, max_rounds: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        width: int,
+        max_rounds: Optional[int] = None,
+        cache_size: int = 4096,
+    ) -> None:
         self.bundle = ArbitrationLineBundle(width)
         self.max_rounds = width + 1 if max_rounds is None else max_rounds
+        self._cache: Optional[Dict[Tuple[int, ...], ContentionResult]] = (
+            {} if cache_size > 0 else None
+        )
+        self._cache_size = cache_size
+        #: Number of :meth:`resolve` calls answered from the memo.
+        self.cache_hits = 0
 
     @property
     def width(self) -> int:
@@ -121,6 +141,7 @@ class ParallelContention:
             model is broken; kept as an executable invariant).
         """
         competitors: Dict[int, int] = {}
+        seen = set()
         for index, identity in enumerate(identities):
             if identity == 0:
                 raise SignalError("identity 0 is reserved for 'nobody competed'")
@@ -128,16 +149,36 @@ class ParallelContention:
                 raise SignalError(
                     f"identity {identity} exceeds line capacity {self.bundle.capacity}"
                 )
-            if identity in competitors.values():
+            if identity in seen:
                 raise ArbitrationError(
                     f"duplicate arbitration number {identity}; identities must be unique"
                 )
+            seen.add(identity)
             competitors[index] = identity
 
-        self.bundle.clear()
         if not competitors:
+            self.bundle.clear()
             return ContentionResult(winner_identity=0, rounds=0, history=())
 
+        cache = self._cache
+        key: Optional[Tuple[int, ...]] = None
+        if cache is not None:
+            key = tuple(sorted(seen))
+            cached = cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+
+        result = self._settle(competitors)
+        if cache is not None:
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[key] = result
+        return result
+
+    def _settle(self, competitors: Dict[int, int]) -> ContentionResult:
+        """Run the synchronous-round settle process to its fixpoint."""
+        self.bundle.clear()
         for driver, identity in competitors.items():
             self.bundle.apply(driver, identity)
 

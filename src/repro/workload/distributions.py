@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import math
 import random
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -44,9 +44,32 @@ class Distribution(abc.ABC):
     def sample(self, rng: random.Random) -> float:
         """Draw one variate using the provided generator."""
 
+    def sample_batch(self, rng: random.Random, count: int) -> List[float]:
+        """Draw ``count`` variates — the same sequence ``count`` calls to
+        :meth:`sample` would produce, amortising per-draw dispatch.
+
+        Hot-path consumers (the bus agents) draw think times in blocks;
+        subclasses override with a tight loop where it pays.  Stateful
+        distributions inherit this default, which preserves their state
+        progression exactly.
+        """
+        sample = self.sample
+        return [sample(rng) for _ in range(count)]
+
     @abc.abstractmethod
     def survival(self, x: float) -> float:
         """P(X > x) — used by the analytical models of :mod:`repro.analysis`."""
+
+    def spec_key(self) -> Tuple[object, ...]:
+        """A stable, hashable description of this distribution.
+
+        Used by the experiment result cache to key cells by workload
+        content; two distributions with equal keys must generate identical
+        variate sequences from identical generators.  Subclasses whose
+        behaviour is not captured by (type, mean, CV) — e.g. trace
+        replay — must override.
+        """
+        return (type(self).__name__, self.mean, self.cv)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(mean={self.mean:.6g}, cv={self.cv:.3g})"
@@ -71,6 +94,9 @@ class Deterministic(Distribution):
     def sample(self, rng: random.Random) -> float:
         return self._value
 
+    def sample_batch(self, rng: random.Random, count: int) -> List[float]:
+        return [self._value] * count
+
     def survival(self, x: float) -> float:
         """P(X > x): a step at the constant value."""
         return 1.0 if x < self._value else 0.0
@@ -94,6 +120,11 @@ class Exponential(Distribution):
 
     def sample(self, rng: random.Random) -> float:
         return rng.expovariate(1.0 / self._mean)
+
+    def sample_batch(self, rng: random.Random, count: int) -> List[float]:
+        expovariate = rng.expovariate
+        rate = 1.0 / self._mean
+        return [expovariate(rate) for _ in range(count)]
 
     def survival(self, x: float) -> float:
         """P(X > x) = exp(-x / mean)."""
@@ -129,6 +160,11 @@ class Erlang(Distribution):
     def sample(self, rng: random.Random) -> float:
         # gammavariate(k, theta) is the Erlang when k is integral.
         return rng.gammavariate(self.shape, self._phase_mean)
+
+    def sample_batch(self, rng: random.Random, count: int) -> List[float]:
+        gammavariate = rng.gammavariate
+        shape, phase_mean = self.shape, self._phase_mean
+        return [gammavariate(shape, phase_mean) for _ in range(count)]
 
     def survival(self, x: float) -> float:
         """P(X > x): the Erlang-k survival (truncated Poisson sum)."""
@@ -178,6 +214,14 @@ class Hyperexponential(Distribution):
     def sample(self, rng: random.Random) -> float:
         phase_mean = self._mean1 if rng.random() < self._p1 else self._mean2
         return rng.expovariate(1.0 / phase_mean)
+
+    def sample_batch(self, rng: random.Random, count: int) -> List[float]:
+        uniform, expovariate = rng.random, rng.expovariate
+        p1, mean1, mean2 = self._p1, self._mean1, self._mean2
+        return [
+            expovariate(1.0 / (mean1 if uniform() < p1 else mean2))
+            for _ in range(count)
+        ]
 
     def survival(self, x: float) -> float:
         """P(X > x): probability-weighted exponential survivals."""

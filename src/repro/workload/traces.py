@@ -25,9 +25,10 @@ distributions cannot.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.workload.distributions import Distribution
@@ -116,6 +117,35 @@ class TraceDistribution(Distribution):
             else:
                 self._exhausted = True
         return value
+
+    def sample_batch(self, rng: random.Random, count: int) -> List[float]:
+        """Batch replay that never over-runs a non-cycling trace.
+
+        Stops at exhaustion so a block prefetch cannot raise for draws
+        the simulation might never request; the exhaustion error still
+        surfaces on the first draw that is genuinely unavailable.
+        """
+        out: List[float] = []
+        for _ in range(count):
+            if self._exhausted:
+                break
+            out.append(self.sample(rng))
+        if not out:
+            self.sample(rng)  # exhausted: raises ConfigurationError
+        return out
+
+    def spec_key(self) -> Tuple[object, ...]:
+        """Content-addressed description: digest of the recorded samples
+        plus the replay position, since two replays of the same trace
+        from different offsets produce different arrival processes."""
+        digest = hashlib.sha256(repr(self._samples).encode("utf-8")).hexdigest()
+        return (
+            type(self).__name__,
+            digest,
+            self._index,
+            self._cycle,
+            self._exhausted,
+        )
 
 
 def load_trace(path: Union[str, Path]) -> List[float]:

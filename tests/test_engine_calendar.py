@@ -102,6 +102,26 @@ class TestCancellation:
         calendar.cancel(event)
         assert len(calendar) == 1
 
+    def test_cancel_after_pop_keeps_live_count(self):
+        # Regression: cancelling an event that had already been popped
+        # used to decrement the live count below the true queue size,
+        # making the calendar report empty while events were pending.
+        calendar = EventCalendar()
+        popped = calendar.schedule(1.0, _noop, label="popped")
+        calendar.schedule(2.0, _noop, label="pending")
+        assert calendar.pop() is popped
+        calendar.cancel(popped)
+        assert len(calendar) == 1
+        assert calendar
+        assert calendar.pop().label == "pending"
+
+    def test_cancel_after_pop_leaves_event_uncancelled(self):
+        calendar = EventCalendar()
+        popped = calendar.schedule(1.0, _noop)
+        calendar.pop()
+        calendar.cancel(popped)
+        assert not popped.cancelled
+
     def test_peek_time_skips_cancelled(self):
         calendar = EventCalendar()
         cancelled = calendar.schedule(1.0, _noop)

@@ -60,11 +60,15 @@ class TestTableE3:
             "rr", "fcfs", "fcfs-aincr", "aap1", "aap2",
         ]
 
-    def test_fair_protocols_beat_batching_on_traces(self, table):
+    def test_batching_inflates_high_identity_throughput(self, table):
+        # Every protocol sees identical arrivals (common random numbers:
+        # each sweep cell gets a fresh copy of the trace scenario), so
+        # cross-protocol ratio differences are pure protocol effects.
+        # The assured-access batching protocols favour high identities
+        # (§2 prior art), lifting t_N/t_1 above the RR level.
         by_name = {row["protocol"]: row for row in table.data}
-        assert abs(by_name["rr"]["ratio"].mean - 1.0) < abs(
-            by_name["aap1"]["ratio"].mean - 1.0
-        )
+        assert by_name["aap1"]["ratio"].mean > by_name["rr"]["ratio"].mean
+        assert by_name["aap2"]["ratio"].mean > by_name["rr"]["ratio"].mean
 
     def test_conservation_on_traces(self, table):
         by_name = {row["protocol"]: row for row in table.data}

@@ -32,6 +32,14 @@ class TestSettingsPropagation:
         slow_w = run_simulation(SCENARIO, "rr", slow).mean_waiting().mean
         assert slow_w > 1.8 * fast_w
 
+    def test_default_timing_not_aliased_between_settings(self):
+        # ``timing`` uses a default_factory: every settings object must
+        # own a distinct BusTiming, not share one class-level instance.
+        first = SimulationSettings()
+        second = SimulationSettings()
+        assert first.timing == BusTiming()
+        assert first.timing is not second.timing
+
     def test_batch_plan_respected(self):
         settings = SimulationSettings(batches=7, batch_size=123, warmup=45, seed=1)
         result = run_simulation(SCENARIO, "rr", settings)

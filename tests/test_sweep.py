@@ -1,0 +1,244 @@
+"""Tests for the sweep executor and the content-addressed result cache.
+
+The load-bearing property is *determinism*: a sweep's results must be a
+pure function of its cells — independent of worker count, execution
+order, cache state, and how many cells share a scenario object.  Every
+test here ultimately checks some facet of that.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.sweep import SweepCell, SweepExecutor, resolve_jobs
+from repro.signals.contention import ParallelContention
+from repro.workload.scenarios import AgentSpec, ScenarioSpec, equal_load
+from repro.workload.traces import TraceDistribution
+
+SETTINGS = SimulationSettings(batches=3, batch_size=60, warmup=30, seed=424242)
+
+
+def _fingerprint(result):
+    """Everything observable about a run, exactly (no tolerances)."""
+    return (
+        result.protocol,
+        result.utilization,
+        result.elapsed,
+        tuple(
+            (
+                batch.count,
+                batch.sum_waiting,
+                batch.sum_waiting_sq,
+                batch.sum_queueing,
+                batch.start_time,
+                batch.end_time,
+                tuple(sorted(batch.agent_counts.items())),
+            )
+            for batch in result.collector.completed_batches()
+        ),
+    )
+
+
+def _grid(loads=(0.5, 1.5), protocols=("rr", "fcfs")):
+    return [
+        SweepCell(equal_load(6, load), protocol, SETTINGS)
+        for load in loads
+        for protocol in protocols
+    ]
+
+
+class TestSerialExecution:
+    def test_matches_direct_run_simulation(self):
+        result = SweepExecutor(jobs=1).simulate(equal_load(6, 1.5), "rr", SETTINGS)
+        direct = run_simulation(equal_load(6, 1.5), "rr", SETTINGS)
+        assert _fingerprint(result) == _fingerprint(direct)
+
+    def test_results_in_cell_order(self):
+        cells = _grid()
+        results = SweepExecutor(jobs=1).run(cells)
+        assert [r.protocol for r in results] == [c.protocol for c in cells]
+
+    def test_shared_trace_scenario_cells_are_independent(self):
+        # Two cells sharing one stateful trace-replay scenario object
+        # must both start from the same trace position (each cell gets a
+        # private copy), so identical cells give identical results.
+        trace = tuple(float(2 + (i * 7) % 5) for i in range(400))
+        scenario = ScenarioSpec(
+            name="shared-trace",
+            agents=tuple(
+                AgentSpec(agent_id=i, interrequest=TraceDistribution(trace, cycle=True))
+                for i in range(1, 5)
+            ),
+        )
+        first, second = SweepExecutor(jobs=1).run(
+            [SweepCell(scenario, "rr", SETTINGS), SweepCell(scenario, "rr", SETTINGS)]
+        )
+        assert _fingerprint(first) == _fingerprint(second)
+
+
+class TestParallelExecution:
+    def test_bit_identical_to_serial(self):
+        cells = _grid(loads=(0.5, 1.5, 2.5))
+        serial = SweepExecutor(jobs=1).run(cells)
+        parallel_executor = SweepExecutor(jobs=2)
+        parallel = parallel_executor.run(cells)
+        assert [_fingerprint(r) for r in parallel] == [
+            _fingerprint(r) for r in serial
+        ]
+        # One of the two backends must have run the batch; on platforms
+        # without process pools the fallback path was exercised instead,
+        # which the equality above covers identically.
+        stats = parallel_executor.stats
+        assert stats.parallel_batches + stats.serial_batches == 1
+
+    def test_single_cell_stays_serial(self):
+        executor = SweepExecutor(jobs=4)
+        executor.run([SweepCell(equal_load(4, 1.0), "rr", SETTINGS)])
+        assert executor.stats.parallel_batches == 0
+
+
+class TestResolveJobs:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1)
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert SweepExecutor().jobs == 3
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            SweepExecutor()
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key(equal_load(6, 1.5), "rr", SETTINGS) == cache_key(
+            equal_load(6, 1.5), "rr", SETTINGS
+        )
+
+    def test_sensitive_to_protocol(self):
+        scenario = equal_load(6, 1.5)
+        assert cache_key(scenario, "rr", SETTINGS) != cache_key(
+            scenario, "fcfs", SETTINGS
+        )
+
+    def test_sensitive_to_seed(self):
+        scenario = equal_load(6, 1.5)
+        reseeded = SimulationSettings(
+            batches=SETTINGS.batches,
+            batch_size=SETTINGS.batch_size,
+            warmup=SETTINGS.warmup,
+            seed=SETTINGS.seed + 1,
+        )
+        assert cache_key(scenario, "rr", SETTINGS) != cache_key(
+            scenario, "rr", reseeded
+        )
+
+    def test_sensitive_to_scenario(self):
+        assert cache_key(equal_load(6, 1.5), "rr", SETTINGS) != cache_key(
+            equal_load(6, 2.0), "rr", SETTINGS
+        )
+
+
+class TestResultCache:
+    def test_cold_run_executes_then_warm_run_replays(self, tmp_path):
+        cells = _grid()
+        cold = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        cold_results = cold.run(cells)
+        assert cold.stats.executed == len(cells)
+        assert cold.stats.cache_hits == 0
+
+        warm = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        warm_results = warm.run(cells)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(cells)
+        assert [_fingerprint(r) for r in warm_results] == [
+            _fingerprint(r) for r in cold_results
+        ]
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).run(_grid())
+        reseeded = SimulationSettings(
+            batches=SETTINGS.batches,
+            batch_size=SETTINGS.batch_size,
+            warmup=SETTINGS.warmup,
+            seed=SETTINGS.seed + 1,
+        )
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        executor.run([SweepCell(equal_load(6, 0.5), "rr", reseeded)])
+        assert executor.stats.cache_hits == 0
+        assert executor.stats.executed == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(equal_load(4, 1.0), "rr", SETTINGS)
+        cache.put(key, run_simulation(equal_load(4, 1.0), "rr", SETTINGS))
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_file_as_cache_dir_rejected(self, tmp_path):
+        path = tmp_path / "occupied"
+        path.write_text("not a directory")
+        with pytest.raises(ConfigurationError):
+            ResultCache(path)
+
+    def test_clear_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=cache).run(_grid())
+        assert len(cache) == 4
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+    def test_entries_round_trip_through_pickle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = SweepExecutor(jobs=1, cache=cache).simulate(
+            equal_load(4, 1.0), "rr", SETTINGS
+        )
+        key = cache_key(equal_load(4, 1.0), "rr", SETTINGS)
+        reloaded = pickle.loads((tmp_path / f"{key}.pkl").read_bytes())
+        assert _fingerprint(reloaded) == _fingerprint(result)
+
+
+class TestContentionMemo:
+    @given(
+        rounds=st.lists(
+            st.sets(st.integers(min_value=1, max_value=31), min_size=1, max_size=6),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @hyp_settings(max_examples=60, deadline=None)
+    def test_memoized_matches_uncached(self, rounds):
+        memoized = ParallelContention(5)
+        uncached = ParallelContention(5, cache_size=0)
+        for identities in rounds:
+            competitors = sorted(identities)
+            assert memoized.resolve(competitors) == uncached.resolve(competitors)
+
+    def test_cache_hits_counted(self):
+        contention = ParallelContention(5)
+        contention.resolve([3, 9])
+        contention.resolve([9, 3])  # same set, different order: memo hit
+        assert contention.cache_hits == 1
+
+    def test_bounded_cache_clears_when_full(self):
+        contention = ParallelContention(5, cache_size=2)
+        contention.resolve([1])
+        contention.resolve([2])
+        contention.resolve([3])  # exceeds the bound: memo restarts
+        contention.resolve([3])
+        assert contention.cache_hits == 1
+        assert len(contention._cache) <= 2
