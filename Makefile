@@ -3,13 +3,17 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test bench bench-all tables experiments apidocs examples clean
+.PHONY: install test lint bench bench-all tables experiments apidocs examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Correctness-only ruff gate (rule selection lives in pyproject.toml).
+lint:
+	$(PYTHON) -m ruff check src tests scripts benchmarks examples
 
 # Engine micro-benchmarks -> BENCH_engine.json (median timings), plus the
 # sweep-executor wall-clock demos (parallel speedup, warm-cache replay).

@@ -23,6 +23,7 @@ from pathlib import Path
 from repro.experiments import figure_4_1, table_4_1, table_4_2, table_4_3, table_4_4, table_4_5
 from repro.experiments.cache import ResultCache
 from repro.experiments.scale import current_scale
+from repro.experiments.spec import build_tables
 from repro.experiments.sweep import SweepExecutor
 
 OUT = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
@@ -61,7 +62,7 @@ def section_4_1(scale, out, executor):
     out.append("## Table 4.1 — bandwidth allocation, equal request rates\n")
     out.append("Throughput ratio of the highest-identity agent to the lowest "
                "(t_N/t_1).  Paper values in parentheses.\n")
-    for panel in table_4_1.run(scale=scale, executor=executor):
+    for panel in build_tables(table_4_1.spec(scale=scale), executor):
         n = panel.data[0]["num_agents"]
         paper = PAPER_4_1.get(n, {})
         out.append(f"\n### {n} agents\n")
@@ -91,7 +92,7 @@ def section_4_1(scale, out, executor):
 def section_4_2(scale, out, executor):
     out.append("## Table 4.2 — waiting-time standard deviation\n")
     out.append("W is issue → transaction completion (the paper's W).\n")
-    for panel in table_4_2.run(scale=scale, executor=executor):
+    for panel in build_tables(table_4_2.spec(scale=scale), executor):
         n = panel.data[0]["num_agents"]
         paper = PAPER_4_2[n]
         out.append(f"\n### {n} agents\n")
@@ -115,7 +116,7 @@ def section_4_3(scale, out, executor):
     out.append("v = min integer with CDF_RR(v) < CDF_FCFS(v); "
                "residual = E[(W−v)+].  Paper's v in parentheses where "
                "legible in our source.\n")
-    for panel in table_4_3.run(scale=scale, executor=executor):
+    for panel in build_tables(table_4_3.spec(scale=scale), executor):
         n = panel.data[0]["num_agents"]
         paper_v = PAPER_4_3_OVERLAP.get(n)
         out.append(f"\n### {n} agents\n")
@@ -138,7 +139,7 @@ def section_4_3(scale, out, executor):
 
 def section_4_4(scale, out, executor):
     out.append("## Table 4.4 — unequal request rates (30 agents)\n")
-    for panel, factor in zip(table_4_4.run(scale=scale, executor=executor), (2.0, 4.0)):
+    for panel, factor in zip(build_tables(table_4_4.spec(scale=scale), executor), (2.0, 4.0)):
         paper = PAPER_4_4[factor]
         out.append(f"\n### agent 1 at {factor:g}×\n")
         out.append("| Load | λ | t1/t2 RR (paper) | t1/t2 FCFS (paper) |")
@@ -158,7 +159,7 @@ def section_4_5(scale, out, executor):
     out.append("## Table 4.5 — worst-case bus allocation for RR\n")
     out.append("Slow agent (deterministic inter-request n−0.5) vs regular "
                "agents (n−3.6).  The FCFS column is our added reference.\n")
-    for panel in table_4_5.run(scale=scale, executor=executor):
+    for panel in build_tables(table_4_5.spec(scale=scale), executor):
         n = panel.data[0]["num_agents"]
         paper = PAPER_4_5.get(n, {})
         out.append(f"\n### {n} agents\n")

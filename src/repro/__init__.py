@@ -78,6 +78,11 @@ from repro.experiments import (
     make_arbiter,
     run_simulation,
 )
+from repro.protocols import (
+    ProtocolSpec,
+    get_spec,
+    protocol_names,
+)
 from repro.signals import (
     ArbitrationLineBundle,
     AsyncContention,
@@ -194,6 +199,9 @@ __all__ = [
     "SimulationSettings",
     "make_arbiter",
     "PROTOCOLS",
+    "ProtocolSpec",
+    "get_spec",
+    "protocol_names",
     "Scale",
     "current_scale",
     # errors

@@ -83,6 +83,7 @@ class BatchingAssuredAccess(_AssuredAccessBase):
     name = "assured-access-1"
     requires_winner_identity = False
     extra_lines = 0
+    paper_section = "§2.2"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -153,6 +154,7 @@ class FuturebusAssuredAccess(_AssuredAccessBase):
     name = "assured-access-2"
     requires_winner_identity = False
     extra_lines = 0
+    paper_section = "§2.2"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -34,6 +34,7 @@ class CentralRoundRobin(SingleOutstandingArbiter):
 
     name = "central-rr"
     requires_winner_identity = False
+    paper_section = "oracle"
 
     def __init__(
         self,
@@ -86,6 +87,7 @@ class CentralFCFS(SingleOutstandingArbiter):
 
     name = "central-fcfs"
     requires_winner_identity = False
+    paper_section = "oracle"
 
     def has_waiting(self) -> bool:
         return bool(self._pending)

@@ -21,6 +21,7 @@ class FixedPriorityArbiter(SingleOutstandingArbiter):
     name = "fixed-priority"
     requires_winner_identity = False
     extra_lines = 0
+    paper_section = "§2.1"
 
     def has_waiting(self) -> bool:
         return bool(self._pending)

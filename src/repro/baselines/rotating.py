@@ -48,6 +48,7 @@ class RotatingPriorityRR(SingleOutstandingArbiter):
     name = "rotating-rr"
     requires_winner_identity = True
     extra_lines = 0
+    paper_section = "§2.2"
 
     def __init__(self, num_agents: int, **kwargs) -> None:
         super().__init__(num_agents, **kwargs)

@@ -32,6 +32,7 @@ class TicketFCFS(SingleOutstandingArbiter):
     name = "ticket-fcfs"
     requires_winner_identity = False
     extra_lines = 0
+    paper_section = "[ShAh81]"
 
     def __init__(self, num_agents: int, **kwargs) -> None:
         super().__init__(num_agents, **kwargs)

@@ -63,7 +63,7 @@ class BusSystem:
         scenario: ScenarioSpec,
         arbiter: Arbiter,
         collector: CompletionCollector,
-        timing: BusTiming = BusTiming(),
+        timing: Optional[BusTiming] = None,
         seed: int = 0,
         trace: Optional[Trace] = None,
     ) -> None:
@@ -75,7 +75,9 @@ class BusSystem:
         self.scenario = scenario
         self.arbiter = arbiter
         self.collector = collector
-        self.timing = timing
+        # Built per call: a signature-level BusTiming() default would be a
+        # single module-level instance shared across every BusSystem.
+        self.timing = timing if timing is not None else BusTiming()
         self.simulator = Simulator(trace=trace)
         self.streams = RandomStreams(seed)
 

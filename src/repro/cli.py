@@ -9,6 +9,7 @@ ad-hoc simulation::
     repro-arb run --protocol rr --agents 30 --load 1.5
     repro-arb compare --protocols rr fcfs aap1   # side by side, same seed
     repro-arb protocols              # list registered protocols
+    repro-arb --list-protocols       # ditto, without a subcommand
 
 Fidelity is controlled by ``--scale`` or the ``REPRO_SCALE`` environment
 variable (smoke / quick / default / paper).
@@ -22,7 +23,6 @@ from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.experiments import (
-    PROTOCOLS,
     SimulationSettings,
     run_simulation,
 )
@@ -40,9 +40,10 @@ from repro.experiments.formatting import fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
 from repro.experiments.scale import SCALES, current_scale
 from repro.experiments.sweep import SweepExecutor
+from repro.protocols.registry import get_spec, protocol_names
 from repro.workload.scenarios import equal_load
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "render_protocol_listing"]
 
 _TABLES = {
     "4.1": table_4_1,
@@ -63,6 +64,43 @@ _EXTENSION_TABLES = {
         scale=scale, seed=seed, executor=executor
     ),
 }
+
+
+def render_protocol_listing() -> str:
+    """The registry as a capability table (``protocols`` / --list-protocols).
+
+    Everything shown is declared on the :class:`ProtocolSpec`, not probed
+    from an instance: name, paper section, extra bus lines, r > 1
+    support, and the one-line summary.
+    """
+    header = f"{'protocol':14s} {'section':9s} {'lines':>5s} {'r>1':>4s}  summary"
+    rows = [header, "-" * len(header)]
+    for name in protocol_names():
+        spec = get_spec(name)
+        extra = "?" if spec.extra_lines is None else str(spec.extra_lines)
+        section = spec.paper_section or "-"
+        rows.append(
+            f"{name:14s} {section:9s} {extra:>5s} "
+            f"{'yes' if spec.supports_outstanding else 'no':>4s}  {spec.summary}"
+        )
+    return "\n".join(rows)
+
+
+class _ListProtocolsAction(argparse.Action):
+    """Print the protocol listing and exit, like ``--help``.
+
+    Implemented as an action so it works without a subcommand while the
+    subparsers stay ``required=True``.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "list registered protocols and exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(render_protocol_listing())
+        parser.exit(0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="cache results under PATH (implies --cache)",
     )
+    parser.add_argument("--list-protocols", action=_ListProtocolsAction)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     table_cmd = subparsers.add_parser(
@@ -132,7 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_cmd = subparsers.add_parser("run", help="run one ad-hoc simulation")
     run_cmd.add_argument(
-        "--protocol", choices=sorted(PROTOCOLS), default="rr", help="arbiter"
+        "--protocol", choices=protocol_names(), default="rr", help="arbiter"
     )
     run_cmd.add_argument("--agents", type=int, default=10, help="number of agents")
     run_cmd.add_argument(
@@ -148,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument(
         "--protocols",
         nargs="+",
-        choices=sorted(PROTOCOLS),
+        choices=protocol_names(),
         default=["rr", "fcfs", "aap1", "aap2"],
         help="arbiters to compare (same seed: identical arrivals)",
     )
@@ -248,12 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 _emit_tables(_TABLES[number], scale, args.seed, executor)
             print(figure_4_1.run(scale=scale, seed=args.seed, executor=executor).render())
         elif args.command == "protocols":
-            for name in sorted(PROTOCOLS):
-                arbiter = PROTOCOLS[name](8)
-                print(
-                    f"{name:14s} {type(arbiter).__name__:24s} "
-                    f"extra lines: {arbiter.extra_lines}"
-                )
+            print(render_protocol_listing())
         elif args.command == "run":
             _run_single(args, scale)
         elif args.command == "compare":

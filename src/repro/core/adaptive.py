@@ -56,6 +56,7 @@ class AdaptiveArbiter(SingleOutstandingArbiter):
     name = "adaptive-rr-fcfs"
     requires_winner_identity = True
     extra_lines = 2
+    paper_section = "§5"
 
     def __init__(
         self,

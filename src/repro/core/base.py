@@ -178,6 +178,15 @@ class Arbiter(abc.ABC):
     #: shared request line (documented cost of each implementation).
     extra_lines: int = 0
 
+    #: Paper section (or citation) that introduces the protocol; the
+    #: registry's :class:`~repro.protocols.registry.ProtocolSpec` entries
+    #: must agree with this (cross-checked by the capability tests).
+    paper_section: str = ""
+
+    #: Whether the protocol supports r > 1 outstanding requests per
+    #: agent (§3.2 extends only the FCFS arbiters this way).
+    supports_outstanding: bool = False
+
     def __init__(self, num_agents: int, max_finder: Optional[MaxFinder] = None) -> None:
         if num_agents < 1:
             raise ConfigurationError(f"need at least one agent, got {num_agents}")

@@ -89,6 +89,8 @@ class DistributedFCFS(Arbiter):
 
     name = "distributed-fcfs"
     requires_winner_identity = False
+    paper_section = "§3.2"
+    supports_outstanding = True
 
     def __init__(
         self,

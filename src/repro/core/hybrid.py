@@ -51,6 +51,7 @@ class HybridArbiter(SingleOutstandingArbiter):
     name = "hybrid-rr-fcfs"
     requires_winner_identity = True
     extra_lines = 2
+    paper_section = "§5"
 
     def __init__(
         self,

@@ -87,6 +87,7 @@ class DistributedRoundRobin(SingleOutstandingArbiter):
 
     name = "distributed-rr"
     requires_winner_identity = True
+    paper_section = "§3.1"
 
     def __init__(
         self,

@@ -1,10 +1,13 @@
 """Experiment harness: one module per table/figure of the paper's §4.
 
-Every experiment module exposes a ``run(...)`` function returning an
-:class:`~repro.experiments.formatting.ExperimentTable` whose ``render()``
-prints the same rows the paper reports.  Fidelity is controlled by
-:mod:`~repro.experiments.scale` (set ``REPRO_SCALE=paper`` for the full
-10 x 8000-sample runs of §4.1).
+Every experiment module declares its grid as an
+:class:`~repro.experiments.spec.ExperimentSpec` (``spec()`` /
+``panel_spec()``) and exposes a ``run(...)`` function that compiles it
+via :func:`~repro.experiments.spec.build_tables`, returning
+:class:`~repro.experiments.formatting.ExperimentTable` objects whose
+``render()`` prints the same rows the paper reports.  Fidelity is
+controlled by :mod:`~repro.experiments.scale` (set ``REPRO_SCALE=paper``
+for the full 10 x 8000-sample runs of §4.1).
 """
 
 from repro.experiments.cache import ResultCache, cache_key
@@ -16,6 +19,17 @@ from repro.experiments.runner import (
     run_simulation,
 )
 from repro.experiments.scale import Scale, current_scale
+from repro.experiments.spec import (
+    CellSpec,
+    ExperimentSpec,
+    PanelSpec,
+    RowSpec,
+    build_table,
+    build_tables,
+    grid_rows,
+    run_cells,
+    settings_for,
+)
 from repro.experiments.sweep import SweepCell, SweepExecutor
 
 __all__ = [
@@ -32,4 +46,13 @@ __all__ = [
     "cache_key",
     "SweepCell",
     "SweepExecutor",
+    "CellSpec",
+    "RowSpec",
+    "PanelSpec",
+    "ExperimentSpec",
+    "settings_for",
+    "grid_rows",
+    "run_cells",
+    "build_table",
+    "build_tables",
 ]

@@ -45,7 +45,8 @@ __all__ = ["CACHE_EPOCH", "cache_key", "ResultCache", "default_cache_dir"]
 #: Bump when a change anywhere in the engine, protocols, workload or
 #: statistics layers alters simulation output for identical inputs.
 #: Stale entries are then simply never looked up again.
-CACHE_EPOCH = 1
+#: Epoch 2: protocol registry refactor (uniform factory convention).
+CACHE_EPOCH = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 

@@ -30,10 +30,17 @@ from repro.baselines.rotating import RotatingPriorityRR
 from repro.errors import ArbitrationError
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
-from repro.experiments.runner import PROTOCOLS, SimulationSettings, make_arbiter
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import (
+    CellSpec,
+    PanelSpec,
+    RowSpec,
+    build_table,
+    settings_for,
+)
+from repro.experiments.sweep import SweepExecutor
 from repro.faults import FaultyWinnerRegisterRR
+from repro.protocols.registry import get_spec, protocol_names
 from repro.workload.scenarios import AgentSpec, ScenarioSpec
 from repro.workload.traces import TraceDistribution, synthesize_program_trace
 
@@ -50,10 +57,11 @@ def run_table_e1(num_agents: int = 30) -> ExperimentTable:
             "extra lines beyond the k arbitration lines + shared request line"
         ),
     )
-    for name in sorted(PROTOCOLS):
-        if name.startswith("central"):
-            continue  # central arbiters have no distributed line cost
-        arbiter = make_arbiter(name, num_agents)
+    for name in protocol_names():
+        spec = get_spec(name)
+        if not spec.common_random_numbers:
+            continue  # central oracles have no distributed line cost
+        arbiter = spec.build(num_agents)
         table.add_row(
             [
                 name,
@@ -155,7 +163,6 @@ def run_table_e3(
 ) -> ExperimentTable:
     """Table E3: fairness under trace-driven workloads ([EgGi87] angle)."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
     trace = synthesize_program_trace(
         4000, seed=seed, compute_mean=16.0, communicate_mean=1.0
     )
@@ -166,29 +173,12 @@ def run_table_e3(
         for i in range(1, num_agents + 1)
     )
     scenario = ScenarioSpec(name=f"trace-n{num_agents}", agents=agents)
-    table = ExperimentTable(
-        title=f"Table E3: fairness under program-trace workloads ({num_agents} agents)",
-        headers=["protocol", "t_N/t_1", "mean W", "σ_W"],
-        notes=(
-            f"scale={scale.name}, seed={seed}; synthetic compute/communicate "
-            f"phase trace (CV > 1, autocorrelated), one phase offset per agent"
-        ),
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-    )
+    settings = settings_for(scale, seed)
     protocols = ("rr", "fcfs", "fcfs-aincr", "aap1", "aap2")
-    results = executor.run(
-        [
-            SweepCell(scenario, protocol, settings, tag=f"E3/n{num_agents}/{protocol}")
-            for protocol in protocols
-        ]
-    )
-    for protocol, result in zip(protocols, results):
-        table.add_row(
+
+    def build_row(protocol, results):
+        result = results[protocol]
+        return (
             [
                 protocol,
                 fmt_estimate(result.extreme_throughput_ratio()),
@@ -202,7 +192,32 @@ def run_table_e3(
                 "std_w": result.std_waiting(),
             },
         )
-    return table
+
+    panel = PanelSpec(
+        title=f"Table E3: fairness under program-trace workloads ({num_agents} agents)",
+        headers=("protocol", "t_N/t_1", "mean W", "σ_W"),
+        rows=tuple(
+            RowSpec(
+                label=protocol,
+                cells=(
+                    CellSpec(
+                        key=protocol,
+                        scenario=scenario,
+                        protocol=protocol,
+                        settings=settings,
+                        tag=f"E3/n{num_agents}/{protocol}",
+                    ),
+                ),
+            )
+            for protocol in protocols
+        ),
+        build_row=build_row,
+        notes=(
+            f"scale={scale.name}, seed={seed}; synthetic compute/communicate "
+            f"phase trace (CV > 1, autocorrelated), one phase offset per agent"
+        ),
+    )
+    return build_table(panel, executor)
 
 
 def run_table_e4(
@@ -224,7 +239,6 @@ def run_table_e4(
     from repro.workload.distributions import Exponential
 
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
     think = num_agents / load - 1.0
     agents = tuple(
         AgentSpec(
@@ -242,31 +256,10 @@ def run_table_e4(
         "fcfs": "fcfs",
         "fcfs-aincr": "fcfs-aincr",
     }
-    table = ExperimentTable(
-        title=(
-            f"Table E4: normal-class fairness under urgent traffic "
-            f"({num_agents} agents, {len(urgent_agents)} urgent)"
-        ),
-        headers=["arbiter", "normal max/min", "urgent W", "normal W"],
-        notes=(
-            f"scale={scale.name}, seed={seed}; urgent agents "
-            f"{tuple(urgent_agents)} issue only priority requests"
-        ),
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-        keep_records=True,
-    )
-    results = executor.run(
-        [
-            SweepCell(scenario, protocol, settings, tag=f"E4/{protocol}")
-            for protocol in variants.values()
-        ]
-    )
-    for (name, _protocol), result in zip(variants.items(), results):
+    settings = settings_for(scale, seed, keep_records=True)
+
+    def build_row(name, results):
+        result = next(iter(results.values()))
         counts = {}
         urgent_waits = []
         normal_waits = []
@@ -277,7 +270,7 @@ def run_table_e4(
                 normal_waits.append(record.waiting_time)
                 counts[record.agent_id] = counts.get(record.agent_id, 0) + 1
         spread = max(counts.values()) / max(1, min(counts.values()))
-        table.add_row(
+        return (
             [
                 name,
                 f"{spread:.2f}",
@@ -291,4 +284,32 @@ def run_table_e4(
                 "normal_w": sum(normal_waits) / len(normal_waits),
             },
         )
-    return table
+
+    panel = PanelSpec(
+        title=(
+            f"Table E4: normal-class fairness under urgent traffic "
+            f"({num_agents} agents, {len(urgent_agents)} urgent)"
+        ),
+        headers=("arbiter", "normal max/min", "urgent W", "normal W"),
+        rows=tuple(
+            RowSpec(
+                label=name,
+                cells=(
+                    CellSpec(
+                        key=protocol,
+                        scenario=scenario,
+                        protocol=protocol,
+                        settings=settings,
+                        tag=f"E4/{protocol}",
+                    ),
+                ),
+            )
+            for name, protocol in variants.items()
+        ),
+        build_row=build_row,
+        notes=(
+            f"scale={scale.name}, seed={seed}; urgent agents "
+            f"{tuple(urgent_agents)} issue only priority requests"
+        ),
+    )
+    return build_table(panel, executor)

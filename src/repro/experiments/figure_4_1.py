@@ -14,9 +14,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.formatting import ascii_plot
 from repro.experiments.params import DEFAULT_SEED
-from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import CellSpec, run_cells, settings_for
+from repro.experiments.sweep import SweepExecutor
 from repro.stats.cdf import EmpiricalCDF
 from repro.workload.scenarios import equal_load
 
@@ -73,20 +73,14 @@ def run(
 ) -> FigureResult:
     """Reproduce Figure 4.1 (defaults: the paper's 30 agents, load 1.5)."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-        keep_samples=True,
-    )
+    settings = settings_for(scale, seed, keep_samples=True)
     scenario = equal_load(num_agents, load)
-    rr, fcfs = executor.run(
+    rr, fcfs = run_cells(
         [
-            SweepCell(scenario, "rr", settings, tag=f"fig4.1/n{num_agents}/rr"),
-            SweepCell(scenario, "fcfs", settings, tag=f"fig4.1/n{num_agents}/fcfs"),
-        ]
+            CellSpec("rr", scenario, "rr", settings, tag=f"fig4.1/n{num_agents}/rr"),
+            CellSpec("fcfs", scenario, "fcfs", settings, tag=f"fig4.1/n{num_agents}/fcfs"),
+        ],
+        executor,
     )
     rr_cdf = rr.waiting_cdf()
     fcfs_cdf = fcfs.waiting_cdf()

@@ -1,29 +1,25 @@
-"""Protocol registry and the single-run entry point.
+"""The single-run entry point of the experiment harness.
 
 :func:`run_simulation` is the one place a scenario, a protocol name and
 run-length settings meet; every experiment module and every example goes
-through it.  Protocols are registered by name so experiments, the CLI
-and the benchmarks share one vocabulary.
+through it.  Protocols live in the first-class registry
+(:mod:`repro.protocols.registry`): each is a
+:class:`~repro.protocols.registry.ProtocolSpec` declaring its factory
+and capabilities, so scenario-vs-protocol mismatches (an ``r > 1``
+scenario against a single-outstanding arbiter, an unknown name) are
+rejected at configuration time with precise errors.  ``PROTOCOLS`` and
+:func:`~repro.protocols.registry.make_arbiter` are re-exported here for
+backward compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Optional
 
-from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
-from repro.baselines.central import CentralFCFS, CentralRoundRobin
-from repro.baselines.fixed_priority import FixedPriorityArbiter
-from repro.baselines.rotating import RotatingPriorityRR
-from repro.baselines.ticket import TicketFCFS
 from repro.bus.model import BusSystem
 from repro.bus.timing import BusTiming
-from repro.core.adaptive import AdaptiveArbiter
-from repro.core.base import Arbiter
-from repro.core.fcfs import DistributedFCFS
-from repro.core.hybrid import HybridArbiter
-from repro.core.round_robin import DistributedRoundRobin
-from repro.errors import ConfigurationError
+from repro.protocols.registry import PROTOCOLS, make_arbiter
 from repro.stats.collector import CompletionCollector
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
@@ -34,46 +30,6 @@ __all__ = [
     "run_simulation",
     "SimulationSettings",
 ]
-
-#: Registry of protocol factories: name -> callable(num_agents, r) ->
-#: Arbiter, where ``r`` is the per-agent outstanding-request capacity the
-#: scenario needs.  Only the FCFS arbiter supports r > 1 (§3.2); the
-#: other factories reject such scenarios loudly rather than mis-serve
-#: them.
-PROTOCOLS: Dict[str, Callable[[int, int], Arbiter]] = {
-    # the paper's contributions
-    "rr": lambda n, r=1: DistributedRoundRobin(n, implementation=1),
-    "rr-impl2": lambda n, r=1: DistributedRoundRobin(n, implementation=2),
-    "rr-impl3": lambda n, r=1: DistributedRoundRobin(n, implementation=3),
-    # the frozen-pointer amendment studied in extension Table E4
-    "rr-frozen": lambda n, r=1: DistributedRoundRobin(n, record_priority_winners=False),
-    "fcfs": lambda n, r=1: DistributedFCFS(n, strategy=1, max_outstanding=r),
-    "fcfs-aincr": lambda n, r=1: DistributedFCFS(n, strategy=2, max_outstanding=r),
-    # §5 future-work extensions
-    "hybrid": lambda n, r=1: HybridArbiter(n),
-    "adaptive": lambda n, r=1: AdaptiveArbiter(n),
-    # baselines
-    "fixed": lambda n, r=1: FixedPriorityArbiter(n),
-    "aap1": lambda n, r=1: BatchingAssuredAccess(n),
-    "aap2": lambda n, r=1: FuturebusAssuredAccess(n),
-    "central-rr": lambda n, r=1: CentralRoundRobin(n),
-    "central-fcfs": lambda n, r=1: CentralFCFS(n),
-    "rotating-rr": lambda n, r=1: RotatingPriorityRR(n),
-    "ticket-fcfs": lambda n, r=1: TicketFCFS(n),
-}
-
-
-def make_arbiter(protocol: str, num_agents: int, max_outstanding: int = 1) -> Arbiter:
-    """Instantiate a registered protocol for ``num_agents`` agents."""
-    try:
-        factory = PROTOCOLS[protocol]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown protocol {protocol!r}; choose one of {sorted(PROTOCOLS)}"
-        ) from None
-    if max_outstanding > 1:
-        return factory(num_agents, max_outstanding)
-    return factory(num_agents)
 
 
 @dataclass(frozen=True)
@@ -101,15 +57,21 @@ class SimulationSettings:
 def run_simulation(
     scenario: ScenarioSpec,
     protocol: str,
-    settings: SimulationSettings = SimulationSettings(),
+    settings: Optional[SimulationSettings] = None,
 ) -> RunResult:
     """Simulate one (scenario, protocol) pair and return its metrics.
+
+    ``settings`` defaults to a fresh :class:`SimulationSettings` built
+    per call — a signature-level default instance would be constructed
+    once at import time and shared by every defaulted call.
 
     The random streams depend only on ``settings.seed`` and the agent
     identities, so two protocols run with the same seed see *identical*
     arrival processes — the common-random-numbers discipline behind the
     paper's protocol comparisons.
     """
+    if settings is None:
+        settings = SimulationSettings()
     needed_capacity = max(spec.max_outstanding for spec in scenario.agents)
     arbiter = make_arbiter(protocol, scenario.num_agents, needed_capacity)
     collector = CompletionCollector(

@@ -16,59 +16,27 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import (
+    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+)
+from repro.experiments.sweep import SweepExecutor
 from repro.workload.scenarios import equal_load
 
-__all__ = ["run", "run_panel"]
+__all__ = ["run", "run_panel", "panel_spec", "spec"]
 
 
-def run_panel(
-    num_agents: int,
-    loads: Sequence[float] = PAPER_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    include_aap: bool = False,
-    executor: Optional[SweepExecutor] = None,
-) -> ExperimentTable:
-    """One panel of Table 4.1 (one system size).
-
-    All (load, protocol) cells are independent simulations; they are
-    submitted to the ``executor`` as one sweep, so a parallel executor
-    runs the whole panel concurrently and a cache-backed one replays
-    previously computed cells.
-    """
+def panel_spec(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
+               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+               include_aap: bool = False) -> PanelSpec:
+    """One panel of Table 4.1 (one system size), as a declarative grid."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
+    protocols = ["rr", "fcfs"] + (["aap1"] if include_aap else [])
     headers = ["Load", "λ", "t_N/t_1 RR", "t_N/t_1 FCFS"]
     if include_aap:
         headers.append("t_N/t_1 AAP")
-    table = ExperimentTable(
-        title=f"Table 4.1: bandwidth allocation, equal request rates ({num_agents} agents)",
-        headers=headers,
-        notes=f"scale={scale.name} ({scale.batches}x{scale.batch_size} samples), seed={seed}",
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-    )
-    protocols = ["rr", "fcfs"] + (["aap1"] if include_aap else [])
-    cells = [
-        SweepCell(
-            equal_load(num_agents, load),
-            protocol,
-            settings,
-            tag=f"t4.1/n{num_agents}/L{load:g}/{protocol}",
-        )
-        for load in loads
-        for protocol in protocols
-    ]
-    outcomes = iter(executor.run(cells))
-    for load in loads:
-        results = {protocol: next(outcomes) for protocol in protocols}
+
+    def build_row(load, results):
         throughput = results["rr"].system_throughput()
         ratios = {
             protocol: result.extreme_throughput_ratio()
@@ -90,30 +58,47 @@ def run_panel(
         if include_aap:
             cells.append(fmt_estimate(ratios["aap1"]))
             record["ratio_aap1"] = ratios["aap1"]
-        table.add_row(cells, record)
-    return table
+        return cells, record
 
-
-def run(
-    sizes: Sequence[int] = PAPER_SIZES,
-    loads: Sequence[float] = PAPER_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> Tuple[ExperimentTable, ...]:
-    """All panels of Table 4.1 (the AAP column appears for 30 agents)."""
-    executor = executor or SweepExecutor()
-    return tuple(
-        run_panel(
-            num_agents,
-            loads=loads,
-            scale=scale,
-            seed=seed,
-            include_aap=(num_agents == 30),
-            executor=executor,
-        )
-        for num_agents in sizes
+    return PanelSpec(
+        title=f"Table 4.1: bandwidth allocation, equal request rates ({num_agents} agents)",
+        headers=tuple(headers),
+        rows=grid_rows(
+            loads,
+            protocols,
+            lambda load: equal_load(num_agents, load),
+            settings_for(scale, seed),
+            lambda load, protocol: f"t4.1/n{num_agents}/L{load:g}/{protocol}",
+        ),
+        build_row=build_row,
+        notes=f"scale={scale.name} ({scale.batches}x{scale.batch_size} samples), seed={seed}",
     )
+
+
+def spec(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
+         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> ExperimentSpec:
+    """All panels of Table 4.1 (the AAP column appears for 30 agents)."""
+    return ExperimentSpec(
+        name="table-4.1",
+        panels=tuple(
+            panel_spec(n, loads, scale, seed, include_aap=(n == 30)) for n in sizes
+        ),
+    )
+
+
+def run_panel(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
+              scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+              include_aap: bool = False,
+              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+    """One panel of Table 4.1 (one system size)."""
+    return build_table(panel_spec(num_agents, loads, scale, seed, include_aap), executor)
+
+
+def run(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
+        scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+    """All panels of Table 4.1."""
+    return build_tables(spec(sizes, loads, scale, seed), executor)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

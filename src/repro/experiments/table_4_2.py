@@ -14,56 +14,30 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import (
+    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+)
+from repro.experiments.sweep import SweepExecutor
 from repro.workload.scenarios import equal_load
 
-__all__ = ["run", "run_panel"]
+__all__ = ["run", "run_panel", "panel_spec", "spec"]
 
 
-def run_panel(
-    num_agents: int,
-    loads: Sequence[float] = PAPER_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> ExperimentTable:
-    """One panel of Table 4.2 (one system size)."""
+def panel_spec(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
+               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> PanelSpec:
+    """One panel of Table 4.2 (one system size), as a declarative grid."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
-    table = ExperimentTable(
-        title=f"Table 4.2: waiting-time standard deviation ({num_agents} agents)",
-        headers=["Load", "λ", "W", "σ_W FCFS", "σ_W RR", "σ_RR/σ_FCFS"],
-        notes=f"scale={scale.name}, seed={seed}; W = issue → transaction completion",
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-    )
-    cells = [
-        SweepCell(
-            equal_load(num_agents, load),
-            protocol,
-            settings,
-            tag=f"t4.2/n{num_agents}/L{load:g}/{protocol}",
-        )
-        for load in loads
-        for protocol in ("rr", "fcfs")
-    ]
-    outcomes = iter(executor.run(cells))
-    for load in loads:
-        rr = next(outcomes)
-        fcfs = next(outcomes)
+
+    def build_row(load, results):
+        rr, fcfs = results["rr"], results["fcfs"]
         throughput = rr.system_throughput()
         mean_w = rr.mean_waiting()
         mean_w_fcfs = fcfs.mean_waiting()
         std_rr = rr.std_waiting()
         std_fcfs = fcfs.std_waiting()
         ratio = std_rr.mean / std_fcfs.mean if std_fcfs.mean > 0 else float("nan")
-        table.add_row(
+        return (
             [
                 f"{load:.2f}",
                 f"{throughput.mean:.2f}",
@@ -83,22 +57,43 @@ def run_panel(
                 "std_ratio": ratio,
             },
         )
-    return table
 
-
-def run(
-    sizes: Sequence[int] = PAPER_SIZES,
-    loads: Sequence[float] = PAPER_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> Tuple[ExperimentTable, ...]:
-    """All panels of Table 4.2."""
-    executor = executor or SweepExecutor()
-    return tuple(
-        run_panel(num_agents, loads=loads, scale=scale, seed=seed, executor=executor)
-        for num_agents in sizes
+    return PanelSpec(
+        title=f"Table 4.2: waiting-time standard deviation ({num_agents} agents)",
+        headers=("Load", "λ", "W", "σ_W FCFS", "σ_W RR", "σ_RR/σ_FCFS"),
+        rows=grid_rows(
+            loads,
+            ("rr", "fcfs"),
+            lambda load: equal_load(num_agents, load),
+            settings_for(scale, seed),
+            lambda load, protocol: f"t4.2/n{num_agents}/L{load:g}/{protocol}",
+        ),
+        build_row=build_row,
+        notes=f"scale={scale.name}, seed={seed}; W = issue → transaction completion",
     )
+
+
+def spec(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
+         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> ExperimentSpec:
+    """All panels of Table 4.2."""
+    return ExperimentSpec(
+        name="table-4.2",
+        panels=tuple(panel_spec(n, loads, scale, seed) for n in sizes),
+    )
+
+
+def run_panel(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
+              scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+    """One panel of Table 4.2 (one system size)."""
+    return build_table(panel_spec(num_agents, loads, scale, seed), executor)
+
+
+def run(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
+        scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+    """All panels of Table 4.2."""
+    return build_tables(spec(sizes, loads, scale, seed), executor)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

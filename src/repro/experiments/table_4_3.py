@@ -16,62 +16,24 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import (
+    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+)
+from repro.experiments.sweep import SweepExecutor
 from repro.stats.cdf import min_integer_crossing
 from repro.workload.scenarios import equal_load
 
-__all__ = ["run", "run_panel"]
+__all__ = ["run", "run_panel", "panel_spec", "spec"]
 
 
-def run_panel(
-    num_agents: int,
-    loads: Sequence[float] = PAPER_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> ExperimentTable:
-    """One panel of Table 4.3 (one system size)."""
+def panel_spec(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
+               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> PanelSpec:
+    """One panel of Table 4.3 (one system size), as a declarative grid."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
-    table = ExperimentTable(
-        title=f"Table 4.3: execution overlapped with bus waits ({num_agents} agents)",
-        headers=[
-            "Load",
-            "W",
-            "W-v resid RR",
-            "W-v resid FCFS",
-            "Prod RR",
-            "Prod FCFS",
-            "Overlap v",
-        ],
-        notes=(
-            f"scale={scale.name}, seed={seed}; v = min integer with "
-            f"CDF_RR(v) < CDF_FCFS(v); resid = E[(W - v)+]"
-        ),
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-        keep_samples=True,
-    )
-    cells = [
-        SweepCell(
-            equal_load(num_agents, load),
-            protocol,
-            settings,
-            tag=f"t4.3/n{num_agents}/L{load:g}/{protocol}",
-        )
-        for load in loads
-        for protocol in ("rr", "fcfs")
-    ]
-    outcomes = iter(executor.run(cells))
-    for load in loads:
-        rr = next(outcomes)
-        fcfs = next(outcomes)
+
+    def build_row(load, results):
+        rr, fcfs = results["rr"], results["fcfs"]
         rr_cdf = rr.waiting_cdf()
         fcfs_cdf = fcfs.waiting_cdf()
         overlap = min_integer_crossing(rr_cdf, fcfs_cdf)
@@ -81,7 +43,7 @@ def run_panel(
             overlap = int(max(rr_cdf.max, fcfs_cdf.max)) + 1
         rr_metrics = rr.overlap_metrics(overlap)
         fcfs_metrics = fcfs.overlap_metrics(overlap)
-        table.add_row(
+        return (
             [
                 f"{load:.2f}",
                 f"{rr_metrics.total_waiting.mean:.2f}",
@@ -99,22 +61,54 @@ def run_panel(
                 "fcfs": fcfs_metrics,
             },
         )
-    return table
 
-
-def run(
-    sizes: Sequence[int] = PAPER_SIZES,
-    loads: Sequence[float] = PAPER_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> Tuple[ExperimentTable, ...]:
-    """All panels of Table 4.3."""
-    executor = executor or SweepExecutor()
-    return tuple(
-        run_panel(num_agents, loads=loads, scale=scale, seed=seed, executor=executor)
-        for num_agents in sizes
+    return PanelSpec(
+        title=f"Table 4.3: execution overlapped with bus waits ({num_agents} agents)",
+        headers=(
+            "Load",
+            "W",
+            "W-v resid RR",
+            "W-v resid FCFS",
+            "Prod RR",
+            "Prod FCFS",
+            "Overlap v",
+        ),
+        rows=grid_rows(
+            loads,
+            ("rr", "fcfs"),
+            lambda load: equal_load(num_agents, load),
+            settings_for(scale, seed, keep_samples=True),
+            lambda load, protocol: f"t4.3/n{num_agents}/L{load:g}/{protocol}",
+        ),
+        build_row=build_row,
+        notes=(
+            f"scale={scale.name}, seed={seed}; v = min integer with "
+            f"CDF_RR(v) < CDF_FCFS(v); resid = E[(W - v)+]"
+        ),
     )
+
+
+def spec(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
+         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> ExperimentSpec:
+    """All panels of Table 4.3."""
+    return ExperimentSpec(
+        name="table-4.3",
+        panels=tuple(panel_spec(n, loads, scale, seed) for n in sizes),
+    )
+
+
+def run_panel(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
+              scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+    """One panel of Table 4.3 (one system size)."""
+    return build_table(panel_spec(num_agents, loads, scale, seed), executor)
+
+
+def run(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
+        scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+    """All panels of Table 4.3."""
+    return build_tables(spec(sizes, loads, scale, seed), executor)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

@@ -15,65 +15,33 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
-from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import (
+    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+)
+from repro.experiments.sweep import SweepExecutor
 from repro.workload.scenarios import unequal_load
 
-__all__ = ["run", "run_panel", "BASE_LOADS"]
+__all__ = ["run", "run_panel", "panel_spec", "spec", "BASE_LOADS"]
 
 #: Per-regular-agent total-load bases (the paper's Table 4.1 loads minus
 #: the 7.5 row, which Table 4.4 omits).
 BASE_LOADS: Tuple[float, ...] = (0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00)
 
 
-def run_panel(
-    factor: float,
-    num_agents: int = 30,
-    base_loads: Sequence[float] = BASE_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> ExperimentTable:
-    """One panel of Table 4.4 (one rate factor)."""
+def panel_spec(factor: float, num_agents: int = 30,
+               base_loads: Sequence[float] = BASE_LOADS,
+               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> PanelSpec:
+    """One panel of Table 4.4 (one rate factor), as a declarative grid."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
-    table = ExperimentTable(
-        title=(
-            f"Table 4.4: unequal request rates — agent 1 at {factor:g}x "
-            f"({num_agents} agents)"
-        ),
-        headers=["Load", "λ", "Load1/Load2", "t1/t2 RR", "t1/t2 FCFS"],
-        notes=f"scale={scale.name}, seed={seed}",
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-    )
-    scenarios = [
-        unequal_load(num_agents, base / num_agents, factor) for base in base_loads
-    ]
-    cells = [
-        SweepCell(
-            scenario,
-            protocol,
-            settings,
-            tag=f"t4.4/f{factor:g}/L{base:g}/{protocol}",
-        )
-        for scenario, base in zip(scenarios, base_loads)
-        for protocol in ("rr", "fcfs")
-    ]
-    outcomes = iter(executor.run(cells))
-    for scenario, base in zip(scenarios, base_loads):
-        total = scenario.total_offered_load()
-        rr = next(outcomes)
-        fcfs = next(outcomes)
+
+    def build_row(base, results):
+        rr, fcfs = results["rr"], results["fcfs"]
+        total = rr.scenario.total_offered_load()
         throughput = rr.system_throughput()
         ratio_rr = rr.throughput_ratio(1, 2)
         ratio_fcfs = fcfs.throughput_ratio(1, 2)
-        table.add_row(
+        return (
             [
                 f"{total:.2f}",
                 f"{throughput.mean:.2f}",
@@ -90,30 +58,52 @@ def run_panel(
                 "ratio_fcfs": ratio_fcfs,
             },
         )
-    return table
 
-
-def run(
-    factors: Sequence[float] = (2.0, 4.0),
-    num_agents: int = 30,
-    base_loads: Sequence[float] = BASE_LOADS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> Tuple[ExperimentTable, ...]:
-    """Both panels of Table 4.4."""
-    executor = executor or SweepExecutor()
-    return tuple(
-        run_panel(
-            factor,
-            num_agents=num_agents,
-            base_loads=base_loads,
-            scale=scale,
-            seed=seed,
-            executor=executor,
-        )
-        for factor in factors
+    return PanelSpec(
+        title=(
+            f"Table 4.4: unequal request rates — agent 1 at {factor:g}x "
+            f"({num_agents} agents)"
+        ),
+        headers=("Load", "λ", "Load1/Load2", "t1/t2 RR", "t1/t2 FCFS"),
+        rows=grid_rows(
+            base_loads,
+            ("rr", "fcfs"),
+            lambda base: unequal_load(num_agents, base / num_agents, factor),
+            settings_for(scale, seed),
+            lambda base, protocol: f"t4.4/f{factor:g}/L{base:g}/{protocol}",
+        ),
+        build_row=build_row,
+        notes=f"scale={scale.name}, seed={seed}",
     )
+
+
+def spec(factors: Sequence[float] = (2.0, 4.0), num_agents: int = 30,
+         base_loads: Sequence[float] = BASE_LOADS,
+         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> ExperimentSpec:
+    """Both panels of Table 4.4."""
+    return ExperimentSpec(
+        name="table-4.4",
+        panels=tuple(
+            panel_spec(factor, num_agents, base_loads, scale, seed)
+            for factor in factors
+        ),
+    )
+
+
+def run_panel(factor: float, num_agents: int = 30,
+              base_loads: Sequence[float] = BASE_LOADS,
+              scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+    """One panel of Table 4.4 (one rate factor)."""
+    return build_table(panel_spec(factor, num_agents, base_loads, scale, seed), executor)
+
+
+def run(factors: Sequence[float] = (2.0, 4.0), num_agents: int = 30,
+        base_loads: Sequence[float] = BASE_LOADS,
+        scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+    """Both panels of Table 4.4."""
+    return build_tables(spec(factors, num_agents, base_loads, scale, seed), executor)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

@@ -18,14 +18,16 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_CVS, PAPER_SIZES
-from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale, current_scale
-from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.experiments.spec import (
+    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+)
+from repro.experiments.sweep import SweepExecutor
 from repro.stats.batch_means import BatchMeansEstimate, batch_means
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import worst_case_rr
 
-__all__ = ["run", "run_panel", "slow_to_other_ratio"]
+__all__ = ["run", "run_panel", "panel_spec", "spec", "slow_to_other_ratio"]
 
 
 def slow_to_other_ratio(result: RunResult, slow_agent: int = 1) -> BatchMeansEstimate:
@@ -45,49 +47,18 @@ def slow_to_other_ratio(result: RunResult, slow_agent: int = 1) -> BatchMeansEst
     return batch_means(ratios, result.confidence)
 
 
-def run_panel(
-    num_agents: int,
-    cvs: Sequence[float] = PAPER_CVS,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> ExperimentTable:
-    """One panel of Table 4.5 (one system size)."""
+def panel_spec(num_agents: int, cvs: Sequence[float] = PAPER_CVS,
+               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> PanelSpec:
+    """One panel of Table 4.5 (one system size), as a declarative grid."""
     scale = scale or current_scale()
-    executor = executor or SweepExecutor()
-    table = ExperimentTable(
-        title=f"Table 4.5: worst-case bus allocation for RR ({num_agents} agents)",
-        headers=["CV", "Load_s/Load_o", "t_s/t_o RR", "t_s/t_o FCFS"],
-        notes=(
-            f"scale={scale.name}, seed={seed}; slow agent inter-request "
-            f"{num_agents - 0.5:g}, others {num_agents - 3.6:g}"
-        ),
-    )
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=seed,
-    )
-    scenarios = [worst_case_rr(num_agents, cv=cv) for cv in cvs]
-    cells = [
-        SweepCell(
-            scenario,
-            protocol,
-            settings,
-            tag=f"t4.5/n{num_agents}/cv{cv:g}/{protocol}",
-        )
-        for scenario, cv in zip(scenarios, cvs)
-        for protocol in ("rr", "fcfs")
-    ]
-    outcomes = iter(executor.run(cells))
-    for scenario, cv in zip(scenarios, cvs):
+
+    def build_row(cv, results):
+        rr, fcfs = results["rr"], results["fcfs"]
+        scenario = rr.scenario
         load_ratio = scenario.agent(1).offered_load() / scenario.agent(2).offered_load()
-        rr = next(outcomes)
-        fcfs = next(outcomes)
         ratio_rr = slow_to_other_ratio(rr)
         ratio_fcfs = slow_to_other_ratio(fcfs)
-        table.add_row(
+        return (
             [
                 f"{cv:.2f}",
                 f"{load_ratio:.2f}",
@@ -102,26 +73,50 @@ def run_panel(
                 "ratio_fcfs": ratio_fcfs,
             },
         )
-    return table
+
+    return PanelSpec(
+        title=f"Table 4.5: worst-case bus allocation for RR ({num_agents} agents)",
+        headers=("CV", "Load_s/Load_o", "t_s/t_o RR", "t_s/t_o FCFS"),
+        rows=grid_rows(
+            cvs,
+            ("rr", "fcfs"),
+            lambda cv: worst_case_rr(num_agents, cv=cv),
+            settings_for(scale, seed),
+            lambda cv, protocol: f"t4.5/n{num_agents}/cv{cv:g}/{protocol}",
+        ),
+        build_row=build_row,
+        notes=(
+            f"scale={scale.name}, seed={seed}; slow agent inter-request "
+            f"{num_agents - 0.5:g}, others {num_agents - 3.6:g}"
+        ),
+    )
 
 
-def run(
-    sizes: Sequence[int] = PAPER_SIZES,
-    cvs: Optional[Sequence[float]] = None,
-    scale: Optional[Scale] = None,
-    seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
-) -> Tuple[ExperimentTable, ...]:
+def spec(sizes: Sequence[int] = PAPER_SIZES, cvs: Optional[Sequence[float]] = None,
+         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED) -> ExperimentSpec:
     """All panels of Table 4.5.
 
     The paper sweeps all CVs for 10 agents and reports only CV = 0 for
     30 and 64; we sweep all CVs everywhere unless ``cvs`` is given.
     """
-    executor = executor or SweepExecutor()
-    return tuple(
-        run_panel(num_agents, cvs=cvs or PAPER_CVS, scale=scale, seed=seed, executor=executor)
-        for num_agents in sizes
+    return ExperimentSpec(
+        name="table-4.5",
+        panels=tuple(panel_spec(n, cvs or PAPER_CVS, scale, seed) for n in sizes),
     )
+
+
+def run_panel(num_agents: int, cvs: Sequence[float] = PAPER_CVS,
+              scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+    """One panel of Table 4.5 (one system size)."""
+    return build_table(panel_spec(num_agents, cvs, scale, seed), executor)
+
+
+def run(sizes: Sequence[int] = PAPER_SIZES, cvs: Optional[Sequence[float]] = None,
+        scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
+        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+    """All panels of Table 4.5."""
+    return build_tables(spec(sizes, cvs, scale, seed), executor)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual harness

@@ -1,0 +1,29 @@
+"""First-class protocol registry.
+
+Every arbitration protocol the library knows is registered here as a
+:class:`~repro.protocols.registry.ProtocolSpec`: a declarative record of
+its factory and its capabilities (outstanding-request support, extra bus
+lines, arbitration-number width, paper section).  The experiment grid,
+the CLI and the documentation all derive their protocol vocabulary from
+this one registry.
+"""
+
+from repro.protocols.registry import (
+    PROTOCOLS,
+    ProtocolRegistry,
+    ProtocolSpec,
+    get_spec,
+    make_arbiter,
+    protocol_names,
+    register,
+)
+
+__all__ = [
+    "ProtocolSpec",
+    "ProtocolRegistry",
+    "PROTOCOLS",
+    "register",
+    "get_spec",
+    "protocol_names",
+    "make_arbiter",
+]

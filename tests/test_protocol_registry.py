@@ -1,0 +1,167 @@
+"""Tests for the first-class protocol registry (repro.protocols.registry)."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.base import Arbiter
+from repro.errors import ConfigurationError
+from repro.experiments import SimulationSettings, run_simulation
+from repro.protocols.registry import (
+    PROTOCOLS,
+    ProtocolSpec,
+    get_spec,
+    make_arbiter,
+    protocol_names,
+    register,
+    unregister,
+)
+from repro.workload.scenarios import equal_load, open_loop_equal_load
+
+
+class TestLookup:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol 'lottery'"):
+            make_arbiter("lottery", 8)
+
+    def test_unknown_protocol_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="choose one of"):
+            get_spec("nope")
+
+    def test_typo_gets_a_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'fcfs'"):
+            get_spec("fcsf")
+
+    def test_names_sorted_and_complete(self):
+        names = protocol_names()
+        assert names == tuple(sorted(names))
+        for expected in ("rr", "fcfs", "hybrid", "adaptive", "aap1", "central-rr"):
+            assert expected in names
+
+
+class TestOutstandingValidation:
+    def test_r_above_one_rejected_for_rr_at_config_time(self):
+        with pytest.raises(ConfigurationError, match="FCFS arbiters extend to r > 1"):
+            make_arbiter("rr", 8, max_outstanding=4)
+
+    @pytest.mark.parametrize("protocol", ["rr", "hybrid", "adaptive", "aap1", "ticket-fcfs"])
+    def test_r_above_one_rejected_for_every_non_fcfs(self, protocol):
+        with pytest.raises(ConfigurationError):
+            make_arbiter(protocol, 8, max_outstanding=2)
+
+    @pytest.mark.parametrize("protocol", ["fcfs", "fcfs-aincr"])
+    def test_fcfs_accepts_r_above_one(self, protocol):
+        arbiter = make_arbiter(protocol, 8, max_outstanding=4)
+        assert arbiter.num_agents == 8
+
+    def test_r_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be >= 1"):
+            make_arbiter("fcfs", 8, max_outstanding=0)
+
+    def test_open_loop_scenario_rejected_before_simulation(self):
+        scenario = open_loop_equal_load(6, 0.5, max_outstanding=4)
+        settings = SimulationSettings(batches=2, batch_size=50, warmup=10, seed=1)
+        with pytest.raises(ConfigurationError, match="r=4"):
+            run_simulation(scenario, "rr", settings)
+
+
+class TestCapabilityRoundTrip:
+    @pytest.mark.parametrize("name", protocol_names())
+    @pytest.mark.parametrize("num_agents", [4, 8, 30])
+    def test_declared_width_and_lines_match_instance(self, name, num_agents):
+        spec = get_spec(name)
+        arbiter = spec.build(num_agents)
+        assert spec.number_width(num_agents) == arbiter.identity_width
+        assert spec.extra_lines == arbiter.extra_lines
+
+    @pytest.mark.parametrize("name", ["fcfs", "fcfs-aincr"])
+    @pytest.mark.parametrize("r", [2, 4, 8])
+    def test_declared_width_tracks_outstanding(self, name, r):
+        spec = get_spec(name)
+        assert spec.number_width(8, r) == spec.build(8, r).identity_width
+
+    def test_supports_outstanding_matches_instance_flag(self):
+        for name in protocol_names():
+            spec = get_spec(name)
+            assert spec.supports_outstanding == spec.build(6).supports_outstanding
+
+
+class TestUniformFactoryConvention:
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_every_factory_takes_num_agents_and_r(self, name):
+        arbiter = PROTOCOLS[name](6, 1)
+        assert isinstance(arbiter, Arbiter)
+        assert arbiter.num_agents == 6
+
+
+class TestAdHocRegistration:
+    def test_single_arg_callable_adapted(self):
+        from repro.baselines.central import CentralRoundRobin
+
+        PROTOCOLS["central-rr-adhoc"] = lambda n: CentralRoundRobin(n)
+        try:
+            arbiter = make_arbiter("central-rr-adhoc", 5)
+            assert arbiter.num_agents == 5
+            # adapted callables are declared incapable of r > 1
+            with pytest.raises(ConfigurationError):
+                make_arbiter("central-rr-adhoc", 5, max_outstanding=2)
+        finally:
+            del PROTOCOLS["central-rr-adhoc"]
+        with pytest.raises(ConfigurationError):
+            get_spec("central-rr-adhoc")
+
+    def test_duplicate_register_rejected_without_overwrite(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(get_spec("rr"))
+
+    def test_setitem_spec_name_must_match_key(self):
+        spec = get_spec("rr")
+        with pytest.raises(ConfigurationError, match="does not match"):
+            PROTOCOLS["not-rr"] = spec
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unregister("never-registered")
+
+    def test_run_simulation_sees_adhoc_protocol(self):
+        from repro.core.round_robin import DistributedRoundRobin
+
+        PROTOCOLS["rr-adhoc"] = lambda n: DistributedRoundRobin(n)
+        try:
+            settings = SimulationSettings(batches=2, batch_size=50, warmup=10, seed=3)
+            result = run_simulation(equal_load(4, 1.0), "rr-adhoc", settings)
+            assert result.protocol == "rr-adhoc"
+        finally:
+            del PROTOCOLS["rr-adhoc"]
+
+
+class TestSpecMetadata:
+    def test_paper_sections_declared(self):
+        assert get_spec("rr").paper_section == "§3.1"
+        assert get_spec("fcfs").paper_section == "§3.2"
+        assert get_spec("hybrid").paper_section == "§5"
+
+    def test_central_oracles_excluded_from_crn(self):
+        assert not get_spec("central-rr").common_random_numbers
+        assert not get_spec("central-fcfs").common_random_numbers
+        assert get_spec("rr").common_random_numbers
+
+    def test_from_callable_flags_varargs_as_r_capable(self):
+        spec = ProtocolSpec.from_callable("v", lambda *args: None)
+        assert spec.supports_outstanding
+
+
+class TestListProtocolsCLI:
+    def test_list_protocols_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--list-protocols"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in protocol_names():
+            assert name in out
+        assert "§3.1" in out and "r>1" in out
+
+    def test_protocols_subcommand_matches_listing(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "summary" in out
+        assert "distributed FCFS" in out
