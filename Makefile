@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test lint bench bench-all tables experiments apidocs examples clean
+.PHONY: install test lint bench bench-all tables faults experiments apidocs examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,6 +27,11 @@ bench-all:
 
 tables:
 	REPRO_SCALE=$(SCALE) $(PYTHON) -m repro all
+
+# Robustness grid (fault rate x protocol, watchdog recovery) at smoke
+# scale: fast enough for CI, still exercises the §3.1 failure contrast.
+faults:
+	REPRO_SCALE=smoke PYTHONPATH=src $(PYTHON) -m repro faults
 
 experiments:
 	REPRO_SCALE=paper $(PYTHON) scripts/generate_experiments.py

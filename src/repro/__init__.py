@@ -63,13 +63,23 @@ from repro.core import (
 from repro.errors import (
     ArbitrationError,
     ConfigurationError,
+    NoUniqueWinnerError,
     ProtocolError,
     ReproError,
     SignalError,
     SimulationError,
     StatisticsError,
+    SweepExecutionError,
 )
-from repro.faults import FaultyWinnerRegisterRR, GlitchableFCFS
+from repro.bus.watchdog import BusWatchdog, WatchdogPolicy
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultyWinnerRegisterRR,
+    GlitchableFCFS,
+)
 from repro.experiments import (
     PROTOCOLS,
     Scale,
@@ -145,9 +155,15 @@ __all__ = [
     "CentralFCFS",
     "RotatingPriorityRR",
     "TicketFCFS",
-    # fault injection
+    # fault injection & robustness
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
     "FaultyWinnerRegisterRR",
     "GlitchableFCFS",
+    "BusWatchdog",
+    "WatchdogPolicy",
     # signals substrate
     "WiredOrLine",
     "ArbitrationLineBundle",
@@ -210,6 +226,8 @@ __all__ = [
     "SimulationError",
     "ProtocolError",
     "ArbitrationError",
+    "NoUniqueWinnerError",
     "SignalError",
     "StatisticsError",
+    "SweepExecutionError",
 ]

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.base import ArbitrationOutcome, Request, SingleOutstandingArbiter
-from repro.errors import ArbitrationError
+from repro.errors import ArbitrationError, NoUniqueWinnerError
 
 __all__ = ["RotatingPriorityRR"]
 
@@ -92,7 +92,7 @@ class RotatingPriorityRR(SingleOutstandingArbiter):
                 # the two patterns is taken for a single winner and the
                 # bus grants the wrong agent or two at once — the
                 # failure mode the paper's static scheme avoids.
-                raise ArbitrationError(
+                raise NoUniqueWinnerError(
                     f"rotation desynchronised: agents {numbers_seen[number]} "
                     f"and {agent} both applied arbitration number {number}"
                 )

@@ -62,6 +62,11 @@ class BusAgent:
         #: accounting in the overlap experiments.
         self.total_think_time = 0.0
         self._generation_blocked = False
+        #: Whether the agent is present on the bus.  Fault injection can
+        #: drop an agent out for a window (live removal) and rejoin it
+        #: (hot insertion); an absent agent generates no new requests.
+        self.active = True
+        self._woke_while_inactive = False
         #: Pre-drawn think times, consumed from the end.  Batching is only
         #: sequence-preserving when think draws are the *only* draws on
         #: this agent's stream; priority classing interleaves a uniform
@@ -99,6 +104,11 @@ class BusAgent:
         return self.rng.random() < fraction
 
     def _generate_request(self) -> None:
+        if not self.active:
+            # Off the bus: swallow the think-timer expiry and remember it,
+            # so rejoin() can resume the generation loop.
+            self._woke_while_inactive = True
+            return
         if self.outstanding >= self.spec.max_outstanding:
             # Open loop at capacity: the source blocks; generation resumes
             # at the next completion.  (A closed-loop agent cannot reach
@@ -127,6 +137,33 @@ class BusAgent:
                 self._generation_blocked = False
                 self._schedule_next_request()
         else:
+            self._schedule_next_request()
+
+    # -- fault injection: live removal / hot insertion -----------------------
+
+    def drop_out(self) -> bool:
+        """Remove the agent from the bus; returns False if already absent.
+
+        Requests already issued stay on the arbiter (the hardware cannot
+        recall an asserted request line); only *new* generation stops.
+        """
+        if not self.active:
+            return False
+        self.active = False
+        return True
+
+    def rejoin(self) -> None:
+        """Hot-insert the agent back onto the bus.
+
+        If a think timer expired while the agent was absent, the
+        generation loop is restarted with a fresh think period — the
+        re-inserted board comes up idle, not mid-request.
+        """
+        if self.active:
+            return
+        self.active = True
+        if self._woke_while_inactive:
+            self._woke_while_inactive = False
             self._schedule_next_request()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

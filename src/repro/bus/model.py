@@ -27,12 +27,14 @@ from typing import Dict, List, Optional
 from repro.bus.agent import BusAgent
 from repro.bus.records import CompletionRecord
 from repro.bus.timing import BusTiming
+from repro.bus.watchdog import BusWatchdog
 from repro.core.base import Arbiter, ArbitrationOutcome, Request
 from repro.engine.event import EventPriority
 from repro.engine.rng import RandomStreams
 from repro.engine.simulator import Simulator
 from repro.engine.trace import Trace
-from repro.errors import SimulationError
+from repro.errors import NoUniqueWinnerError, SimulationError
+from repro.faults.injector import FaultInjector
 from repro.stats.collector import CompletionCollector
 from repro.workload.scenarios import ScenarioSpec
 
@@ -56,6 +58,14 @@ class BusSystem:
         Master seed for the per-agent random streams.
     trace:
         Optional event trace for debugging.
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; its
+        plan's point faults are scheduled on this system's calendar and
+        its line faults perturb every arbitration outcome.
+    watchdog:
+        Optional :class:`~repro.bus.watchdog.BusWatchdog`; recovers
+        anomalous arbitrations by bounded re-arbitration.  Without one,
+        an anomaly raises :class:`~repro.errors.NoUniqueWinnerError`.
     """
 
     def __init__(
@@ -66,6 +76,8 @@ class BusSystem:
         timing: Optional[BusTiming] = None,
         seed: int = 0,
         trace: Optional[Trace] = None,
+        injector: Optional[FaultInjector] = None,
+        watchdog: Optional[BusWatchdog] = None,
     ) -> None:
         if arbiter.num_agents < scenario.num_agents:
             raise SimulationError(
@@ -91,12 +103,20 @@ class BusSystem:
             )
             self.agents[spec.agent_id] = agent
 
+        self.injector = injector
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.bind(collector)
+        if injector is not None:
+            injector.attach(self)
+
         self._busy = False
         self._master: Optional[int] = None
         self._master_request: Optional[Request] = None
         self._master_grant_time = 0.0
         self._arbitration_running = False
         self._arb_kick_scheduled = False
+        self._retry_pending = False
         self._pending_winner: Optional[int] = None
         #: Time-weighted accounting for bus utilisation.
         self.busy_time = 0.0
@@ -130,6 +150,7 @@ class BusSystem:
         if (
             self._arb_kick_scheduled
             or self._arbitration_running
+            or self._retry_pending
             or self._pending_winner is not None
         ):
             return
@@ -155,25 +176,79 @@ class BusSystem:
         Blocked while an arbitration is settling or an unclaimed winner
         exists (the hardware decides one master ahead, no further).
         """
-        if self._arbitration_running or self._pending_winner is not None:
+        if (
+            self._arbitration_running
+            or self._retry_pending
+            or self._pending_winner is not None
+        ):
             return
         if not self.arbiter.has_waiting():
             return
-        outcome = self.arbiter.start_arbitration(self.simulator.now)
+        try:
+            outcome = self.arbiter.start_arbitration(self.simulator.now)
+        except NoUniqueWinnerError:
+            # The protocol itself detected the collision (rotating-rr
+            # with desynchronised replicas, a wired-OR duplicate).  One
+            # settle period was burned finding out.
+            if self.watchdog is None:
+                raise
+            self._on_arbitration_anomaly(
+                "duplicate-winner", self.timing.arbitration_time
+            )
+            return
         if self.arbitration_log_limit and len(self.arbitration_log) < self.arbitration_log_limit:
             self.arbitration_log.append(outcome)
-        self._arbitration_running = True
         settle = self.timing.arbitration_time * outcome.rounds
+        winner = outcome.winner
+        if self.injector is not None:
+            perturbed = self.injector.perturb(outcome, self.simulator.now)
+            if perturbed.anomaly is not None:
+                if self.watchdog is None:
+                    raise NoUniqueWinnerError(
+                        f"line faults left the arbitration with "
+                        f"{perturbed.anomaly} and no watchdog is attached"
+                    )
+                self._on_arbitration_anomaly(perturbed.anomaly, settle)
+                return
+            if perturbed.deviated:
+                self.collector.record_deviation()
+            winner = perturbed.winner
+        self._arbitration_running = True
         self.simulator.schedule(
             settle,
-            lambda: self._arbitration_complete(outcome),
+            lambda: self._arbitration_complete(winner),
             priority=EventPriority.ARBITRATION,
-            label=f"arb-complete:{outcome.winner}",
+            label=f"arb-complete:{winner}",
         )
 
-    def _arbitration_complete(self, outcome: ArbitrationOutcome) -> None:
+    def _on_arbitration_anomaly(self, kind: str, settle: float) -> None:
+        """Hand an anomalous arbitration to the watchdog.
+
+        The settle time was spent regardless; the retry (if the budget
+        allows one) runs after the watchdog's backed-off delay on top.
+        Pending requests are untouched — the agents keep their request
+        lines asserted, exactly as the hardware would.
+        """
+        delay = self.watchdog.on_anomaly(kind, self.simulator.now)
+        if delay is None:
+            # Retry budget exhausted: permanent failure.  No further
+            # arbitration runs; run()'s stop rule ends the simulation.
+            return
+        self._retry_pending = True
+        self.simulator.schedule(
+            settle + delay,
+            self._watchdog_retry,
+            priority=EventPriority.ARB_KICK,
+            label=f"watchdog-retry:{kind}",
+        )
+
+    def _watchdog_retry(self) -> None:
+        self._retry_pending = False
+        self._maybe_start_arbitration()
+
+    def _arbitration_complete(self, winner: int) -> None:
         self._arbitration_running = False
-        self._pending_winner = outcome.winner
+        self._pending_winner = winner
         if self._busy:
             return
         # Idle bus: hand over now (self-timed) or at the next clock edge
@@ -181,13 +256,13 @@ class BusSystem:
         # unclaimed winner blocks further arbitrations.
         delay = self.timing.delay_to_next_edge(self.simulator.now)
         if delay == 0.0:
-            self._grant(outcome.winner)
+            self._grant(winner)
         else:
             self.simulator.schedule(
                 delay,
-                lambda: self._grant(outcome.winner),
+                lambda: self._grant(winner),
                 priority=EventPriority.GRANT,
-                label=f"grant-on-edge:{outcome.winner}",
+                label=f"grant-on-edge:{winner}",
             )
 
     def _grant(self, agent_id: int) -> None:
@@ -196,6 +271,8 @@ class BusSystem:
             raise SimulationError(f"granting agent {agent_id} while bus is busy")
         self._pending_winner = None
         request = self.arbiter.grant(agent_id, now)
+        if self.watchdog is not None:
+            self.watchdog.on_clean_grant(now)
         self._busy = True
         self._master = agent_id
         self._master_request = request
@@ -242,11 +319,27 @@ class BusSystem:
     # -- running --------------------------------------------------------------
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Start all agents and run until the collector has what it needs."""
+        """Start all agents and run until the collector has what it needs.
+
+        With a watchdog attached, a permanent arbitration failure also
+        ends the run — gracefully, with whatever statistics were
+        gathered before the bus died (the robustness grid reports the
+        failure itself, not a crash).
+        """
         for agent in self.agents.values():
             agent.start()
-        self.simulator.run(stop=self.collector.satisfied, max_events=max_events)
+        if self.watchdog is not None:
+            watchdog = self.watchdog
+
+            def stop() -> bool:
+                return self.collector.satisfied() or watchdog.gave_up
+
+        else:
+            stop = self.collector.satisfied
+        self.simulator.run(stop=stop, max_events=max_events)
         if not self.collector.satisfied():
+            if self.watchdog is not None and self.watchdog.gave_up:
+                return
             raise SimulationError(
                 "simulation drained its event calendar before the collector "
                 "was satisfied; the scenario generates too few requests"

@@ -1,0 +1,130 @@
+"""Bus watchdog: bounded re-arbitration after anomalous outcomes.
+
+Real backplane standards pair the arbitration logic with a monitor: if
+the lines settle to a pattern that names no master (all-zero) or a
+non-unique one (two agents' patterns coincide at the maximum), a
+watchdog timer expires and the arbitration is retried.  The
+:class:`BusWatchdog` models that layer for the simulator:
+
+- every anomaly (``no-winner`` / ``duplicate-winner``, whether detected
+  by the protocol itself via
+  :class:`~repro.errors.NoUniqueWinnerError` or by the fault injector's
+  line perturbation) is recorded in the stats collector;
+- recovery is a bounded sequence of re-arbitrations separated by an
+  exponentially backed-off timeout (:class:`WatchdogPolicy`);
+- the first clean grant after an anomaly closes the episode and its
+  latency (first anomaly to clean grant, in simulated time) is recorded;
+- exhausting ``max_attempts`` consecutive retries declares a
+  *permanent failure* — the §3.1 fate of rotating-priority RR after a
+  dropped winner broadcast — and ends the run gracefully instead of
+  spinning forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.stats.collector import CompletionCollector
+
+__all__ = ["WatchdogPolicy", "BusWatchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Retry schedule for anomalous arbitrations.
+
+    Attributes
+    ----------
+    max_attempts:
+        Consecutive anomalous arbitrations tolerated before the
+        watchdog declares a permanent failure.
+    timeout:
+        Delay before the first re-arbitration (simulated time units).
+    backoff:
+        Multiplier applied to the delay after each further anomaly.
+    """
+
+    max_attempts: int = 6
+    timeout: float = 0.5
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout <= 0.0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        return self.timeout * self.backoff ** (attempt - 1)
+
+    def spec_key(self) -> list:
+        """Canonical JSON-serialisable description, for cache keying."""
+        return [self.max_attempts, self.timeout, self.backoff]
+
+
+class BusWatchdog:
+    """Tracks anomaly episodes for one bus system and decides retries.
+
+    The bus model consults :meth:`on_anomaly` whenever an arbitration
+    fails to name a unique winner and :meth:`on_clean_grant` whenever a
+    tenure begins normally; the watchdog turns those calls into retry
+    delays, recovery-latency records and the ``gave_up`` stop signal.
+    """
+
+    def __init__(self, policy: Optional[WatchdogPolicy] = None) -> None:
+        self.policy = policy if policy is not None else WatchdogPolicy()
+        #: Anomalies in the current (open) episode.
+        self.attempts = 0
+        #: Set when an episode exhausted the retry budget.
+        self.gave_up = False
+        #: Totals across the run, for diagnostics.
+        self.anomalies_seen = 0
+        self.recoveries = 0
+        self._episode_start: Optional[float] = None
+        self._collector: Optional[CompletionCollector] = None
+
+    def bind(self, collector: CompletionCollector) -> None:
+        """Route episode records into a run's stats collector."""
+        self._collector = collector
+
+    def on_anomaly(self, kind: str, now: float) -> Optional[float]:
+        """An arbitration produced no unique winner at time ``now``.
+
+        Returns the delay to wait before re-arbitrating, or ``None``
+        when the retry budget is exhausted (permanent failure:
+        :attr:`gave_up` is set and no further retries should run).
+        """
+        self.anomalies_seen += 1
+        if self._collector is not None:
+            self._collector.record_anomaly(kind)
+        if self._episode_start is None:
+            self._episode_start = now
+        self.attempts += 1
+        if self.attempts >= self.policy.max_attempts:
+            self.gave_up = True
+            if self._collector is not None:
+                self._collector.record_permanent_failure()
+            return None
+        return self.policy.retry_delay(self.attempts)
+
+    def on_clean_grant(self, now: float) -> None:
+        """A tenure began normally; close any open anomaly episode."""
+        if self.attempts and self._episode_start is not None:
+            self.recoveries += 1
+            if self._collector is not None:
+                self._collector.record_recovery(now - self._episode_start)
+        self.attempts = 0
+        self._episode_start = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BusWatchdog(attempts={self.attempts}, "
+            f"anomalies={self.anomalies_seen}, gave_up={self.gave_up})"
+        )

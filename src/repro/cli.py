@@ -8,6 +8,7 @@ ad-hoc simulation::
     repro-arb all                    # everything, in order
     repro-arb run --protocol rr --agents 30 --load 1.5
     repro-arb compare --protocols rr fcfs aap1   # side by side, same seed
+    repro-arb faults                 # robustness grid (fault rate x protocol)
     repro-arb protocols              # list registered protocols
     repro-arb --list-protocols       # ditto, without a subcommand
 
@@ -29,6 +30,7 @@ from repro.experiments import (
 from repro.experiments import (
     extensions,
     figure_4_1,
+    robustness,
     table_4_1,
     table_4_2,
     table_4_3,
@@ -169,6 +171,26 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("all", help="regenerate every table and the figure")
     subparsers.add_parser("protocols", help="list registered protocols")
 
+    faults_cmd = subparsers.add_parser(
+        "faults",
+        help="run the robustness grid: fault rate x protocol, with watchdog",
+    )
+    faults_cmd.add_argument(
+        "--protocols",
+        nargs="+",
+        choices=protocol_names(),
+        default=list(robustness.ROBUSTNESS_PROTOCOLS),
+        help="protocols to inject faults into (must declare fault capabilities)",
+    )
+    faults_cmd.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=list(robustness.DEFAULT_FAULT_RATES),
+        metavar="RATE",
+        help="fault rates (faults per unit simulated time) to sweep",
+    )
+
     run_cmd = subparsers.add_parser("run", help="run one ad-hoc simulation")
     run_cmd.add_argument(
         "--protocol", choices=protocol_names(), default="rr", help="arbiter"
@@ -288,6 +310,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(figure_4_1.run(scale=scale, seed=args.seed, executor=executor).render())
         elif args.command == "protocols":
             print(render_protocol_listing())
+        elif args.command == "faults":
+            tables = robustness.run(
+                protocols=args.protocols,
+                rates=args.rates,
+                scale=scale,
+                seed=args.seed,
+                executor=_make_executor(args),
+            )
+            for panel in tables:
+                print(panel.render())
+                print()
         elif args.command == "run":
             _run_single(args, scale)
         elif args.command == "compare":

@@ -33,7 +33,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Mapping, Optional
 
-from repro.errors import ArbitrationError, ConfigurationError, ProtocolError
+from repro.errors import (
+    ArbitrationError,
+    ConfigurationError,
+    NoUniqueWinnerError,
+    ProtocolError,
+)
 from repro.signals.contention import ParallelContention
 
 __all__ = [
@@ -148,7 +153,7 @@ class WiredOrMaxFinder(MaxFinder):
         by_key: Dict[int, int] = {}
         for agent, key in keys.items():
             if key in by_key:
-                raise ArbitrationError(
+                raise NoUniqueWinnerError(
                     f"agents {by_key[key]} and {agent} applied the same "
                     f"arbitration number {key}"
                 )

@@ -14,6 +14,8 @@ __all__ = [
     "SimulationError",
     "ProtocolError",
     "ArbitrationError",
+    "NoUniqueWinnerError",
+    "SweepExecutionError",
     "SignalError",
     "StatisticsError",
 ]
@@ -42,6 +44,26 @@ class ProtocolError(ReproError):
 
 class ArbitrationError(ProtocolError):
     """An arbitration round produced an impossible outcome."""
+
+
+class NoUniqueWinnerError(ArbitrationError):
+    """An arbitration failed to identify exactly one winner.
+
+    Raised when two agents apply the same arbitration number (their
+    replicated protocol state has diverged, §3.1's rotating-priority
+    failure mode) or when a line fault masks every asserted pattern.
+    The bus watchdog (:class:`repro.bus.watchdog.BusWatchdog`) catches
+    this and attempts bounded re-arbitration; without a watchdog it
+    propagates and ends the run.
+    """
+
+
+class SweepExecutionError(ReproError):
+    """A sweep cell failed to execute even after being retried.
+
+    Carries the per-cell diagnostics collected by the sweep executor so
+    a failed grid names exactly which cells died and why.
+    """
 
 
 class SignalError(ReproError):

@@ -31,6 +31,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
@@ -46,7 +47,8 @@ __all__ = ["CACHE_EPOCH", "cache_key", "ResultCache", "default_cache_dir"]
 #: statistics layers alters simulation output for identical inputs.
 #: Stale entries are then simply never looked up again.
 #: Epoch 2: protocol registry refactor (uniform factory convention).
-CACHE_EPOCH = 2
+#: Epoch 3: fault injection + watchdog (new settings fields in the key).
+CACHE_EPOCH = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -85,6 +87,8 @@ def _describe_settings(settings: SimulationSettings) -> list:
         [timing.transaction_time, timing.arbitration_time, timing.clock_period],
         settings.confidence,
         settings.max_events,
+        settings.fault_plan.spec_key() if settings.fault_plan is not None else None,
+        settings.watchdog.spec_key() if settings.watchdog is not None else None,
     ]
 
 
@@ -115,8 +119,11 @@ class ResultCache:
         :func:`default_cache_dir`.
 
     Writes are atomic (temp file + rename) so a crashed run can never
-    leave a half-written entry for a later run to load; unreadable
-    entries are treated as misses and deleted.
+    leave a half-written entry for a later run to load.  Unreadable
+    (corrupt, truncated or version-incompatible) entries are treated as
+    misses: the offending file is *quarantined* — renamed aside with a
+    ``.corrupt`` suffix so it can be inspected rather than silently lost
+    — and a warning names it.
     """
 
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
@@ -128,6 +135,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -141,16 +149,36 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            # Corrupt or version-incompatible entry: drop it and re-run.
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                pass
+        except Exception as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a corrupt entry aside and warn, instead of raising.
+
+        The quarantined file keeps its content under ``<key>.corrupt``
+        so a damaged cache can be diagnosed (truncation from a full
+        disk, a partial copy, a cross-version pickle); the lookup is a
+        plain miss and the cell re-runs.
+        """
+        quarantine = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, quarantine)
+            moved = True
+        except OSError:
+            # Renaming failed (e.g. the file vanished); nothing to keep.
+            moved = False
+        self.quarantined += 1
+        location = f"; entry moved to {quarantine}" if moved else ""
+        warnings.warn(
+            f"corrupt cache entry {path.name} treated as a miss "
+            f"({type(exc).__name__}: {exc}){location}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def put(self, key: str, result: RunResult) -> None:
         """Store ``result`` under ``key`` atomically."""

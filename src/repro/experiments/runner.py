@@ -19,7 +19,10 @@ from typing import Optional
 
 from repro.bus.model import BusSystem
 from repro.bus.timing import BusTiming
-from repro.protocols.registry import PROTOCOLS, make_arbiter
+from repro.bus.watchdog import BusWatchdog, WatchdogPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.protocols.registry import PROTOCOLS, get_spec, make_arbiter
 from repro.stats.collector import CompletionCollector
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
@@ -40,6 +43,11 @@ class SimulationSettings:
     its own :class:`~repro.bus.timing.BusTiming` instance — a shared
     class-level default could silently alias timing overrides across
     settings objects if :class:`BusTiming` ever grew mutable state.
+
+    ``fault_plan`` injects a deterministic fault schedule
+    (:class:`~repro.faults.plan.FaultPlan`) into the run; a non-empty
+    plan implies a bus watchdog (``watchdog`` overrides its policy).
+    Both are part of the run's identity: the result cache keys on them.
     """
 
     batches: int = 10
@@ -52,6 +60,8 @@ class SimulationSettings:
     timing: BusTiming = field(default_factory=BusTiming)
     confidence: float = 0.90
     max_events: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    watchdog: Optional[WatchdogPolicy] = None
 
 
 def run_simulation(
@@ -74,6 +84,16 @@ def run_simulation(
         settings = SimulationSettings()
     needed_capacity = max(spec.max_outstanding for spec in scenario.agents)
     arbiter = make_arbiter(protocol, scenario.num_agents, needed_capacity)
+    injector: Optional[FaultInjector] = None
+    watchdog: Optional[BusWatchdog] = None
+    if settings.fault_plan is not None and len(settings.fault_plan):
+        # Validate the plan against the protocol's declared fault
+        # capabilities now, before any event runs.
+        get_spec(protocol).check_faults(settings.fault_plan.kinds())
+        injector = FaultInjector(settings.fault_plan)
+        watchdog = BusWatchdog(settings.watchdog)
+    elif settings.watchdog is not None:
+        watchdog = BusWatchdog(settings.watchdog)
     collector = CompletionCollector(
         batches=settings.batches,
         batch_size=settings.batch_size,
@@ -88,6 +108,8 @@ def run_simulation(
         collector=collector,
         timing=settings.timing,
         seed=settings.seed,
+        injector=injector,
+        watchdog=watchdog,
     )
     system.run(max_events=settings.max_events)
     return RunResult(
@@ -98,4 +120,5 @@ def run_simulation(
         elapsed=system.simulator.now,
         seed=settings.seed,
         confidence=settings.confidence,
+        failed=watchdog.gave_up if watchdog is not None else False,
     )

@@ -26,17 +26,17 @@ from __future__ import annotations
 
 import copy
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import BrokenExecutor, CancelledError, Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepExecutionError
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
 
-__all__ = ["SweepCell", "SweepExecutor", "default_jobs"]
+__all__ = ["SweepCell", "CellFailure", "SweepExecutor", "default_jobs"]
 
 _ENV_JOBS = "REPRO_JOBS"
 
@@ -82,6 +82,42 @@ def _execute_payload(payload: Tuple[ScenarioSpec, str, SimulationSettings]) -> R
     return run_simulation(scenario, protocol, settings)
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """Diagnostics for one sweep cell that failed even after a retry.
+
+    Attributes
+    ----------
+    index:
+        Position of the cell within the executed batch.
+    tag:
+        The cell's caller-supplied label, if any.
+    protocol:
+        The cell's protocol name.
+    scenario:
+        The cell's scenario name.
+    error:
+        ``TypeName: message`` of the final (retry) failure.
+    first_error:
+        ``TypeName: message`` of the original failure that triggered
+        the retry.
+    """
+
+    index: int
+    tag: Optional[str]
+    protocol: str
+    scenario: str
+    error: str
+    first_error: str
+
+    def __str__(self) -> str:
+        label = self.tag if self.tag is not None else f"cell {self.index}"
+        return (
+            f"{label} ({self.protocol} on {self.scenario}): {self.error} "
+            f"(first attempt: {self.first_error})"
+        )
+
+
 @dataclass
 class SweepStats:
     """Execution accounting for one executor, across all its sweeps."""
@@ -90,10 +126,19 @@ class SweepStats:
     cache_hits: int = 0
     parallel_batches: int = 0
     serial_batches: int = 0
+    #: Cells re-run after their first attempt raised.
+    retries: int = 0
+    #: Per-cell diagnostics for cells whose retry failed too.
+    failures: List[CellFailure] = field(default_factory=list)
 
     def snapshot(self) -> "SweepStats":
         return SweepStats(
-            self.executed, self.cache_hits, self.parallel_batches, self.serial_batches
+            self.executed,
+            self.cache_hits,
+            self.parallel_batches,
+            self.serial_batches,
+            self.retries,
+            list(self.failures),
         )
 
 
@@ -172,24 +217,105 @@ class SweepExecutor:
                 pass
         return self._execute_serial(cells)
 
+    def _run_cell(self, cell: SweepCell) -> RunResult:
+        # Private scenario copy: mirrors the process-boundary pickling
+        # of the parallel path, so stateful distributions (trace
+        # replay) start every cell from the same position either way.
+        scenario = copy.deepcopy(cell.scenario)
+        return run_simulation(scenario, cell.protocol, cell.settings)
+
+    def _retry_cell(
+        self,
+        cell: SweepCell,
+        index: int,
+        first_error: str,
+        failures: List[CellFailure],
+    ) -> Optional[RunResult]:
+        """One in-process retry of a failed cell; records diagnostics.
+
+        The retry runs serially whatever backend failed: a crashed
+        worker cannot crash it again, and the cell's determinism means
+        a retry either reproduces a genuine error or heals a transient
+        one (OOM-killed worker, torn pool).
+        """
+        self.stats.retries += 1
+        try:
+            return self._run_cell(cell)
+        except Exception as exc:
+            failure = CellFailure(
+                index=index,
+                tag=cell.tag,
+                protocol=cell.protocol,
+                scenario=cell.scenario.name,
+                error=f"{type(exc).__name__}: {exc}",
+                first_error=first_error,
+            )
+            failures.append(failure)
+            self.stats.failures.append(failure)
+            return None
+
+    @staticmethod
+    def _raise_failures(failures: List[CellFailure]) -> None:
+        if not failures:
+            return
+        details = "; ".join(str(failure) for failure in failures)
+        raise SweepExecutionError(
+            f"{len(failures)} sweep cell(s) failed after retry: {details}"
+        )
+
     def _execute_serial(self, cells: Sequence[SweepCell]) -> List[RunResult]:
         self.stats.serial_batches += 1
-        results = []
-        for cell in cells:
-            # Private scenario copy: mirrors the process-boundary pickling
-            # of the parallel path, so stateful distributions (trace
-            # replay) start every cell from the same position either way.
-            scenario = copy.deepcopy(cell.scenario)
-            results.append(run_simulation(scenario, cell.protocol, cell.settings))
-        return results
+        results: List[Optional[RunResult]] = []
+        failures: List[CellFailure] = []
+        for index, cell in enumerate(cells):
+            try:
+                results.append(self._run_cell(cell))
+            except Exception as exc:
+                first = f"{type(exc).__name__}: {exc}"
+                results.append(self._retry_cell(cell, index, first, failures))
+        self._raise_failures(failures)
+        return results  # type: ignore[return-value]  # no None once failures raise
 
     def _execute_parallel(self, cells: Sequence[SweepCell]) -> List[RunResult]:
-        payloads = [(cell.scenario, cell.protocol, cell.settings) for cell in cells]
         workers = min(self.jobs, len(cells))
+        results: List[Optional[RunResult]] = [None] * len(cells)
+        errors: dict = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_execute_payload, payloads))
+            futures: List[Optional[Future]] = []
+            try:
+                for cell in cells:
+                    futures.append(
+                        pool.submit(
+                            _execute_payload,
+                            (cell.scenario, cell.protocol, cell.settings),
+                        )
+                    )
+            except (BrokenExecutor, RuntimeError) as exc:
+                # Pool broke mid-submission; remaining cells never made
+                # it in and will be re-run serially below.
+                while len(futures) < len(cells):
+                    errors[len(futures)] = f"{type(exc).__name__}: {exc}"
+                    futures.append(None)
+            for index, future in enumerate(futures):
+                if future is None:
+                    continue
+                try:
+                    results[index] = future.result()
+                except (Exception, CancelledError) as exc:
+                    # Covers a cell's own exception, a worker crash
+                    # (BrokenExecutor) and cancellation after a crash —
+                    # all degrade to an in-process retry of that cell.
+                    errors[index] = f"{type(exc).__name__}: {exc}"
         self.stats.parallel_batches += 1
-        return results
+        if errors:
+            self.stats.serial_batches += 1
+            failures: List[CellFailure] = []
+            for index in sorted(errors):
+                results[index] = self._retry_cell(
+                    cells[index], index, errors[index], failures
+                )
+            self._raise_failures(failures)
+        return results  # type: ignore[return-value]  # no None once failures raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cache = "on" if self.cache is not None else "off"

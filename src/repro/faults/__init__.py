@@ -1,0 +1,34 @@
+"""Deterministic fault injection for degraded-bus experiments.
+
+This package turns the paper's robustness arguments (§3.1's static-vs-
+rotating identity comparison, §3.2's counter-reset rule) into runnable
+experiments:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent` /
+  :class:`FaultKind`: a pure, seeded, time-sorted schedule of faults;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`: executes a plan
+  against a live :class:`~repro.bus.model.BusSystem`, scheduling point
+  faults on the calendar and perturbing arbitration lines in flight;
+- :mod:`repro.faults.arbiters` — :class:`FaultyWinnerRegisterRR` and
+  :class:`GlitchableFCFS`: arbiter variants whose replicated state is
+  observable and corruptible.
+
+Recovery from the anomalies the injector produces is the job of the bus
+watchdog (:mod:`repro.bus.watchdog`); the robustness grid that sweeps
+fault rate × protocol lives in :mod:`repro.experiments.robustness`.
+"""
+
+from repro.faults.arbiters import FaultyWinnerRegisterRR, GlitchableFCFS
+from repro.faults.injector import FaultInjector, PerturbedArbitration
+from repro.faults.plan import BUS_LEVEL_FAULTS, FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "BUS_LEVEL_FAULTS",
+    "FaultInjector",
+    "PerturbedArbitration",
+    "FaultyWinnerRegisterRR",
+    "GlitchableFCFS",
+]

@@ -1,9 +1,9 @@
-"""Fault injection: making the §3.1 robustness claim executable.
+"""Fault-observable arbiter variants: §3.1 and §3.2 made executable.
 
 The paper argues its static-identity RR protocol "is more robust and
 simpler to implement than previous distributed RR protocols that are
 based on rotating agent priorities", but gives no experiment.  The
-argument is structural, and this module lets you run it:
+argument is structural, and these arbiters let you run it:
 
 - every distributed RR variant replicates one piece of state at every
   agent — the identity of the last arbitration winner;

@@ -30,8 +30,8 @@ from __future__ import annotations
 import difflib
 import inspect
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, MutableMapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, MutableMapping, Optional, Tuple
 
 from repro.baselines.assured_access import BatchingAssuredAccess, FuturebusAssuredAccess
 from repro.baselines.central import CentralFCFS, CentralRoundRobin
@@ -44,6 +44,8 @@ from repro.core.fcfs import DistributedFCFS
 from repro.core.hybrid import HybridArbiter
 from repro.core.round_robin import DistributedRoundRobin
 from repro.errors import ConfigurationError
+from repro.faults.arbiters import FaultyWinnerRegisterRR, GlitchableFCFS
+from repro.faults.plan import BUS_LEVEL_FAULTS, FaultKind
 
 __all__ = [
     "ProtocolSpec",
@@ -124,6 +126,13 @@ class ProtocolSpec:
         Whether the protocol participates in common-random-number
         comparisons (same seed, identical arrivals).  False for the
         central oracles, which exist to verify winner sequences.
+    injectable_faults:
+        The :class:`~repro.faults.plan.FaultKind` classes the protocol
+        can meaningfully absorb: bus-level line faults for everything
+        that arbitrates on shared wired-OR lines, plus protocol-specific
+        faults (dropped winner broadcasts where a winner register is
+        replicated, counter upsets where waiting-time counters exist).
+        Empty for ad-hoc specs: fault plans are refused at config time.
     """
 
     name: str
@@ -134,6 +143,7 @@ class ProtocolSpec:
     extra_lines: Optional[int] = None
     number_width: Optional[WidthFn] = None
     common_random_numbers: bool = True
+    injectable_faults: FrozenSet[FaultKind] = field(default_factory=frozenset)
 
     def check_outstanding(self, max_outstanding: int) -> None:
         """Reject a per-agent capacity the protocol cannot serve."""
@@ -147,6 +157,18 @@ class ProtocolSpec:
                 f"agent, but the scenario needs r={max_outstanding}; only the "
                 f"FCFS arbiters extend to r > 1 (§3.2) — use 'fcfs' or "
                 f"'fcfs-aincr', or set max_outstanding=1"
+            )
+
+    def check_faults(self, kinds: Iterable[FaultKind]) -> None:
+        """Reject fault kinds the protocol cannot meaningfully absorb."""
+        unsupported = sorted(
+            kind.value for kind in set(kinds) - self.injectable_faults
+        )
+        if unsupported:
+            supported = sorted(kind.value for kind in self.injectable_faults)
+            raise ConfigurationError(
+                f"protocol {self.name!r} does not support fault injection of "
+                f"{unsupported}; it supports {supported or 'no fault kinds'}"
             )
 
     def build(self, num_agents: int, max_outstanding: int = 1) -> Arbiter:
@@ -283,6 +305,11 @@ PROTOCOLS: ProtocolRegistry = ProtocolRegistry()
 # validates first), so they ignore the argument.
 # ---------------------------------------------------------------------------
 
+#: Protocols whose replicated winner register is exposed for injection.
+_BROADCAST_FAULTS = BUS_LEVEL_FAULTS | {FaultKind.DROPPED_BROADCAST}
+#: Central/ticket oracles arbitrate off-bus: only dropout reaches them.
+_DROPOUT_ONLY = frozenset({FaultKind.AGENT_DROPOUT})
+
 _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
     # the paper's contributions
     ProtocolSpec(
@@ -292,6 +319,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§3.1",
         extra_lines=1,
         number_width=_width_rr,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="rr-impl2",
@@ -300,6 +328,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§3.1",
         extra_lines=1,
         number_width=_width_rr,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="rr-impl3",
@@ -308,6 +337,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§3.1",
         extra_lines=0,
         number_width=_width_rr,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     # the frozen-pointer amendment studied in extension Table E4
     ProtocolSpec(
@@ -317,6 +347,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§3.1",
         extra_lines=1,
         number_width=_width_rr,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="fcfs",
@@ -326,6 +357,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         supports_outstanding=True,
         extra_lines=0,
         number_width=_width_fcfs,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="fcfs-aincr",
@@ -335,6 +367,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         supports_outstanding=True,
         extra_lines=1,
         number_width=_width_fcfs,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     # §5 future-work extensions
     ProtocolSpec(
@@ -344,6 +377,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§5",
         extra_lines=2,
         number_width=_width_hybrid,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="adaptive",
@@ -352,6 +386,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§5",
         extra_lines=2,
         number_width=_width_adaptive,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     # baselines
     ProtocolSpec(
@@ -361,6 +396,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§2.1",
         extra_lines=0,
         number_width=_width_static_plus_priority,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="aap1",
@@ -369,6 +405,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§2.2",
         extra_lines=0,
         number_width=_width_static_plus_priority,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="aap2",
@@ -377,6 +414,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§2.2",
         extra_lines=0,
         number_width=_width_static_plus_priority,
+        injectable_faults=BUS_LEVEL_FAULTS,
     ),
     ProtocolSpec(
         name="central-rr",
@@ -386,6 +424,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=0,
         number_width=_width_static,
         common_random_numbers=False,
+        injectable_faults=_DROPOUT_ONLY,
     ),
     ProtocolSpec(
         name="central-fcfs",
@@ -395,6 +434,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=0,
         number_width=_width_static,
         common_random_numbers=False,
+        injectable_faults=_DROPOUT_ONLY,
     ),
     ProtocolSpec(
         name="rotating-rr",
@@ -403,6 +443,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="§2.2",
         extra_lines=0,
         number_width=_width_static,
+        injectable_faults=_BROADCAST_FAULTS,
     ),
     ProtocolSpec(
         name="ticket-fcfs",
@@ -411,6 +452,27 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         paper_section="[ShAh81]",
         extra_lines=0,
         number_width=_width_static,
+        injectable_faults=_DROPOUT_ONLY,
+    ),
+    # fault-observable variants (repro.faults.arbiters)
+    ProtocolSpec(
+        name="rr-faulty-register",
+        factory=lambda n, r: FaultyWinnerRegisterRR(n),
+        summary="RR impl 1 with per-agent winner registers (fault target)",
+        paper_section="§3.1",
+        extra_lines=1,
+        number_width=_width_rr,
+        injectable_faults=_BROADCAST_FAULTS,
+    ),
+    ProtocolSpec(
+        name="fcfs-glitchable",
+        factory=lambda n, r: GlitchableFCFS(n, max_outstanding=r),
+        summary="distributed FCFS with corruptible waiting counters",
+        paper_section="§3.2",
+        supports_outstanding=True,
+        extra_lines=0,
+        number_width=_width_fcfs,
+        injectable_faults=BUS_LEVEL_FAULTS | {FaultKind.COUNTER_UPSET},
     ),
 )
 

@@ -17,7 +17,25 @@ from typing import Dict, List, Optional
 from repro.bus.records import CompletionRecord
 from repro.errors import StatisticsError
 
-__all__ = ["CompletionCollector", "BatchStats"]
+__all__ = ["CompletionCollector", "BatchStats", "service_order_deviation"]
+
+
+def service_order_deviation(reference: List[int], observed: List[int]) -> float:
+    """Fraction of positions where two grant sequences disagree.
+
+    Compares the common prefix of a fault-free reference order and an
+    observed (possibly perturbed) order, position by position — the
+    robustness grid's measure of how far line faults push service away
+    from the protocol's intended schedule.  Two empty sequences deviate
+    by 0.0.
+    """
+    length = min(len(reference), len(observed))
+    if length == 0:
+        return 0.0
+    mismatches = sum(
+        1 for ref, obs in zip(reference[:length], observed[:length]) if ref != obs
+    )
+    return mismatches / length
 
 
 @dataclass
@@ -131,6 +149,17 @@ class CompletionCollector:
         self._last_boundary_time = 0.0
         #: Total per-agent completions after warmup (all batches).
         self.agent_totals: Dict[int, int] = {}
+        #: Arbitration anomalies seen by the watchdog, per kind
+        #: ("no-winner" / "duplicate-winner").
+        self.anomalies: Dict[str, int] = {}
+        #: Simulated-time spans from first anomaly of an episode to the
+        #: next clean grant, one entry per recovered episode.
+        self.recovery_latencies: List[float] = []
+        #: Arbitrations whose winner was silently changed by a line
+        #: fault (service-order deviation without an anomaly).
+        self.deviations = 0
+        #: Set when the watchdog exhausted its retry budget.
+        self.permanent_failure = False
 
     def satisfied(self) -> bool:
         """Stop rule for the simulation run."""
@@ -170,6 +199,24 @@ class CompletionCollector:
         batch.end_time = record.completion_time
         if batch.count == self.batch_size:
             self._last_boundary_time = record.completion_time
+
+    # -- watchdog / fault-injection records -----------------------------------
+
+    def record_anomaly(self, kind: str) -> None:
+        """Count one anomalous arbitration outcome of the given kind."""
+        self.anomalies[kind] = self.anomalies.get(kind, 0) + 1
+
+    def record_recovery(self, latency: float) -> None:
+        """Record one closed anomaly episode's recovery latency."""
+        self.recovery_latencies.append(latency)
+
+    def record_deviation(self) -> None:
+        """Count one silently-deviated arbitration winner."""
+        self.deviations += 1
+
+    def record_permanent_failure(self) -> None:
+        """The watchdog gave up: the bus is permanently failed."""
+        self.permanent_failure = True
 
     def _open_batch(self, batch_index: int) -> None:
         batch = BatchStats(

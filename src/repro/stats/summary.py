@@ -60,6 +60,7 @@ class RunResult:
         elapsed: float,
         seed: int,
         confidence: float = 0.90,
+        failed: bool = False,
     ) -> None:
         self.scenario = scenario
         self.protocol = protocol
@@ -68,8 +69,12 @@ class RunResult:
         self.elapsed = elapsed
         self.seed = seed
         self.confidence = confidence
+        #: The run ended in a permanent arbitration failure (the bus
+        #: watchdog gave up).  Whatever batches completed before the
+        #: failure are kept; a failed run is allowed to have none.
+        self.failed = failed
         self._batches = collector.completed_batches()
-        if len(self._batches) < 2:
+        if len(self._batches) < 2 and not failed:
             raise StatisticsError(
                 f"run produced {len(self._batches)} complete batches; need >= 2"
             )
@@ -138,6 +143,23 @@ class RunResult:
             [batch.agent_throughput(agent_id) for batch in self._batches],
             self.confidence,
         )
+
+    # -- robustness ------------------------------------------------------------
+
+    def anomaly_counts(self) -> Dict[str, int]:
+        """Anomalous arbitrations seen by the watchdog, per kind."""
+        return dict(self.collector.anomalies)
+
+    def recovery_latencies(self) -> List[float]:
+        """Recovery latency of each closed anomaly episode (sim time)."""
+        return list(self.collector.recovery_latencies)
+
+    def mean_recovery_latency(self) -> Optional[float]:
+        """Mean recovery latency, or ``None`` when nothing recovered."""
+        latencies = self.collector.recovery_latencies
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
 
     # -- distributional --------------------------------------------------------
 

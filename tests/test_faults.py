@@ -7,9 +7,11 @@ corrupted request.
 """
 
 import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
 
 from repro.baselines.rotating import RotatingPriorityRR
-from repro.errors import ArbitrationError, ProtocolError
+from repro.errors import ArbitrationError, NoUniqueWinnerError, ProtocolError
 from repro.faults import FaultyWinnerRegisterRR, GlitchableFCFS
 
 
@@ -110,6 +112,63 @@ class TestRotatingRRFailsPermanently:
         run(FaultyWinnerRegisterRR(5))  # completes
         with pytest.raises(ArbitrationError):
             run(RotatingPriorityRR(5))
+
+
+class TestHealingBoundProperty:
+    """The §3.1 claim as a property over every (size, victim, phase).
+
+    With every agent continuously requesting, a single dropped winner
+    broadcast under static identities desynchronises exactly one
+    replica's RR bit for exactly one observed arbitration, whatever the
+    population size, the victim, or how far the rotation has advanced.
+    Under rotating priorities the same single fault always reaches a
+    detected no-unique-winner state: the victim's stale origin gives it
+    a number that collides with another competitor's.
+    """
+
+    @given(
+        num_agents=st.integers(min_value=3, max_value=12),
+        victim_index=st.integers(min_value=0, max_value=11),
+        warm_rounds=st.integers(min_value=0, max_value=20),
+    )
+    @hyp_settings(max_examples=60, deadline=None)
+    def test_static_rr_heals_within_one_observed_arbitration(
+        self, num_agents, victim_index, warm_rounds
+    ):
+        victim = (victim_index % num_agents) + 1
+        arbiter = FaultyWinnerRegisterRR(num_agents)
+        for agent in range(1, num_agents + 1):
+            arbiter.request(agent, 0.0)
+        for __ in range(warm_rounds):
+            _greedy_round(arbiter, range(1, num_agents + 1))
+        arbiter.drop_winner_observations(victim)
+        _greedy_round(arbiter, range(1, num_agents + 1))
+        assert arbiter.desynchronised_agents() <= frozenset({victim})
+        _greedy_round(arbiter, range(1, num_agents + 1))
+        assert arbiter.desynchronised_agents() == frozenset()
+
+    @given(
+        num_agents=st.integers(min_value=3, max_value=12),
+        victim_index=st.integers(min_value=0, max_value=11),
+        warm_rounds=st.integers(min_value=0, max_value=20),
+    )
+    @hyp_settings(max_examples=60, deadline=None)
+    def test_rotating_rr_reaches_no_unique_winner(
+        self, num_agents, victim_index, warm_rounds
+    ):
+        victim = (victim_index % num_agents) + 1
+        arbiter = RotatingPriorityRR(num_agents)
+        for agent in range(1, num_agents + 1):
+            arbiter.request(agent, 0.0)
+        for __ in range(warm_rounds):
+            _greedy_round(arbiter, range(1, num_agents + 1))
+        arbiter.drop_winner_observations(victim)
+        # With all agents competing, the victim's stale arbitration
+        # number always collides with somebody's: detection is certain
+        # within a full rotation.
+        with pytest.raises(NoUniqueWinnerError):
+            for __ in range(2 * num_agents):
+                _greedy_round(arbiter, range(1, num_agents + 1))
 
 
 class TestFCFSCounterGlitch:

@@ -12,7 +12,8 @@ import pytest
 from hypothesis import given, settings as hyp_settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepExecutionError
+from repro.experiments import sweep as sweep_module
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.experiments.sweep import SweepCell, SweepExecutor, resolve_jobs
@@ -102,6 +103,102 @@ class TestParallelExecution:
         assert executor.stats.parallel_batches == 0
 
 
+class _BrokenSubmitPool:
+    """A pool whose first submit tears, as a crashed worker would."""
+
+    def __init__(self, max_workers):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, *args, **kwargs):
+        from concurrent.futures import BrokenExecutor
+
+        raise BrokenExecutor("worker pool torn down")
+
+
+class _UnavailablePool:
+    """A platform where process pools cannot even be created."""
+
+    def __init__(self, max_workers):
+        raise OSError("no semaphores available")
+
+
+class TestRetryAndDegradation:
+    def test_transient_failure_is_retried_once_and_heals(self, monkeypatch):
+        real = sweep_module.run_simulation
+        calls = {"n": 0}
+
+        def flaky(scenario, protocol, settings):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient worker loss")
+            return real(scenario, protocol, settings)
+
+        monkeypatch.setattr(sweep_module, "run_simulation", flaky)
+        cells = _grid(loads=(0.5,), protocols=("rr", "fcfs"))
+        executor = SweepExecutor(jobs=1)
+        results = executor.run(cells)
+        assert [r.protocol for r in results] == ["rr", "fcfs"]
+        assert executor.stats.retries == 1
+        assert executor.stats.failures == []
+        # The healed cell's result matches an untroubled run exactly.
+        clean = SweepExecutor(jobs=1).run(cells)
+        assert [_fingerprint(r) for r in results] == [
+            _fingerprint(r) for r in clean
+        ]
+
+    def test_persistent_failure_raises_with_cell_diagnostics(self, monkeypatch):
+        def doomed(scenario, protocol, settings):
+            raise RuntimeError("deterministic bug")
+
+        monkeypatch.setattr(sweep_module, "run_simulation", doomed)
+        executor = SweepExecutor(jobs=1)
+        cells = [SweepCell(equal_load(4, 1.0), "rr", SETTINGS, tag="probe-cell")]
+        with pytest.raises(SweepExecutionError) as excinfo:
+            executor.run(cells)
+        message = str(excinfo.value)
+        assert "probe-cell" in message and "deterministic bug" in message
+        assert len(executor.stats.failures) == 1
+        failure = executor.stats.failures[0]
+        assert failure.protocol == "rr"
+        assert failure.tag == "probe-cell"
+        assert failure.first_error == failure.error
+        assert executor.stats.retries == 1
+
+    def test_broken_pool_degrades_to_serial_retries(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", _BrokenSubmitPool
+        )
+        cells = _grid()
+        executor = SweepExecutor(jobs=2)
+        results = executor.run(cells)
+        serial = SweepExecutor(jobs=1).run(cells)
+        assert [_fingerprint(r) for r in results] == [
+            _fingerprint(r) for r in serial
+        ]
+        # Every cell came back through the in-process retry path.
+        assert executor.stats.retries == len(cells)
+        assert executor.stats.failures == []
+
+    def test_unconstructible_pool_falls_back_to_plain_serial(self, monkeypatch):
+        monkeypatch.setattr(sweep_module, "ProcessPoolExecutor", _UnavailablePool)
+        cells = _grid()
+        executor = SweepExecutor(jobs=2)
+        results = executor.run(cells)
+        serial = SweepExecutor(jobs=1).run(cells)
+        assert [_fingerprint(r) for r in results] == [
+            _fingerprint(r) for r in serial
+        ]
+        # The whole batch re-ran serially without touching retry logic.
+        assert executor.stats.serial_batches == 1
+        assert executor.stats.retries == 0
+
+
 class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -186,8 +283,36 @@ class TestResultCache:
         cache.put(key, run_simulation(equal_load(4, 1.0), "rr", SETTINGS))
         path = tmp_path / f"{key}.pkl"
         path.write_bytes(b"not a pickle")
-        assert cache.get(key) is None
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key) is None
         assert not path.exists()
+
+    def test_corrupt_entry_is_quarantined_for_inspection(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(equal_load(4, 1.0), "rr", SETTINGS)
+        cache.put(key, run_simulation(equal_load(4, 1.0), "rr", SETTINGS))
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(b"truncated garbage")
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get(key) is None
+        assert cache.quarantined == 1
+        # The bytes survive under .corrupt for post-mortem, and the key
+        # is a clean miss that can be re-stored and re-read normally.
+        quarantined = tmp_path / f"{key}.corrupt"
+        assert quarantined.read_bytes() == b"truncated garbage"
+        result = run_simulation(equal_load(4, 1.0), "rr", SETTINGS)
+        cache.put(key, result)
+        assert _fingerprint(cache.get(key)) == _fingerprint(result)
+
+    def test_truncated_pickle_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(equal_load(4, 1.0), "rr", SETTINGS)
+        cache.put(key, run_simulation(equal_load(4, 1.0), "rr", SETTINGS))
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[: 50])
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get(key) is None
+        assert cache.misses == 1
 
     def test_file_as_cache_dir_rejected(self, tmp_path):
         path = tmp_path / "occupied"
