@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test lint bench bench-all tables faults experiments apidocs examples clean
+.PHONY: install test lint bench bench-all tables faults trace golden conformance experiments apidocs examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -32,6 +32,20 @@ tables:
 # scale: fast enough for CI, still exercises the §3.1 failure contrast.
 faults:
 	REPRO_SCALE=smoke PYTHONPATH=src $(PYTHON) -m repro faults
+
+# One run's arbitration-event trace as JSON lines on stdout (see
+# docs/observability.md for the schema).
+trace:
+	REPRO_SCALE=smoke PYTHONPATH=src $(PYTHON) -m repro trace
+
+# Regenerate the golden traces under tests/golden/ after an intentional
+# engine change (the diff shows exactly which lines drifted).
+golden:
+	PYTHONPATH=src $(PYTHON) scripts/regen_golden.py
+
+# Paper-level equivalence/conformance suite plus golden-trace pinning.
+conformance:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/conformance -q
 
 experiments:
 	REPRO_SCALE=paper $(PYTHON) scripts/generate_experiments.py

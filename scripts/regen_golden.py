@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Regenerate the golden arbitration traces under tests/golden/.
+
+Each golden scenario (declared in ``repro.observability.golden``) runs
+afresh and its canonical JSONL encoding replaces the checked-in file.
+For every file that changes, a unified diff of the drifted lines is
+printed so an intentional engine change can be reviewed line by line
+before committing the new goldens.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden.py [--check] [NAME ...]
+
+``--check`` compares without writing and exits non-zero on any drift —
+the same comparison ``tests/conformance/test_golden_traces.py`` makes,
+usable as a pre-commit probe.  Naming scenarios limits the run to them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.observability.golden import golden_names, golden_trace_lines  # noqa: E402
+
+GOLDEN_DIR = ROOT / "tests" / "golden"
+
+
+def trace_diff(name: str, old: list, new: list) -> str:
+    """Unified diff between a stored golden trace and a fresh run."""
+    return "\n".join(
+        difflib.unified_diff(
+            old, new,
+            fromfile=f"tests/golden/{name}.jsonl (stored)",
+            tofile=f"tests/golden/{name}.jsonl (regenerated)",
+            lineterm="",
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=None,
+        help="golden scenarios to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare only; exit 1 if any stored trace drifted",
+    )
+    args = parser.parse_args(argv)
+    names = args.names or list(golden_names())
+    unknown = sorted(set(names) - set(golden_names()))
+    if unknown:
+        parser.error(f"unknown golden scenario(s) {unknown}; have {list(golden_names())}")
+
+    drifted = 0
+    for name in names:
+        path = GOLDEN_DIR / f"{name}.jsonl"
+        new = golden_trace_lines(name)
+        old = path.read_text(encoding="utf-8").splitlines() if path.exists() else None
+        if old == new:
+            print(f"{name}: unchanged ({len(new)} events)")
+            continue
+        drifted += 1
+        if old is None:
+            print(f"{name}: new golden ({len(new)} events)")
+        else:
+            print(f"{name}: DRIFTED ({len(old)} -> {len(new)} events)")
+            print(trace_diff(name, old, new))
+        if not args.check:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text("\n".join(new) + "\n", encoding="utf-8")
+            print(f"{name}: wrote {path.relative_to(ROOT)}")
+    if args.check and drifted:
+        print(f"{drifted} golden trace(s) drifted", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,9 @@ from repro.engine.simulator import Simulator
 from repro.engine.trace import Trace
 from repro.errors import NoUniqueWinnerError, SimulationError
 from repro.faults.injector import FaultInjector
+from repro.observability.events import ArbitrationEvent
+from repro.observability.metrics import WAIT_BUCKETS, MetricsRegistry, MetricsSink
+from repro.observability.sinks import EventSink
 from repro.stats.collector import CompletionCollector
 from repro.workload.scenarios import ScenarioSpec
 
@@ -66,6 +69,16 @@ class BusSystem:
         Optional :class:`~repro.bus.watchdog.BusWatchdog`; recovers
         anomalous arbitrations by bounded re-arbitration.  Without one,
         an anomaly raises :class:`~repro.errors.NoUniqueWinnerError`.
+    sink:
+        Optional :class:`~repro.observability.sinks.EventSink`; every
+        arbitration pass (clean or anomalous) is emitted to it as a
+        structured :class:`~repro.observability.events.
+        ArbitrationEvent`.  ``None`` (the default) skips event
+        construction entirely.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        arbitration-level series are fed from the event stream and
+        per-agent waiting times are observed at each transaction end.
     """
 
     def __init__(
@@ -78,6 +91,8 @@ class BusSystem:
         trace: Optional[Trace] = None,
         injector: Optional[FaultInjector] = None,
         watchdog: Optional[BusWatchdog] = None,
+        sink: Optional[EventSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if arbiter.num_agents < scenario.num_agents:
             raise SimulationError(
@@ -109,6 +124,18 @@ class BusSystem:
             watchdog.bind(collector)
         if injector is not None:
             injector.attach(self)
+
+        self.sink = sink
+        self.metrics = metrics
+        targets = []
+        if sink is not None:
+            targets.append(sink)
+        if metrics is not None:
+            targets.append(MetricsSink(metrics))
+        #: Emission fan-out; empty means telemetry is fully disabled and
+        #: the hot path pays one truthiness check per arbitration.
+        self._event_sinks = tuple(targets)
+        self._arb_index = 0
 
         self._busy = False
         self._master: Optional[int] = None
@@ -189,17 +216,23 @@ class BusSystem:
         except NoUniqueWinnerError:
             # The protocol itself detected the collision (rotating-rr
             # with desynchronised replicas, a wired-OR duplicate).  One
-            # settle period was burned finding out.
+            # settle period was burned finding out.  The competitor
+            # snapshot was never returned; the waiting set is the best
+            # observable approximation of what was on the lines.
             if self.watchdog is None:
                 raise
+            waiting = getattr(self.arbiter, "waiting_agents", None)
             self._on_arbitration_anomaly(
-                "duplicate-winner", self.timing.arbitration_time
+                "duplicate-winner",
+                self.timing.arbitration_time,
+                competitors=waiting() if waiting is not None else (),
             )
             return
         if self.arbitration_log_limit and len(self.arbitration_log) < self.arbitration_log_limit:
             self.arbitration_log.append(outcome)
         settle = self.timing.arbitration_time * outcome.rounds
         winner = outcome.winner
+        deviated = False
         if self.injector is not None:
             perturbed = self.injector.perturb(outcome, self.simulator.now)
             if perturbed.anomaly is not None:
@@ -208,11 +241,25 @@ class BusSystem:
                         f"line faults left the arbitration with "
                         f"{perturbed.anomaly} and no watchdog is attached"
                     )
-                self._on_arbitration_anomaly(perturbed.anomaly, settle)
+                self._on_arbitration_anomaly(
+                    perturbed.anomaly,
+                    settle,
+                    competitors=outcome.competitors,
+                    rounds=outcome.rounds,
+                )
                 return
             if perturbed.deviated:
+                deviated = True
                 self.collector.record_deviation()
             winner = perturbed.winner
+        if self._event_sinks:
+            self._emit_arbitration(
+                competitors=outcome.competitors,
+                winner=winner,
+                rounds=outcome.rounds,
+                settle=settle,
+                fault_tags=("deviated",) if deviated else (),
+            )
         self._arbitration_running = True
         self.simulator.schedule(
             settle,
@@ -221,7 +268,43 @@ class BusSystem:
             label=f"arb-complete:{winner}",
         )
 
-    def _on_arbitration_anomaly(self, kind: str, settle: float) -> None:
+    def _emit_arbitration(
+        self,
+        competitors,
+        winner: Optional[int],
+        rounds: int,
+        settle: float,
+        anomaly: Optional[str] = None,
+        fault_tags=(),
+    ) -> None:
+        """Build one :class:`ArbitrationEvent` and fan it out.
+
+        ``watchdog_attempt`` is the anomaly count of the *open* episode
+        before this pass resolved, so it is nonzero exactly on the
+        passes the watchdog scheduled as retries — the invariant the
+        telemetry property tests assert.  Callers on the anomaly path
+        must emit *before* handing the anomaly to the watchdog.
+        """
+        event = ArbitrationEvent(
+            index=self._arb_index,
+            time=self.simulator.now,
+            competitors=tuple(sorted(competitors)),
+            winner=winner,
+            rounds=rounds,
+            settle_time=settle,
+            anomaly=anomaly,
+            watchdog_attempt=(
+                self.watchdog.attempts if self.watchdog is not None else 0
+            ),
+            fault_tags=tuple(fault_tags),
+        )
+        self._arb_index += 1
+        for sink in self._event_sinks:
+            sink.emit(event)
+
+    def _on_arbitration_anomaly(
+        self, kind: str, settle: float, competitors=(), rounds: int = 1
+    ) -> None:
         """Hand an anomalous arbitration to the watchdog.
 
         The settle time was spent regardless; the retry (if the budget
@@ -229,6 +312,14 @@ class BusSystem:
         Pending requests are untouched — the agents keep their request
         lines asserted, exactly as the hardware would.
         """
+        if self._event_sinks:
+            self._emit_arbitration(
+                competitors=competitors,
+                winner=None,
+                rounds=rounds,
+                settle=settle,
+                anomaly=kind,
+            )
         delay = self.watchdog.on_anomaly(kind, self.simulator.now)
         if delay is None:
             # Retry budget exhausted: permanent failure.  No further
@@ -308,6 +399,11 @@ class BusSystem:
                 priority=request.priority,
             )
         )
+        if self.metrics is not None:
+            self.metrics.counter("completions").increment()
+            self.metrics.histogram(f"wait.agent.{agent_id}", WAIT_BUCKETS).observe(
+                now - request.issue_time
+            )
         self.agents[agent_id].on_completion(now)
         if self._pending_winner is not None:
             self._grant(self._pending_winner)

@@ -9,6 +9,8 @@ ad-hoc simulation::
     repro-arb run --protocol rr --agents 30 --load 1.5
     repro-arb compare --protocols rr fcfs aap1   # side by side, same seed
     repro-arb faults                 # robustness grid (fault rate x protocol)
+    repro-arb trace --protocol rr    # JSONL arbitration-event trace to stdout
+    repro-arb metrics --protocol rr  # counters + histograms for one run
     repro-arb protocols              # list registered protocols
     repro-arb --list-protocols       # ditto, without a subcommand
 
@@ -42,6 +44,7 @@ from repro.experiments.formatting import fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
 from repro.experiments.scale import SCALES, current_scale
 from repro.experiments.sweep import SweepExecutor
+from repro.observability import TelemetrySettings, render_metrics
 from repro.protocols.registry import get_spec, protocol_names
 from repro.workload.scenarios import equal_load
 
@@ -190,6 +193,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATE",
         help="fault rates (faults per unit simulated time) to sweep",
     )
+    faults_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "run every fault cell with the metrics registry on and print "
+            "an aggregated telemetry summary after each panel"
+        ),
+    )
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="emit one run's arbitration events as JSON lines",
+    )
+    trace_cmd.add_argument(
+        "--protocol", choices=protocol_names(), default="rr", help="arbiter"
+    )
+    trace_cmd.add_argument("--agents", type=int, default=10, help="number of agents")
+    trace_cmd.add_argument(
+        "--load", type=float, default=1.5, help="total offered load"
+    )
+    trace_cmd.add_argument(
+        "--cv", type=float, default=1.0, help="inter-request time CV"
+    )
+    trace_cmd.add_argument(
+        "--out",
+        metavar="PATH",
+        default="-",
+        help="trace destination ('-' = stdout, the default)",
+    )
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="run one simulation and print its telemetry counters/histograms",
+    )
+    metrics_cmd.add_argument(
+        "--protocol", choices=protocol_names(), default="rr", help="arbiter"
+    )
+    metrics_cmd.add_argument("--agents", type=int, default=10, help="number of agents")
+    metrics_cmd.add_argument(
+        "--load", type=float, default=1.5, help="total offered load"
+    )
+    metrics_cmd.add_argument(
+        "--cv", type=float, default=1.0, help="inter-request time CV"
+    )
 
     run_cmd = subparsers.add_parser("run", help="run one ad-hoc simulation")
     run_cmd.add_argument(
@@ -261,6 +308,61 @@ def _run_compare(args, scale) -> None:
         )
 
 
+def _run_trace(args, scale) -> None:
+    """``trace``: stream one run's arbitration events as JSON lines.
+
+    The trace goes through the run's own :class:`JsonlSink` (via
+    ``telemetry.jsonl_path``), so the bytes written here are exactly the
+    bytes the golden-trace suite pins down.
+    """
+    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=args.seed,
+        telemetry=TelemetrySettings(events=True, jsonl_path=args.out),
+    )
+    result = run_simulation(scenario, args.protocol, settings)
+    if args.out != "-":
+        count = len(result.events) if result.events is not None else 0
+        print(f"{count} arbitration events written to {args.out}")
+
+
+def _run_metrics(args, scale) -> None:
+    """``metrics``: one run's telemetry counters and histograms."""
+    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    settings = SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=args.seed,
+        telemetry=TelemetrySettings(metrics=True),
+    )
+    result = run_simulation(scenario, args.protocol, settings)
+    print(
+        f"protocol {args.protocol} on {scenario.name} "
+        f"(seed {args.seed}, scale {scale.name})"
+    )
+    assert result.metrics is not None
+    print(render_metrics(result.metrics))
+
+
+def _summarise_fault_metrics(table) -> Optional[str]:
+    """Aggregate the per-cell metrics snapshots of one robustness panel."""
+    totals: dict = {}
+    for record in table.data:
+        snapshot = record.get("metrics")
+        if not snapshot:
+            continue
+        for name, value in snapshot["counters"].items():
+            totals[name] = totals.get(name, 0) + value
+    if not totals:
+        return None
+    body = "  ".join(f"{name}={totals[name]}" for name in sorted(totals))
+    return f"telemetry totals: {body}"
+
+
 def _run_single(args, scale) -> None:
     scenario = equal_load(args.agents, args.load, cv=args.cv)
     settings = SimulationSettings(
@@ -311,16 +413,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.command == "protocols":
             print(render_protocol_listing())
         elif args.command == "faults":
+            telemetry = TelemetrySettings(metrics=True) if args.metrics else None
             tables = robustness.run(
                 protocols=args.protocols,
                 rates=args.rates,
                 scale=scale,
                 seed=args.seed,
                 executor=_make_executor(args),
+                telemetry=telemetry,
             )
             for panel in tables:
                 print(panel.render())
+                summary = _summarise_fault_metrics(panel)
+                if summary is not None:
+                    print(summary)
                 print()
+        elif args.command == "trace":
+            _run_trace(args, scale)
+        elif args.command == "metrics":
+            _run_metrics(args, scale)
         elif args.command == "run":
             _run_single(args, scale)
         elif args.command == "compare":

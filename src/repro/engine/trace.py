@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterator, List, Optional, Union
 
 __all__ = ["Trace", "TraceRecord"]
 
@@ -29,15 +29,30 @@ class TraceRecord:
 class Trace:
     """A ring buffer of :class:`TraceRecord`.
 
+    Once full, appending evicts the *oldest* record, so the buffer
+    always holds the most recent ``capacity`` records in arrival order.
+    The container protocol mirrors a list over that retained window:
+    ``len(trace)`` is the retained count (never above ``capacity``),
+    iteration yields oldest first, and ``trace[i]`` / ``trace[a:b]``
+    index into the retained window — index 0 is the oldest *retained*
+    record, not the first ever recorded.
+
     Parameters
     ----------
     capacity:
         Maximum number of records retained; older records are evicted.
-        ``None`` keeps everything (use only for short runs).
+        ``None`` disables eviction entirely: the buffer is unbounded
+        and grows with the run, so reserve it for short runs or tests
+        that must see every event.
     """
 
     def __init__(self, capacity: Optional[int] = 10_000) -> None:
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The retention bound, or ``None`` when unbounded."""
+        return self._records.maxlen
 
     def record(self, time: float, label: str, priority: int) -> None:
         """Append one record."""
@@ -48,6 +63,19 @@ class Trace:
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[TraceRecord, List[TraceRecord]]:
+        """Index or slice the retained window, oldest first.
+
+        Slices return plain lists (a ``deque`` does not slice), so
+        ``trace[-5:]`` is the idiomatic "last five events".  Negative
+        indices count from the newest record, as for a list.
+        """
+        if isinstance(index, slice):
+            return list(self._records)[index]
+        return self._records[index]
 
     def labels(self) -> List[str]:
         """The labels of all retained records, oldest first."""

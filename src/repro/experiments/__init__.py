@@ -31,12 +31,15 @@ from repro.experiments.spec import (
     settings_for,
 )
 from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.observability import TelemetrySettings, merge_metrics
 
 __all__ = [
     "PROTOCOLS",
     "make_arbiter",
     "run_simulation",
     "SimulationSettings",
+    "TelemetrySettings",
+    "merge_metrics",
     "Scale",
     "current_scale",
     "ExperimentTable",

@@ -21,7 +21,10 @@ Keys are SHA-256 digests of a canonical description of the cell:
   against newer code.
 
 The description deliberately excludes cosmetic fields (scenario
-``notes``) and anything derivable from the above.
+``notes``) and anything derivable from the above.  One caveat: a cell
+whose telemetry asks for a JSONL trace file caches on the *path*, and a
+cache hit replays the stored result without re-writing the file — the
+trace is a side effect, not part of the result object.
 """
 
 from __future__ import annotations
@@ -48,7 +51,9 @@ __all__ = ["CACHE_EPOCH", "cache_key", "ResultCache", "default_cache_dir"]
 #: Stale entries are then simply never looked up again.
 #: Epoch 2: protocol registry refactor (uniform factory convention).
 #: Epoch 3: fault injection + watchdog (new settings fields in the key).
-CACHE_EPOCH = 3
+#: Epoch 4: observability layer (telemetry block in the key; RunResult
+#: grew events/metrics payloads).
+CACHE_EPOCH = 4
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -89,6 +94,7 @@ def _describe_settings(settings: SimulationSettings) -> list:
         settings.max_events,
         settings.fault_plan.spec_key() if settings.fault_plan is not None else None,
         settings.watchdog.spec_key() if settings.watchdog is not None else None,
+        settings.telemetry.spec_key() if settings.telemetry is not None else None,
     ]
 
 

@@ -43,6 +43,7 @@ from repro.experiments.spec import (
 )
 from repro.experiments.sweep import SweepExecutor
 from repro.faults.plan import FaultKind, FaultPlan
+from repro.observability.events import TelemetrySettings
 from repro.protocols.registry import get_spec
 from repro.stats.collector import service_order_deviation
 from repro.stats.summary import RunResult
@@ -124,8 +125,15 @@ def panel_spec(
     rates: Sequence[float] = DEFAULT_FAULT_RATES,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
+    telemetry: Optional[TelemetrySettings] = None,
 ) -> PanelSpec:
-    """One protocol's robustness panel: fault-rate rows vs its baseline."""
+    """One protocol's robustness panel: fault-rate rows vs its baseline.
+
+    With ``telemetry`` set, every fault cell runs under it and each
+    row's machine-readable record carries the cell's metrics snapshot
+    (``record["metrics"]``) — the rendered table is unchanged either
+    way.
+    """
     scale = scale or current_scale()
     scenario = equal_load(NUM_AGENTS, LOAD)
     baseline_order = list(baseline.collector.completion_order)
@@ -140,6 +148,7 @@ def panel_spec(
             keep_order=True,
             fault_plan=plan,
             watchdog=WatchdogPolicy(),
+            telemetry=telemetry,
         )
         rows.append(
             RowSpec(
@@ -197,6 +206,9 @@ def panel_spec(
             "order_deviation": order_dev,
             "fairness_delta": fairness_delta,
             "failed": result.failed,
+            "metrics": (
+                result.metrics.as_dict() if result.metrics is not None else None
+            ),
         }
         return cells, record
 
@@ -227,12 +239,14 @@ def run(
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
     executor: Optional[SweepExecutor] = None,
+    telemetry: Optional[TelemetrySettings] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """The full robustness grid: one panel per protocol.
 
     Each protocol's fault-free baseline runs first (through the same
     executor, so it caches and parallelises like any cell) and anchors
-    that panel's order-deviation and fairness columns.
+    that panel's order-deviation and fairness columns.  ``telemetry``
+    is threaded into every fault cell (see :func:`panel_spec`).
     """
     executor = executor or SweepExecutor()
     scale = scale or current_scale()
@@ -242,7 +256,10 @@ def run(
     for protocol in protocols:
         baseline = executor.simulate(scenario, protocol, baseline_settings)
         tables.append(
-            build_table(panel_spec(protocol, baseline, rates, scale, seed), executor)
+            build_table(
+                panel_spec(protocol, baseline, rates, scale, seed, telemetry),
+                executor,
+            )
         )
     return tuple(tables)
 

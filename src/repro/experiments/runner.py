@@ -22,6 +22,9 @@ from repro.bus.timing import BusTiming
 from repro.bus.watchdog import BusWatchdog, WatchdogPolicy
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.observability.events import TelemetrySettings
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.sinks import EventSink, InMemorySink, JsonlSink, TeeSink
 from repro.protocols.registry import PROTOCOLS, get_spec, make_arbiter
 from repro.stats.collector import CompletionCollector
 from repro.stats.summary import RunResult
@@ -48,6 +51,13 @@ class SimulationSettings:
     (:class:`~repro.faults.plan.FaultPlan`) into the run; a non-empty
     plan implies a bus watchdog (``watchdog`` overrides its policy).
     Both are part of the run's identity: the result cache keys on them.
+
+    ``telemetry`` turns on the observability layer for the run
+    (:class:`~repro.observability.events.TelemetrySettings`): retained
+    :class:`~repro.observability.events.ArbitrationEvent` streams,
+    accumulated metrics, or a JSONL trace file.  ``None`` (the
+    default) leaves the bus with no sink at all, so every experiment
+    output stays byte-identical with telemetry off.
     """
 
     batches: int = 10
@@ -62,6 +72,7 @@ class SimulationSettings:
     max_events: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
     watchdog: Optional[WatchdogPolicy] = None
+    telemetry: Optional[TelemetrySettings] = None
 
 
 def run_simulation(
@@ -94,6 +105,22 @@ def run_simulation(
         watchdog = BusWatchdog(settings.watchdog)
     elif settings.watchdog is not None:
         watchdog = BusWatchdog(settings.watchdog)
+    memory: Optional[InMemorySink] = None
+    jsonl: Optional[JsonlSink] = None
+    sink: Optional[EventSink] = None
+    metrics: Optional[MetricsRegistry] = None
+    if settings.telemetry is not None:
+        sinks = []
+        if settings.telemetry.events:
+            memory = InMemorySink()
+            sinks.append(memory)
+        if settings.telemetry.jsonl_path is not None:
+            jsonl = JsonlSink(settings.telemetry.jsonl_path)
+            sinks.append(jsonl)
+        if sinks:
+            sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
+        if settings.telemetry.metrics:
+            metrics = MetricsRegistry()
     collector = CompletionCollector(
         batches=settings.batches,
         batch_size=settings.batch_size,
@@ -110,8 +137,14 @@ def run_simulation(
         seed=settings.seed,
         injector=injector,
         watchdog=watchdog,
+        sink=sink,
+        metrics=metrics,
     )
-    system.run(max_events=settings.max_events)
+    try:
+        system.run(max_events=settings.max_events)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
     return RunResult(
         scenario=scenario,
         protocol=protocol,
@@ -121,4 +154,6 @@ def run_simulation(
         seed=settings.seed,
         confidence=settings.confidence,
         failed=watchdog.gave_up if watchdog is not None else False,
+        events=memory.events if memory is not None else None,
+        metrics=metrics,
     )

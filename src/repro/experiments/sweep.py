@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError, SweepExecutionError
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.observability.metrics import MetricsRegistry, merge_metrics
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
 
@@ -204,6 +205,18 @@ class SweepExecutor:
     ) -> RunResult:
         """Single-cell convenience wrapper around :meth:`run`."""
         return self.run([SweepCell(scenario, protocol, settings)])[0]
+
+    @staticmethod
+    def merged_metrics(results: Sequence[RunResult]) -> MetricsRegistry:
+        """One registry folding every telemetry-enabled cell's metrics.
+
+        Cells are merged in result (= grid declaration) order, so the
+        reduction is deterministic; cells run without
+        ``telemetry.metrics`` contribute nothing.  Parallel and serial
+        sweeps merge to identical registries because each cell's
+        registry depends only on that cell's inputs.
+        """
+        return merge_metrics(result.metrics for result in results)
 
     # -- execution backends ---------------------------------------------------
 

@@ -1,0 +1,64 @@
+"""Structured per-arbitration telemetry for the bus simulator.
+
+The paper's evaluation (Tables 4.1–4.5, Figure 4.1) rests on
+per-arbitration behaviour — who competed, how many settle rounds were
+spent, who won, how long each request waited.  This package makes that
+behaviour observable without perturbing it:
+
+- :mod:`~repro.observability.events` — the structured
+  :class:`ArbitrationEvent` schema, one record per arbitration pass,
+  plus the :class:`TelemetrySettings` knob block that
+  :class:`~repro.experiments.runner.SimulationSettings` embeds;
+- :mod:`~repro.observability.sinks` — the pluggable
+  :class:`EventSink` protocol and its implementations (no-op,
+  in-memory, JSONL file, tee);
+- :mod:`~repro.observability.metrics` — a :class:`MetricsRegistry` of
+  counters and fixed-bucket histograms (rounds per grant, settle
+  iterations, per-agent waiting times) with deterministic merging
+  across sweep cells;
+- :mod:`~repro.observability.golden` — the small frozen scenarios whose
+  byte-exact JSONL traces live in ``tests/golden/``.
+
+Telemetry is *off* by default: a :class:`~repro.bus.model.BusSystem`
+with no sink and no registry pays one attribute check per arbitration
+(≤ 3 % end-to-end, verified by ``benchmarks/test_engine_microbench.py``),
+and every experiment output is byte-identical with sinks off.
+"""
+
+from repro.observability.events import ArbitrationEvent, TelemetrySettings, event_from_dict
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    ROUNDS_BUCKETS,
+    WAIT_BUCKETS,
+    merge_metrics,
+    render_metrics,
+)
+from repro.observability.sinks import (
+    EventSink,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TeeSink,
+)
+
+__all__ = [
+    "ArbitrationEvent",
+    "TelemetrySettings",
+    "event_from_dict",
+    "EventSink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "TeeSink",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSink",
+    "ROUNDS_BUCKETS",
+    "WAIT_BUCKETS",
+    "merge_metrics",
+    "render_metrics",
+]

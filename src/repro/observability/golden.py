@@ -1,0 +1,130 @@
+"""Golden-trace scenarios: the pinned event streams under ``tests/golden/``.
+
+A golden trace is the canonical JSONL encoding of one short run's full
+:class:`~repro.observability.events.ArbitrationEvent` stream, checked
+into the repository and compared *byte for byte* by the conformance
+suite.  Any engine change that perturbs arbitration order, settle
+accounting or the event schema trips the comparison — and because the
+stored artefact is a line-per-event diff-able text file, the failure
+shows exactly which arbitrations moved.
+
+This module is the single source of truth for what those runs are; both
+the regression test (``tests/conformance/test_golden_traces.py``) and
+the regeneration script (``scripts/regen_golden.py``) call
+:func:`golden_trace_lines`, so they can never disagree about the
+scenario behind a file.
+
+The runs are deliberately tiny (a few hundred events) and pin *every*
+knob explicitly — scale presets and environment variables have no say —
+so the bytes depend only on the engine's code.  Floats serialise via
+``repr`` (shortest round-trip), which is platform-stable on every
+Python ≥ 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GOLDEN_SEED",
+    "GoldenScenario",
+    "GOLDEN_SCENARIOS",
+    "golden_names",
+    "golden_trace_lines",
+]
+
+#: One seed for every golden run: the traces pin engine behaviour, not
+#: seed sensitivity (the property and differential suites cover seeds).
+GOLDEN_SEED = 19880530
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One pinned run: workload shape + protocol + exact run length."""
+
+    protocol: str
+    agents: int
+    load: float
+    #: Post-warmup completions retained (2 batches of this many halves).
+    completions: int = 80
+    warmup: int = 10
+    #: Why this particular cell is worth pinning.
+    rationale: str = ""
+
+
+#: The pinned grid: one RR implementation per §3.1 flavour, one FCFS
+#: strategy per §3.2 flavour, and the fixed-priority baseline whose
+#: starvation behaviour Table 4.1 contrasts against.
+GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
+    "rr": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=2.0,
+        rationale="RR implementation 1: the §3.1 reference grant order",
+    ),
+    "rr-impl3": GoldenScenario(
+        protocol="rr-impl3",
+        agents=4,
+        load=2.0,
+        rationale="RR implementation 3: pins the extra-round passes",
+    ),
+    "fcfs": GoldenScenario(
+        protocol="fcfs",
+        agents=4,
+        load=2.0,
+        rationale="FCFS strategy 1: window-tie grant order",
+    ),
+    "fcfs-aincr": GoldenScenario(
+        protocol="fcfs-aincr",
+        agents=4,
+        load=2.0,
+        rationale="FCFS strategy 2: arrival-exact grant order",
+    ),
+    "fixed": GoldenScenario(
+        protocol="fixed",
+        agents=4,
+        load=2.0,
+        rationale="fixed priority: the starvation baseline of Table 4.1",
+    ),
+}
+
+
+def golden_names() -> Tuple[str, ...]:
+    """The golden scenario names, in declaration order."""
+    return tuple(GOLDEN_SCENARIOS)
+
+
+def golden_trace_lines(name: str) -> List[str]:
+    """Run one golden scenario and return its canonical JSON lines.
+
+    The returned list is exactly the content of
+    ``tests/golden/<name>.jsonl`` (one line per event, no trailing
+    newline included per line).
+    """
+    try:
+        golden = GOLDEN_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown golden scenario {name!r}; have {sorted(GOLDEN_SCENARIOS)}"
+        )
+    # Imported here, not at module top: repro.experiments.runner imports
+    # this package's event/sink modules, so a top-level import would put
+    # a cycle one refactor away.
+    from repro.experiments.runner import SimulationSettings, run_simulation
+    from repro.observability.events import TelemetrySettings
+    from repro.workload.scenarios import equal_load
+
+    scenario = equal_load(golden.agents, golden.load)
+    settings = SimulationSettings(
+        batches=2,
+        batch_size=golden.completions // 2,
+        warmup=golden.warmup,
+        seed=GOLDEN_SEED,
+        telemetry=TelemetrySettings(events=True),
+    )
+    result = run_simulation(scenario, golden.protocol, settings)
+    assert result.events is not None
+    return [event.to_json() for event in result.events]

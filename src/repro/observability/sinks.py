@@ -1,0 +1,112 @@
+"""Event sinks: where a run's :class:`ArbitrationEvent` stream goes.
+
+A sink is anything with ``emit(event)`` and ``close()``.  The bus emits
+to at most one sink; fan-out is a :class:`TeeSink`.  Sinks must not
+raise from ``emit`` in normal operation — a telemetry failure must
+never perturb the simulation it observes.
+
+The default is *no* sink at all (``BusSystem(sink=None)``), which costs
+one attribute check per arbitration.  :class:`NullSink` exists for API
+completeness and for measuring the marginal cost of the emission path
+itself (``benchmarks/test_engine_microbench.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+import sys
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from repro.observability.events import ArbitrationEvent
+
+__all__ = ["EventSink", "NullSink", "InMemorySink", "JsonlSink", "TeeSink"]
+
+
+class EventSink(abc.ABC):
+    """Consumer of a run's arbitration-event stream."""
+
+    @abc.abstractmethod
+    def emit(self, event: ArbitrationEvent) -> None:
+        """Accept one event.  Called in event order, strictly by index."""
+
+    def close(self) -> None:
+        """Release any resources; further ``emit`` calls are undefined."""
+
+
+class NullSink(EventSink):
+    """Accepts and discards everything (telemetry plumbed but off)."""
+
+    def emit(self, event: ArbitrationEvent) -> None:
+        pass
+
+
+class InMemorySink(EventSink):
+    """Retains every event in order; backs ``RunResult.events``."""
+
+    def __init__(self) -> None:
+        self.events: List[ArbitrationEvent] = []
+
+    def emit(self, event: ArbitrationEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class JsonlSink(EventSink):
+    """Streams events as canonical JSON lines to a file or handle.
+
+    Parameters
+    ----------
+    target:
+        A path (opened for writing, parents created) or an open text
+        handle.  The special path ``"-"`` means stdout.  Only handles
+        this sink opened are closed by :meth:`close`.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        self._owns_handle = False
+        if hasattr(target, "write"):
+            self._handle: Optional[IO[str]] = target  # type: ignore[assignment]
+        elif str(target) == "-":
+            self._handle = sys.stdout
+        else:
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = path.open("w", encoding="utf-8")
+            self._owns_handle = True
+        self.emitted = 0
+
+    def emit(self, event: ArbitrationEvent) -> None:
+        assert self._handle is not None
+        self._handle.write(event.to_json())
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            self._handle.flush()
+        self._handle = None
+
+
+class TeeSink(EventSink):
+    """Fans every event out to several sinks, in construction order."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit(self, event: ArbitrationEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

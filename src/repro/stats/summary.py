@@ -18,9 +18,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import StatisticsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.events import ArbitrationEvent
+    from repro.observability.metrics import MetricsRegistry
 from repro.stats.batch_means import BatchMeansEstimate, batch_means
 from repro.stats.cdf import EmpiricalCDF
 from repro.stats.collector import CompletionCollector
@@ -61,6 +65,8 @@ class RunResult:
         seed: int,
         confidence: float = 0.90,
         failed: bool = False,
+        events: Optional[List["ArbitrationEvent"]] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.scenario = scenario
         self.protocol = protocol
@@ -73,6 +79,14 @@ class RunResult:
         #: watchdog gave up).  Whatever batches completed before the
         #: failure are kept; a failed run is allowed to have none.
         self.failed = failed
+        #: The run's full :class:`~repro.observability.events.
+        #: ArbitrationEvent` stream when ``telemetry.events`` was on,
+        #: else ``None``.
+        self.events = events
+        #: The run's :class:`~repro.observability.metrics.
+        #: MetricsRegistry` when ``telemetry.metrics`` was on, else
+        #: ``None``.
+        self.metrics = metrics
         self._batches = collector.completed_batches()
         if len(self._batches) < 2 and not failed:
             raise StatisticsError(

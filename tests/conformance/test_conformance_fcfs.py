@@ -1,0 +1,96 @@
+"""Conformance: FCFS strategy 2 refines strategy 1's ties (§3.2).
+
+§3.2 presents two counter strategies for the distributed FCFS protocol.
+Strategy 1 counts *lost arbitrations*, so requests arriving between the
+same two successive arbitrations share a count — a tie the hardware
+breaks arbitrarily.  Strategy 2 timestamps by arrival order, so it is
+exact FCFS.  The conformance claim is therefore a refinement: every
+ordering strategy 2 produces is one of the orderings strategy 1 could
+have produced, i.e. wherever the two disagree about a pair of grants,
+that pair must have been a *strategy-1 tie* (issue times within one
+inter-arbitration window).
+
+Three angles, ≥5 seeds each:
+
+- strategy 2 matches the central FCFS oracle grant for grant (exact
+  FCFS, no ties left to break);
+- strategy 2's grant stream has no issue-time inversions at all, while
+  strategy 1's inversions are bounded by the arbitration window — the
+  sharpest statement of "ties only";
+- on full closed-loop runs, every pair the two strategies order
+  differently arrived within one window of each other, so each
+  divergence is a tie, never a genuine FCFS violation.
+"""
+
+import pytest
+
+from repro.workload.scenarios import equal_load, unequal_load
+
+from _utils import completion_records, grant_sequence
+
+SEEDS = [3, 17, 29, 53, 97]
+
+#: One inter-arbitration window under load: a bus tenure (1.0) plus the
+#: arbitration settle time — requests closer together than this can
+#: share a strategy-1 counter value.
+TIE_WINDOW = 1.5
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStrategy2IsExactFCFS:
+    def test_matches_central_fcfs_oracle(self, seed):
+        scenario = equal_load(10, 2.0)
+        assert grant_sequence(scenario, "fcfs-aincr", seed=seed) == grant_sequence(
+            scenario, "central-fcfs", seed=seed
+        )
+
+    def test_matches_oracle_on_asymmetric_load(self, seed):
+        scenario = unequal_load(8, 0.2, 2.5)
+        assert grant_sequence(scenario, "fcfs-aincr", seed=seed) == grant_sequence(
+            scenario, "central-fcfs", seed=seed
+        )
+
+    def test_no_issue_time_inversions(self, seed):
+        records = completion_records(
+            equal_load(10, 2.0), "fcfs-aincr", completions=600, seed=seed
+        )
+        issue_times = [record.issue_time for record in records]
+        assert issue_times == sorted(issue_times)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStrategy1TiesAreWindowBounded:
+    def test_inversions_bounded_by_arbitration_window(self, seed):
+        # Strategy 1 may serve a later request first only when both fell
+        # inside the same inter-arbitration window (a shared counter
+        # value); larger inversions would be genuine FCFS violations.
+        records = completion_records(
+            equal_load(10, 2.0), "fcfs", completions=600, seed=seed
+        )
+        for earlier, later in zip(records, records[1:]):
+            assert later.issue_time >= earlier.issue_time - TIE_WINDOW
+
+    def test_divergences_from_strategy_2_are_ties(self, seed):
+        # Wherever the two strategies order a pair of grants differently,
+        # the pair's issue times must be within one window — i.e. the
+        # difference is strategy 1 breaking a tie, not dropping FCFS.
+        scenario = equal_load(10, 2.0)
+        s1 = completion_records(scenario, "fcfs", completions=400, seed=seed)
+        s2 = completion_records(scenario, "fcfs-aincr", completions=400, seed=seed)
+        issue_by_key = {}
+        for rank, record in enumerate(s2):
+            issue_by_key[(record.agent_id, record.issue_time)] = rank
+        for earlier, later in zip(s1, s1[1:]):
+            rank_a = issue_by_key.get((earlier.agent_id, earlier.issue_time))
+            rank_b = issue_by_key.get((later.agent_id, later.issue_time))
+            if rank_a is None or rank_b is None:
+                # Closed-loop feedback lets the tails of the two runs
+                # diverge; only pairs present in both streams are
+                # comparable.
+                continue
+            if rank_a > rank_b:  # strategy 2 ordered this pair the other way
+                assert abs(earlier.issue_time - later.issue_time) <= TIE_WINDOW, (
+                    f"strategy 1 inverted a non-tie at seed {seed}: "
+                    f"{earlier.agent_id}@{earlier.issue_time} before "
+                    f"{later.agent_id}@{later.issue_time}"
+                )

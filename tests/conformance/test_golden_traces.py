@@ -1,0 +1,68 @@
+"""Golden-trace regression suite: pinned event streams, byte for byte.
+
+Each file under ``tests/golden/`` is the canonical JSONL encoding of one
+short run's full arbitration-event stream (scenarios declared in
+:mod:`repro.observability.golden`).  The comparison is *exact* — field
+order, float ``repr``, separators — so any engine change that moves an
+arbitration, alters settle accounting or touches the schema fails here
+with a unified diff of precisely the drifted lines.
+
+On an intentional change, regenerate with ``make golden`` (=
+``scripts/regen_golden.py``) and commit the new files alongside the
+change that caused them.
+"""
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability.events import event_from_dict
+from repro.observability.golden import golden_names, golden_trace_lines
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def stored_lines(name):
+    path = GOLDEN_DIR / f"{name}.jsonl"
+    assert path.exists(), (
+        f"missing golden trace {path}; generate it with scripts/regen_golden.py"
+    )
+    return path.read_text(encoding="utf-8").splitlines()
+
+
+@pytest.mark.parametrize("name", golden_names())
+def test_trace_matches_golden_byte_for_byte(name):
+    stored = stored_lines(name)
+    fresh = golden_trace_lines(name)
+    if fresh != stored:
+        diff = "\n".join(
+            difflib.unified_diff(
+                stored,
+                fresh,
+                fromfile=f"tests/golden/{name}.jsonl (stored)",
+                tofile=f"{name} (this run)",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"golden trace {name!r} drifted; if intentional, regenerate with "
+            f"'make golden' and commit the diff:\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("name", golden_names())
+def test_golden_lines_round_trip_through_schema(name):
+    # The stored artefacts stay loadable: every line parses, round-trips
+    # through event_from_dict, and re-encodes to the identical bytes.
+    for line in stored_lines(name):
+        event = event_from_dict(json.loads(line))
+        assert event.to_json() == line
+
+
+def test_every_golden_file_has_a_scenario():
+    # No orphaned artefacts: each .jsonl under tests/golden/ must map to
+    # a declared scenario, or regeneration would silently skip it.
+    on_disk = {path.stem for path in GOLDEN_DIR.glob("*.jsonl")}
+    assert on_disk == set(golden_names())

@@ -1,5 +1,7 @@
 """Unit tests for repro.engine.rng and repro.engine.trace."""
 
+import pytest
+
 from repro.engine.rng import RandomStreams, derive_seed
 from repro.engine.trace import Trace
 
@@ -85,3 +87,39 @@ class TestTrace:
         trace = Trace()
         trace.record(1.25, "grant", 1)
         assert "grant" in str(next(iter(trace)))
+
+    def test_capacity_property(self):
+        assert Trace(capacity=7).capacity == 7
+        assert Trace(capacity=None).capacity is None
+
+    def test_indexing_counts_from_oldest_retained(self):
+        trace = Trace(capacity=3)
+        for i in range(5):
+            trace.record(float(i), f"e{i}", 0)
+        # Window holds e2..e4: index 0 is the oldest *retained* record.
+        assert trace[0].label == "e2"
+        assert trace[-1].label == "e4"
+        with pytest.raises(IndexError):
+            trace[3]
+
+    def test_slicing_returns_lists_over_the_window(self):
+        trace = Trace(capacity=4)
+        for i in range(6):
+            trace.record(float(i), f"e{i}", 0)
+        assert [r.label for r in trace[1:3]] == ["e3", "e4"]
+        assert [r.label for r in trace[-2:]] == ["e4", "e5"]
+        assert trace[:] == list(trace)
+        assert isinstance(trace[:2], list)
+
+    def test_eviction_order_across_interleaved_appends(self):
+        # Regression for the ring-buffer contract: after any interleaving
+        # of appends past capacity, the window is exactly the last
+        # `capacity` records, oldest first, and len() never exceeds it.
+        trace = Trace(capacity=3)
+        labels = []
+        for i in range(10):
+            trace.record(float(i), f"e{i}", 0)
+            labels.append(f"e{i}")
+            assert len(trace) == min(i + 1, 3)
+            assert trace.labels() == labels[-3:]
+            assert [r.label for r in trace] == labels[-3:]

@@ -1,0 +1,155 @@
+"""Property tests: conservation laws of the arbitration-event stream.
+
+Telemetry is only trustworthy if it obeys the physics of the bus it
+observes, whatever the seed, population or fault schedule.  Hypothesis
+drives randomized runs — healthy and fault-injected — and checks the
+laws the conformance and golden suites implicitly lean on:
+
+- exactly one winner per clean arbitration, drawn from that pass's
+  competitor set;
+- the stream is strictly ordered: indices are 0..n-1 and start times
+  strictly increase (every pass burns at least one settle period);
+- grant conservation: per-agent grant counts match the collector's
+  completion totals up to the in-flight slack (at most one granted-but-
+  unstarted transaction plus one in-flight transaction at run end);
+- the watchdog-attempt field replays exactly from the anomaly history:
+  0 outside an episode, the running anomaly count inside one, reset by
+  the clean grant that closes it — so retry markers can never appear on
+  a stream with no preceding anomaly.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.bus.watchdog import WatchdogPolicy
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.observability.events import TelemetrySettings
+from repro.workload.scenarios import equal_load
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+populations = st.integers(min_value=2, max_value=8)
+loads = st.sampled_from([0.6, 1.2, 2.0, 3.0])
+protocols = st.sampled_from(["rr", "rr-impl3", "fcfs", "fcfs-aincr", "fixed"])
+
+
+def observed_run(protocol, agents, load, seed, fault_rate=0.0):
+    # equal_load splits the total offered load evenly and caps each
+    # agent at 1.0, so small populations clamp the saturated draws.
+    load = min(load, float(agents))
+    fault_plan = None
+    watchdog = None
+    if fault_rate > 0.0:
+        fault_plan = FaultPlan.generate(
+            seed=seed,
+            rate=fault_rate,
+            horizon=120.0,
+            kinds=(FaultKind.DROPPED_BROADCAST, FaultKind.LINE_GLITCH),
+            num_agents=agents,
+        )
+        watchdog = WatchdogPolicy()
+    settings = SimulationSettings(
+        batches=2,
+        batch_size=40,
+        warmup=0,
+        seed=seed,
+        fault_plan=fault_plan,
+        watchdog=watchdog,
+        telemetry=TelemetrySettings(events=True, metrics=True),
+    )
+    return run_simulation(equal_load(agents, load), protocol, settings)
+
+
+class TestCleanRoundLaws:
+    @given(protocol=protocols, agents=populations, load=loads, seed=seeds)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_one_winner_per_clean_round_from_the_competitor_set(
+        self, protocol, agents, load, seed
+    ):
+        result = observed_run(protocol, agents, load, seed)
+        for event in result.events:
+            if event.anomaly is None:
+                assert event.winner is not None
+                assert event.winner in event.competitors
+            else:
+                assert event.winner is None
+
+    @given(protocol=protocols, agents=populations, load=loads, seed=seeds)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_stream_is_strictly_ordered(self, protocol, agents, load, seed):
+        result = observed_run(protocol, agents, load, seed)
+        indices = [event.index for event in result.events]
+        assert indices == list(range(len(indices)))
+        times = [event.time for event in result.events]
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+
+
+class TestGrantConservation:
+    @given(protocol=protocols, agents=populations, seed=seeds)
+    @hyp_settings(max_examples=25, deadline=None)
+    def test_grants_match_collector_completions_up_to_inflight_slack(
+        self, protocol, agents, seed
+    ):
+        # Closed loop, warmup=0: every completion was granted, and at
+        # run end at most one grant is awaiting bus tenure plus one
+        # transaction is still on the bus.
+        result = observed_run(protocol, agents, 2.0, seed)
+        grants = Counter(
+            event.winner for event in result.events if event.anomaly is None
+        )
+        totals = result.collector.agent_totals
+        slack = sum(grants.values()) - sum(totals.values())
+        assert 0 <= slack <= 2
+        for agent, granted in grants.items():
+            completed = totals.get(agent, 0)
+            assert 0 <= granted - completed <= 1
+
+    @given(protocol=protocols, agents=populations, seed=seeds)
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_metrics_registry_agrees_with_the_event_stream(
+        self, protocol, agents, seed
+    ):
+        result = observed_run(protocol, agents, 2.0, seed)
+        clean = [event for event in result.events if event.anomaly is None]
+        registry = result.metrics
+        assert registry.counter("arbitrations").value == len(result.events)
+        assert registry.counter("grants").value == len(clean)
+        assert registry.counter("settle_rounds").value == sum(
+            event.rounds for event in result.events
+        )
+
+
+class TestWatchdogAttemptLaw:
+    @given(seed=seeds, rate=st.sampled_from([0.05, 0.15, 0.3]))
+    @hyp_settings(max_examples=20, deadline=None)
+    def test_attempt_field_replays_from_anomaly_history(self, seed, rate):
+        # rr-faulty-register + dropped broadcasts: the one combination
+        # guaranteed to produce real watchdog episodes (§3.1).
+        result = observed_run("rr-faulty-register", 6, 2.0, seed, fault_rate=rate)
+        episode_anomalies = 0
+        for event in result.events:
+            assert event.watchdog_attempt == episode_anomalies
+            if event.anomaly is not None:
+                episode_anomalies += 1
+            else:
+                episode_anomalies = 0
+
+    @given(seed=seeds, rate=st.sampled_from([0.05, 0.15, 0.3]))
+    @hyp_settings(max_examples=20, deadline=None)
+    def test_retry_markers_only_after_anomalies(self, seed, rate):
+        result = observed_run("rr-faulty-register", 6, 2.0, seed, fault_rate=rate)
+        anomaly_seen = False
+        for event in result.events:
+            if event.watchdog_attempt > 0:
+                assert anomaly_seen, "retry marker with no preceding anomaly"
+            if event.anomaly is not None:
+                anomaly_seen = True
+
+    @given(protocol=protocols, agents=populations, seed=seeds)
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_healthy_runs_never_carry_retry_markers(self, protocol, agents, seed):
+        result = observed_run(protocol, agents, 2.0, seed)
+        assert all(event.watchdog_attempt == 0 for event in result.events)
+        assert all(event.anomaly is None for event in result.events)
+        assert all(event.fault_tags == () for event in result.events)
