@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CI bench guard: fail when a median drifts past 1.5× the baseline.
+
+Runs the engine micro-benchmarks fresh (to a throwaway file — the
+committed ``BENCH_engine.json`` is never overwritten here) and compares
+every median against the committed baseline with a generous 50%
+tolerance.  The committed file is a developer-machine snapshot and CI
+runners are slower and noisier, so the guard is deliberately coarse: it
+exists to catch order-of-magnitude regressions (an accidentally
+quadratic loop, a lost fast path), not single-digit drift — that is
+what ``scripts/run_benchmarks.py --compare`` at its default tolerance
+is for, on quiet hardware.
+
+Usage::
+
+    python scripts/check_bench.py [--baseline BENCH_engine.json]
+                                  [--tolerance 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from run_benchmarks import DEFAULT_OUT, compare, condense, run_microbench
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_OUT,
+        help="committed baseline to compare against (default BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional median slowdown (default 0.5, i.e. 1.5x)",
+    )
+    args = parser.parse_args()
+
+    if not args.baseline.exists():
+        print(f"baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = run_microbench(Path(tmp) / "raw.json")
+    summary = condense(raw)
+    print(
+        f"bench guard: comparing against {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    return compare(summary, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

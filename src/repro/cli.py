@@ -148,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="cache results under PATH (implies --cache)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("event", "batch"),
+        default="event",
+        help=(
+            "execution engine: the general event-driven simulator, or the "
+            "lockstep batch engine (bit-identical results on its supported "
+            "domain; unsupported cells fall back to 'event' transparently)"
+        ),
+    )
     parser.add_argument("--list-protocols", action=_ListProtocolsAction)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -270,7 +280,11 @@ def _make_executor(args) -> SweepExecutor:
     cache = None
     if args.cache or args.cache_dir:
         cache = ResultCache(args.cache_dir)
-    return SweepExecutor(jobs=args.jobs, cache=cache)
+    # Only a non-default request overrides cell settings: experiment
+    # grids declare engine="event" themselves, and --engine batch must
+    # reach the grids that build their settings internally.
+    engine = args.engine if args.engine != "event" else None
+    return SweepExecutor(jobs=args.jobs, cache=cache, engine=engine)
 
 
 def _emit_tables(module, scale, seed, executor) -> None:
@@ -288,6 +302,7 @@ def _run_compare(args, scale) -> None:
         batch_size=scale.batch_size,
         warmup=scale.warmup,
         seed=args.seed,
+        engine=args.engine,
     )
     print(f"scenario: {scenario.notes}  (seed {args.seed}, scale {scale.name})")
     print(
@@ -322,6 +337,7 @@ def _run_trace(args, scale) -> None:
         warmup=scale.warmup,
         seed=args.seed,
         telemetry=TelemetrySettings(events=True, jsonl_path=args.out),
+        engine=args.engine,
     )
     result = run_simulation(scenario, args.protocol, settings)
     if args.out != "-":
@@ -338,6 +354,7 @@ def _run_metrics(args, scale) -> None:
         warmup=scale.warmup,
         seed=args.seed,
         telemetry=TelemetrySettings(metrics=True),
+        engine=args.engine,
     )
     result = run_simulation(scenario, args.protocol, settings)
     print(
@@ -370,6 +387,7 @@ def _run_single(args, scale) -> None:
         batch_size=scale.batch_size,
         warmup=scale.warmup,
         seed=args.seed,
+        engine=args.engine,
     )
     result = run_simulation(scenario, args.protocol, settings)
     print(f"protocol          : {args.protocol}")
@@ -421,6 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 executor=_make_executor(args),
                 telemetry=telemetry,
+                engine=args.engine,
             )
             for panel in tables:
                 print(panel.render())

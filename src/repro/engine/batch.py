@@ -1,0 +1,777 @@
+"""Lockstep batch-replication engine.
+
+The event-driven engine (:mod:`repro.engine.simulator` driving
+:class:`~repro.bus.model.BusSystem`) is fully general: it handles
+synchronous clocking, priority classes, open-loop sources, fault
+injection and the watchdog.  But the paper's *core* experiments —
+closed-loop agents on a self-timed bus, no faults — have a rigidly
+cyclic structure: request → arbitration rounds → tenure → release,
+repeat.  For that restricted (and dominant) domain this module provides
+a calendar-free engine that advances R independent replications of one
+experiment cell in lockstep, amortising the Python interpreter overhead
+that dominates replication-heavy sweeps (robustness grids, batch-means
+confidence intervals).
+
+Instead of a heap of :class:`~repro.engine.calendar.Event` objects, each
+replication keeps a handful of scalar timers (pending release, pending
+arbitration-complete, pending kick) plus flat per-agent arrays (next
+request time, tie-break sequence, think-time buffers, FCFS counters) —
+struct-of-arrays state with no per-event allocation.  Protocol kernels
+operate on integer bitmasks of pending requesters, exploiting that every
+batch-capable protocol resolves its arbitration with a pure max over
+per-agent keys (the wired-OR maximum-finding of §2).
+
+Correctness contract
+--------------------
+For every batch-capable protocol the engine reproduces the event-driven
+engine *exactly*: identical winner sequences, identical
+:class:`~repro.observability.events.ArbitrationEvent` streams, identical
+collector statistics and identical floating-point timestamps, given the
+same seed.  This holds because the dispatch loop replays the calendar's
+ordering rule — (time, priority, insertion sequence) with RELEASE <
+ARBITRATION < REQUEST < ARB_KICK — and every timestamp is computed by
+the same floating-point expression (``now + delay``) the event engine
+uses.  The cross-engine differential suite
+(``tests/conformance/test_differential_engines.py``) and the batch
+golden traces enforce the contract.
+
+An optional numpy fast path accelerates the next-request-timer scan on
+wide buses; it is feature-detected (runtime dependencies stay empty) and
+can be forced on or off with ``REPRO_BATCH_NUMPY=1`` / ``=0``.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import replace
+from math import inf as _INF
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.bus.agent import _THINK_BLOCK
+from repro.core.base import identity_bits
+from repro.engine.rng import RandomStreams
+from repro.errors import ConfigurationError, SimulationError
+from repro.observability.events import ArbitrationEvent
+from repro.observability.metrics import WAIT_BUCKETS, MetricsRegistry, MetricsSink
+from repro.observability.sinks import InMemorySink, JsonlSink
+from repro.protocols.registry import get_spec
+from repro.stats.collector import CompletionCollector
+from repro.stats.summary import RunResult
+from repro.workload.scenarios import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SimulationSettings
+
+__all__ = [
+    "HAVE_NUMPY",
+    "batch_capable",
+    "run_simulation_batch",
+    "run_replications",
+]
+
+try:  # feature check: numpy is an optional accelerator, never a dependency
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+    HAVE_NUMPY = False
+
+#: Agent count at which the numpy timer scan starts paying for itself
+#: (below this, the pure-Python scan over a short list wins).
+_NUMPY_MIN_AGENTS = 32
+
+#: Completions each live replication advances per lockstep round.  Large
+#: enough to amortise the round-robin over replications, small enough
+#: that all replications stay within one round of each other.
+_LOCKSTEP_BLOCK = 64
+
+
+def _numpy_enabled(num_agents: int) -> bool:
+    """Decide the timer-scan implementation for one replication."""
+    forced = os.environ.get("REPRO_BATCH_NUMPY")
+    if forced is not None:
+        if forced.strip().lower() in ("1", "true", "yes", "on"):
+            return HAVE_NUMPY
+        return False
+    return HAVE_NUMPY and num_agents >= _NUMPY_MIN_AGENTS
+
+
+# ---------------------------------------------------------------------------
+# Protocol kernels
+# ---------------------------------------------------------------------------
+#
+# Each kernel mirrors one registry protocol's arbitration exactly, with
+# the pending-request set held as a bitmask (bit i = agent i; agent ids
+# start at 1, so bit 0 is always clear — the paper reserves identity 0).
+# Every batch-capable arbiter's ``release`` is a no-op and its grant
+# simply drops the winner's (single) outstanding request, so kernels
+# only need ``request`` / ``arbitrate`` / ``grant``.
+
+
+class _RoundRobinKernel:
+    """Distributed round-robin, implementations 1–3 (priority-free).
+
+    The event-engine arbiters build per-agent keys ``(rr_bit << k) | id``
+    and take the wired-OR maximum; with unique identities that maximum
+    is simply the highest id among the agents "below" the previous
+    winner when any exist, else the highest id overall — a two-bitmask
+    computation here.
+    """
+
+    __slots__ = ("num_agents", "impl", "pending", "last_winner", "issue")
+
+    def __init__(self, num_agents: int, impl: int) -> None:
+        self.num_agents = num_agents
+        self.impl = impl
+        self.pending = 0
+        # Implementation 3 starts with the fictitious identity N+1 so the
+        # very first pass already sees a non-empty "low" set.
+        self.last_winner = num_agents + 1 if impl == 3 else 0
+        self.issue = [0.0] * (num_agents + 1)
+
+    def request(self, agent_id: int, now: float) -> None:
+        self.pending |= 1 << agent_id
+        self.issue[agent_id] = now
+
+    def arbitrate(self) -> Tuple[int, int, int]:
+        pending = self.pending
+        low = pending & ((1 << self.last_winner) - 1)
+        rounds = 1
+        if self.impl == 1:
+            competitors = pending
+            winner = (low or pending).bit_length() - 1
+        elif self.impl == 2:
+            competitors = low or pending
+            winner = competitors.bit_length() - 1
+        else:  # impl 3: an empty low set costs one extra settle pass
+            if low:
+                competitors = low
+            else:
+                competitors = pending
+                rounds = 2
+            winner = competitors.bit_length() - 1
+        self.last_winner = winner
+        return winner, rounds, competitors
+
+    def grant(self, agent_id: int) -> float:
+        self.pending &= ~(1 << agent_id)
+        return self.issue[agent_id]
+
+
+class _FcfsKernel:
+    """Distributed FCFS, counter strategies 1 (increment) and 2 (A-incr).
+
+    Strategy 1 increments every loser's waiting counter after each
+    arbitration; strategy 2 timestamps arrivals with a shared pulse tick
+    (coincidence window 0, matching the event-engine default) and uses
+    the tick age as the counter.  Keys are
+    ``(counter % modulus) << k | id`` with ``modulus = 2**k``; the
+    winner is the wired-OR maximum.
+    """
+
+    __slots__ = (
+        "num_agents",
+        "strategy",
+        "bits",
+        "modulus",
+        "pending",
+        "issue",
+        "counter",
+        "tick",
+        "last_pulse",
+        "rtick",
+    )
+
+    def __init__(self, num_agents: int, strategy: int) -> None:
+        self.num_agents = num_agents
+        self.strategy = strategy
+        self.bits = identity_bits(num_agents)
+        self.modulus = 1 << self.bits
+        self.pending = 0
+        self.issue = [0.0] * (num_agents + 1)
+        self.counter = [0] * (num_agents + 1)
+        self.tick = 0
+        self.last_pulse = -_INF
+        self.rtick = [0] * (num_agents + 1)
+
+    def request(self, agent_id: int, now: float) -> None:
+        self.pending |= 1 << agent_id
+        self.issue[agent_id] = now
+        if self.strategy == 1:
+            self.counter[agent_id] = 0
+        else:
+            if now - self.last_pulse > 0.0:
+                self.tick += 1
+                self.last_pulse = now
+            self.rtick[agent_id] = self.tick
+
+    def arbitrate(self) -> Tuple[int, int, int]:
+        pending = self.pending
+        bits = self.bits
+        modulus = self.modulus
+        best_key = -1
+        winner = 0
+        mask = pending
+        if self.strategy == 1:
+            counter = self.counter
+            while mask:
+                bit = mask & -mask
+                agent = bit.bit_length() - 1
+                mask ^= bit
+                key = ((counter[agent] % modulus) << bits) | agent
+                if key > best_key:
+                    best_key = key
+                    winner = agent
+            # Every loser ages by one arbitration (strategy 1's pulse).
+            mask = pending & ~(1 << winner)
+            while mask:
+                bit = mask & -mask
+                counter[bit.bit_length() - 1] += 1
+                mask ^= bit
+        else:
+            tick = self.tick
+            rtick = self.rtick
+            while mask:
+                bit = mask & -mask
+                agent = bit.bit_length() - 1
+                mask ^= bit
+                key = (((tick - rtick[agent]) % modulus) << bits) | agent
+                if key > best_key:
+                    best_key = key
+                    winner = agent
+        return winner, 1, pending
+
+    def grant(self, agent_id: int) -> float:
+        self.pending &= ~(1 << agent_id)
+        return self.issue[agent_id]
+
+
+class _FixedPriorityKernel:
+    """Static daisy-chain baseline: highest pending identity wins."""
+
+    __slots__ = ("num_agents", "pending", "issue")
+
+    def __init__(self, num_agents: int) -> None:
+        self.num_agents = num_agents
+        self.pending = 0
+        self.issue = [0.0] * (num_agents + 1)
+
+    def request(self, agent_id: int, now: float) -> None:
+        self.pending |= 1 << agent_id
+        self.issue[agent_id] = now
+
+    def arbitrate(self) -> Tuple[int, int, int]:
+        pending = self.pending
+        return pending.bit_length() - 1, 1, pending
+
+    def grant(self, agent_id: int) -> float:
+        self.pending &= ~(1 << agent_id)
+        return self.issue[agent_id]
+
+
+_KERNELS = {
+    "rr": lambda n: _RoundRobinKernel(n, 1),
+    "rr-impl2": lambda n: _RoundRobinKernel(n, 2),
+    "rr-impl3": lambda n: _RoundRobinKernel(n, 3),
+    "fcfs": lambda n: _FcfsKernel(n, 1),
+    "fcfs-aincr": lambda n: _FcfsKernel(n, 2),
+    "fixed": lambda n: _FixedPriorityKernel(n),
+}
+
+
+def _mask_ids(mask: int) -> Tuple[int, ...]:
+    """Decode a pending bitmask into a sorted agent-id tuple."""
+    ids = []
+    while mask:
+        bit = mask & -mask
+        ids.append(bit.bit_length() - 1)
+        mask ^= bit
+    return tuple(ids)
+
+
+# ---------------------------------------------------------------------------
+# Capability gating
+# ---------------------------------------------------------------------------
+
+
+def batch_capable(
+    scenario: ScenarioSpec,
+    protocol: str,
+    settings: "SimulationSettings",
+) -> Tuple[bool, str]:
+    """Whether (scenario, protocol, settings) fits the batch engine.
+
+    Returns ``(capable, reason)``; ``reason`` names the first violated
+    restriction (empty when capable).  Callers that want transparent
+    behaviour fall back to the event-driven engine when not capable.
+    """
+    spec = get_spec(protocol)
+    if not spec.supports_batch or protocol not in _KERNELS:
+        return False, f"protocol {protocol!r} has no batch kernel"
+    for agent in scenario.agents:
+        if agent.open_loop:
+            return False, f"agent {agent.agent_id} is open-loop"
+        if agent.max_outstanding != 1:
+            return False, f"agent {agent.agent_id} has max_outstanding > 1"
+        if agent.priority_fraction > 0.0:
+            return False, f"agent {agent.agent_id} uses priority classing"
+    if settings.timing.clock_period > 0.0:
+        return False, "synchronous bus timing"
+    if settings.fault_plan is not None and len(settings.fault_plan):
+        return False, "fault injection enabled"
+    if settings.watchdog is not None:
+        return False, "watchdog attached"
+    if settings.max_events is not None:
+        return False, "max_events budget set"
+    return True, ""
+
+
+# ---------------------------------------------------------------------------
+# One replication's state machine
+# ---------------------------------------------------------------------------
+
+
+class _Replication:
+    """One replication's complete simulation state, calendar-free.
+
+    The only "events" the restricted domain can generate are the next
+    release, the next arbitration-complete, one pending kick and one
+    request timer per agent; each is a scalar timestamp (``inf`` when
+    absent).  Dispatch picks the earliest, breaking timestamp ties by
+    the calendar's priority order (release < arbitration-complete <
+    request < kick) and request-vs-request ties by insertion sequence —
+    exactly the event calendar's rule, since at one instant at most one
+    release / arbitration / kick can be pending.
+    """
+
+    __slots__ = (
+        "scenario",
+        "protocol",
+        "settings",
+        "num_agents",
+        "kernel",
+        "collector",
+        "sinks",
+        "memory",
+        "jsonl",
+        "metrics",
+        "txn",
+        "arbt",
+        "rngs",
+        "dists",
+        "buffers",
+        "now",
+        "t_rel",
+        "t_arb",
+        "t_kick",
+        "t_req",
+        "req_seq",
+        "seq",
+        "arb_winner",
+        "busy",
+        "pending_winner",
+        "master",
+        "master_issue",
+        "master_grant",
+        "busy_time",
+        "transactions",
+        "arb_index",
+        "done",
+        "np_treq",
+    )
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        protocol: str,
+        settings: "SimulationSettings",
+    ) -> None:
+        self.scenario = scenario
+        self.protocol = protocol
+        self.settings = settings
+        num_agents = scenario.num_agents
+        self.num_agents = num_agents
+        self.kernel = _KERNELS[protocol](num_agents)
+        self.collector = CompletionCollector(
+            batches=settings.batches,
+            batch_size=settings.batch_size,
+            warmup=settings.warmup,
+            keep_samples=settings.keep_samples,
+            keep_order=settings.keep_order,
+            keep_records=settings.keep_records,
+        )
+        self.memory = None
+        self.jsonl = None
+        self.metrics = None
+        sinks: list = []
+        telemetry = settings.telemetry
+        if telemetry is not None:
+            if telemetry.events:
+                self.memory = InMemorySink()
+                sinks.append(self.memory)
+            if telemetry.jsonl_path is not None:
+                self.jsonl = JsonlSink(telemetry.jsonl_path)
+                sinks.append(self.jsonl)
+            if telemetry.metrics:
+                self.metrics = MetricsRegistry()
+                sinks.append(MetricsSink(self.metrics))
+        self.sinks = tuple(sinks)
+        self.txn = settings.timing.transaction_time
+        self.arbt = settings.timing.arbitration_time
+
+        streams = RandomStreams(settings.seed)
+        self.rngs = [None] * (num_agents + 1)
+        self.dists = [None] * (num_agents + 1)
+        self.buffers: List[list] = [[] for _ in range(num_agents + 1)]
+        self.t_req = [_INF] * (num_agents + 1)
+        self.req_seq = [0] * (num_agents + 1)
+        self.seq = 0
+        # Start every agent with one think period, in declaration order —
+        # the same order BusSystem.run() starts them, so the streams and
+        # the request-timer tie-break sequence numbers line up.
+        for spec in scenario.agents:
+            agent = spec.agent_id
+            rng = streams.agent_stream(agent)
+            self.rngs[agent] = rng
+            self.dists[agent] = spec.interrequest
+            buffer = self.buffers[agent]
+            buffer.extend(spec.interrequest.sample_batch(rng, _THINK_BLOCK))
+            buffer.reverse()
+            self.t_req[agent] = 0.0 + buffer.pop()
+            self.seq += 1
+            self.req_seq[agent] = self.seq
+
+        self.now = 0.0
+        self.t_rel = _INF
+        self.t_arb = _INF
+        self.t_kick = _INF
+        self.arb_winner = 0
+        self.busy = False
+        self.pending_winner: Optional[int] = None
+        self.master = 0
+        self.master_issue = 0.0
+        self.master_grant = 0.0
+        self.busy_time = 0.0
+        self.transactions = 0
+        self.arb_index = 0
+        self.done = False
+        if _numpy_enabled(num_agents):
+            self.np_treq = _np.array(self.t_req, dtype=_np.float64)
+        else:
+            self.np_treq = None
+
+    # -- handlers (mirroring BusSystem one-for-one) -----------------------
+
+    def _schedule_kick(self, now: float) -> None:
+        if self.t_kick != _INF or self.t_arb != _INF or self.pending_winner is not None:
+            return
+        self.t_kick = now  # self-timed bus: end of the current instant
+
+    def _grant(self, agent_id: int, now: float) -> None:
+        self.pending_winner = None
+        self.master_issue = self.kernel.grant(agent_id)
+        self.busy = True
+        self.master = agent_id
+        self.master_grant = now
+        self.t_rel = now + self.txn
+        self._schedule_kick(now)
+
+    def _next_request(self) -> Tuple[float, int]:
+        """Earliest request timer, insertion order breaking time ties."""
+        t_req = self.t_req
+        if self.np_treq is not None:
+            tmin = float(self.np_treq.min())
+            if tmin == _INF:
+                return _INF, 0
+            candidates = _np.flatnonzero(self.np_treq == tmin)
+            if len(candidates) == 1:
+                return tmin, int(candidates[0])
+            req_seq = self.req_seq
+            agent = min((int(c) for c in candidates), key=req_seq.__getitem__)
+            return tmin, agent
+        req_seq = self.req_seq
+        best = 0
+        tmin = _INF
+        for agent in range(1, self.num_agents + 1):
+            t = t_req[agent]
+            if t < tmin or (t == tmin and t != _INF and req_seq[agent] < req_seq[best]):
+                tmin = t
+                best = agent
+        return tmin, best
+
+    def advance(self, completions: int) -> bool:
+        """Advance until ``completions`` more completions are recorded.
+
+        Returns ``False`` once the collector is satisfied (the
+        replication is finished), ``True`` while more work remains.
+
+        The loop body keeps the whole machine state in locals (written
+        back at every exit) and inlines the grant/kick handlers: this
+        is the sweep bottleneck, and attribute traffic dominates once
+        event objects are gone.
+        """
+        if self.done:
+            return False
+        collector = self.collector
+        record_completion = collector.record_completion
+        satisfied = collector.satisfied
+        kernel = self.kernel
+        kernel_request = kernel.request
+        kernel_grant = kernel.grant
+        t_req = self.t_req
+        req_seq = self.req_seq
+        np_treq = self.np_treq
+        buffers = self.buffers
+        dists = self.dists
+        rngs = self.rngs
+        metrics = self.metrics
+        sinks = self.sinks
+        txn = self.txn
+        arbt = self.arbt
+        num_agents = self.num_agents
+        agent_range = range(1, num_agents + 1)
+
+        t_rel = self.t_rel
+        t_arb = self.t_arb
+        t_kick = self.t_kick
+        seq = self.seq
+        arb_winner = self.arb_winner
+        busy = self.busy
+        pending_winner = self.pending_winner
+        master = self.master
+        master_issue = self.master_issue
+        master_grant = self.master_grant
+        busy_time = self.busy_time
+        transactions = self.transactions
+        arb_index = self.arb_index
+        now = self.now
+        recorded = 0
+        while True:
+            # earliest request timer, insertion order breaking time ties
+            if np_treq is None:
+                ra = 0
+                tr = _INF
+                for agent in agent_range:
+                    t = t_req[agent]
+                    if t < tr or (t == tr and t != _INF and req_seq[agent] < req_seq[ra]):
+                        tr = t
+                        ra = agent
+            else:
+                tr, ra = self._next_request()
+            tmin = t_rel
+            if t_arb < tmin:
+                tmin = t_arb
+            if tr < tmin:
+                tmin = tr
+            if t_kick < tmin:
+                tmin = t_kick
+            if tmin == _INF:
+                self.busy_time = busy_time
+                self.transactions = transactions
+                self.now = now
+                self._close_sinks()
+                raise SimulationError(
+                    "simulation drained its event calendar before the collector "
+                    "was satisfied; the scenario generates too few requests"
+                )
+            now = tmin
+            if t_rel == tmin:  # RELEASE — ends the master's tenure
+                agent = master
+                issue = master_issue
+                t_rel = _INF
+                busy = False
+                busy_time += txn
+                transactions += 1
+                record_completion(agent, issue, master_grant, now)
+                if metrics is not None:
+                    metrics.counter("completions").increment()
+                    metrics.histogram(f"wait.agent.{agent}", WAIT_BUCKETS).observe(
+                        now - issue
+                    )
+                # Closed loop: the agent draws its next think period now.
+                buffer = buffers[agent]
+                if not buffer:
+                    buffer.extend(dists[agent].sample_batch(rngs[agent], _THINK_BLOCK))
+                    buffer.reverse()
+                t_next = now + buffer.pop()
+                t_req[agent] = t_next
+                if np_treq is not None:
+                    np_treq[agent] = t_next
+                seq += 1
+                req_seq[agent] = seq
+                recorded += 1
+                if satisfied():
+                    # The event engine's post-event effects (inline grant
+                    # of a pending winner, a same-instant kick) never run
+                    # another event after the stop rule fires, so they
+                    # are unobservable; the run ends here.
+                    self.busy_time = busy_time
+                    self.transactions = transactions
+                    self.seq = seq
+                    self.arb_index = arb_index
+                    self.now = now
+                    self.done = True
+                    self._close_sinks()
+                    return False
+                if pending_winner is not None:
+                    # inline grant of the already-arbitrated next master
+                    master_issue = kernel_grant(pending_winner)
+                    busy = True
+                    master = pending_winner
+                    pending_winner = None
+                    master_grant = now
+                    t_rel = now + txn
+                    if t_kick == _INF and t_arb == _INF:
+                        t_kick = now
+                elif t_kick == _INF and t_arb == _INF:
+                    t_kick = now
+                if recorded >= completions:
+                    break
+            elif t_arb == tmin:  # ARBITRATION-COMPLETE — the lines settled
+                t_arb = _INF
+                if busy:
+                    pending_winner = arb_winner
+                else:  # idle self-timed bus: hand over immediately
+                    master_issue = kernel_grant(arb_winner)
+                    busy = True
+                    master = arb_winner
+                    pending_winner = None
+                    master_grant = now
+                    t_rel = now + txn
+                    if t_kick == _INF:
+                        t_kick = now
+            elif tr == tmin:  # REQUEST — an agent asserts its line
+                t_req[ra] = _INF
+                if np_treq is not None:
+                    np_treq[ra] = _INF
+                kernel_request(ra, now)
+                if t_kick == _INF and t_arb == _INF and pending_winner is None:
+                    t_kick = now
+            else:  # ARB_KICK — competitor snapshot at instant's end
+                t_kick = _INF
+                if t_arb == _INF and pending_winner is None and kernel.pending:
+                    winner, rounds, competitors = kernel.arbitrate()
+                    settle = arbt * rounds
+                    if sinks:
+                        event = ArbitrationEvent(
+                            index=arb_index,
+                            time=now,
+                            competitors=_mask_ids(competitors),
+                            winner=winner,
+                            rounds=rounds,
+                            settle_time=settle,
+                        )
+                        arb_index += 1
+                        for sink in sinks:
+                            sink.emit(event)
+                    arb_winner = winner
+                    t_arb = now + settle
+
+        self.t_rel = t_rel
+        self.t_arb = t_arb
+        self.t_kick = t_kick
+        self.seq = seq
+        self.arb_winner = arb_winner
+        self.busy = busy
+        self.pending_winner = pending_winner
+        self.master = master
+        self.master_issue = master_issue
+        self.master_grant = master_grant
+        self.busy_time = busy_time
+        self.transactions = transactions
+        self.arb_index = arb_index
+        self.now = now
+        return True
+
+    def _close_sinks(self) -> None:
+        if self.jsonl is not None:
+            self.jsonl.close()
+            self.jsonl = None
+
+    def result(self) -> RunResult:
+        utilization = self.busy_time / self.now if self.now > 0.0 else 0.0
+        return RunResult(
+            scenario=self.scenario,
+            protocol=self.protocol,
+            collector=self.collector,
+            utilization=utilization,
+            elapsed=self.now,
+            seed=self.settings.seed,
+            confidence=self.settings.confidence,
+            events=self.memory.events if self.memory is not None else None,
+            metrics=self.metrics,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def _require_capable(
+    scenario: ScenarioSpec, protocol: str, settings: "SimulationSettings"
+) -> None:
+    capable, reason = batch_capable(scenario, protocol, settings)
+    if not capable:
+        raise ConfigurationError(
+            f"batch engine cannot run {protocol!r} on scenario "
+            f"{scenario.name!r}: {reason}"
+        )
+
+
+def run_simulation_batch(
+    scenario: ScenarioSpec,
+    protocol: str,
+    settings: "SimulationSettings",
+) -> RunResult:
+    """Run one (scenario, protocol) cell on the batch engine.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the cell is
+    outside the batch domain; use :func:`batch_capable` first (or go
+    through :func:`repro.experiments.runner.run_simulation`, which falls
+    back to the event engine transparently).
+    """
+    _require_capable(scenario, protocol, settings)
+    replication = _Replication(scenario, protocol, settings)
+    try:
+        while replication.advance(_LOCKSTEP_BLOCK):
+            pass
+    finally:
+        replication._close_sinks()
+    return replication.result()
+
+
+def run_replications(
+    scenario: ScenarioSpec,
+    protocol: str,
+    settings: "SimulationSettings",
+    seeds: Sequence[int],
+) -> List[RunResult]:
+    """Run R replications of one cell in lockstep, one per seed.
+
+    Each replication gets a deep copy of the scenario (stateful trace
+    distributions must not be shared) and ``settings`` with its seed
+    replaced; results are returned in ``seeds`` order and are identical
+    to R independent :func:`run_simulation` calls.
+    """
+    _require_capable(scenario, protocol, settings)
+    telemetry = settings.telemetry
+    if telemetry is not None and telemetry.jsonl_path is not None and len(seeds) > 1:
+        raise ConfigurationError(
+            "run_replications cannot share one telemetry jsonl_path across "
+            f"{len(seeds)} replications; run them individually"
+        )
+    replications = [
+        _Replication(copy.deepcopy(scenario), protocol, replace(settings, seed=seed))
+        for seed in seeds
+    ]
+    live = list(replications)
+    try:
+        while live:
+            live = [rep for rep in live if rep.advance(_LOCKSTEP_BLOCK)]
+    finally:
+        for rep in replications:
+            rep._close_sinks()
+    return [rep.result() for rep in replications]

@@ -53,7 +53,11 @@ __all__ = ["CACHE_EPOCH", "cache_key", "ResultCache", "default_cache_dir"]
 #: Epoch 3: fault injection + watchdog (new settings fields in the key).
 #: Epoch 4: observability layer (telemetry block in the key; RunResult
 #: grew events/metrics payloads).
-CACHE_EPOCH = 4
+#: Epoch 5: lockstep batch engine (the engine selector joins the key —
+#: engines are contractually identical, but a cached payload must name
+#: the execution path that produced it so differential checks can
+#: exercise both).
+CACHE_EPOCH = 5
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -95,6 +99,7 @@ def _describe_settings(settings: SimulationSettings) -> list:
         settings.fault_plan.spec_key() if settings.fault_plan is not None else None,
         settings.watchdog.spec_key() if settings.watchdog is not None else None,
         settings.telemetry.spec_key() if settings.telemetry is not None else None,
+        settings.engine,
     ]
 
 

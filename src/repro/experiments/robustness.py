@@ -240,6 +240,7 @@ def run(
     seed: int = DEFAULT_SEED,
     executor: Optional[SweepExecutor] = None,
     telemetry: Optional[TelemetrySettings] = None,
+    engine: str = "event",
 ) -> Tuple[ExperimentTable, ...]:
     """The full robustness grid: one panel per protocol.
 
@@ -247,11 +248,16 @@ def run(
     executor, so it caches and parallelises like any cell) and anchors
     that panel's order-deviation and fairness columns.  ``telemetry``
     is threaded into every fault cell (see :func:`panel_spec`).
+
+    ``engine`` selects the execution engine for the fault-free
+    baselines — the grid's replication-heavy, batch-eligible cells.
+    Fault cells always need the event engine (the batch domain excludes
+    injection) and fall back transparently.
     """
     executor = executor or SweepExecutor()
     scale = scale or current_scale()
     scenario = equal_load(NUM_AGENTS, LOAD)
-    baseline_settings = settings_for(scale, seed, keep_order=True)
+    baseline_settings = settings_for(scale, seed, keep_order=True, engine=engine)
     tables = []
     for protocol in protocols:
         baseline = executor.simulate(scenario, protocol, baseline_settings)

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.bus.model import BusSystem
 from repro.bus.timing import BusTiming
+from repro.errors import ConfigurationError
 from repro.bus.watchdog import BusWatchdog, WatchdogPolicy
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -58,6 +59,14 @@ class SimulationSettings:
     accumulated metrics, or a JSONL trace file.  ``None`` (the
     default) leaves the bus with no sink at all, so every experiment
     output stays byte-identical with telemetry off.
+
+    ``engine`` selects the execution engine: ``"event"`` (the general
+    event-driven simulator) or ``"batch"`` (the lockstep replication
+    engine of :mod:`repro.engine.batch`).  The batch engine produces
+    bit-identical results on its supported domain and is a pure
+    performance choice; cells outside that domain (faults, watchdog,
+    synchronous timing, priority classes, open loops, protocols without
+    a batch kernel) transparently fall back to the event engine.
     """
 
     batches: int = 10
@@ -73,6 +82,13 @@ class SimulationSettings:
     fault_plan: Optional[FaultPlan] = None
     watchdog: Optional[WatchdogPolicy] = None
     telemetry: Optional[TelemetrySettings] = None
+    engine: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("event", "batch"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose 'event' or 'batch'"
+            )
 
 
 def run_simulation(
@@ -93,6 +109,13 @@ def run_simulation(
     """
     if settings is None:
         settings = SimulationSettings()
+    if settings.engine == "batch":
+        # Local import: the batch engine imports RunResult/registry and
+        # would cycle with this module at import time.
+        from repro.engine.batch import batch_capable, run_simulation_batch
+
+        if batch_capable(scenario, protocol, settings)[0]:
+            return run_simulation_batch(scenario, protocol, settings)
     needed_capacity = max(spec.max_outstanding for spec in scenario.agents)
     arbiter = make_arbiter(protocol, scenario.num_agents, needed_capacity)
     injector: Optional[FaultInjector] = None

@@ -25,13 +25,20 @@ protocol comparisons depend on):
 from __future__ import annotations
 
 import copy
+import json
 import os
 from concurrent.futures import BrokenExecutor, CancelledError, Future, ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.batch import batch_capable, run_replications
 from repro.errors import ConfigurationError, SweepExecutionError
-from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.cache import (
+    ResultCache,
+    _describe_scenario,
+    _describe_settings,
+    cache_key,
+)
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.observability.metrics import MetricsRegistry, merge_metrics
 from repro.stats.summary import RunResult
@@ -131,6 +138,10 @@ class SweepStats:
     retries: int = 0
     #: Per-cell diagnostics for cells whose retry failed too.
     failures: List[CellFailure] = field(default_factory=list)
+    #: Lockstep batch-engine groups executed, and the replications
+    #: (cells) they covered.
+    batch_groups: int = 0
+    batch_replications: int = 0
 
     def snapshot(self) -> "SweepStats":
         return SweepStats(
@@ -140,6 +151,8 @@ class SweepStats:
             self.serial_batches,
             self.retries,
             list(self.failures),
+            self.batch_groups,
+            self.batch_replications,
         )
 
 
@@ -157,21 +170,40 @@ class SweepExecutor:
     cache:
         Optional :class:`ResultCache`.  When set, every cell is looked
         up before execution and every executed cell is stored after.
+    engine:
+        Optional engine override applied to every cell's settings (the
+        CLI's ``--engine`` reaches experiment grids that build their
+        settings internally this way).  ``None`` leaves each cell's own
+        declaration alone.  The override participates in cache keys —
+        it rewrites the settings before lookup — and cells outside the
+        batch domain still fall back to the event engine per cell.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        engine: Optional[str] = None,
     ) -> None:
+        if engine is not None and engine not in ("event", "batch"):
+            raise ConfigurationError(
+                f"engine must be 'event' or 'batch', got {engine!r}"
+            )
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.engine = engine
         self.stats = SweepStats()
 
     # -- public API -----------------------------------------------------------
 
+    def _with_engine(self, cell: SweepCell) -> SweepCell:
+        if self.engine is None or cell.settings.engine == self.engine:
+            return cell
+        return replace(cell, settings=replace(cell.settings, engine=self.engine))
+
     def run(self, cells: Sequence[SweepCell]) -> List[RunResult]:
         """Execute (or replay) every cell; results in cell order."""
+        cells = [self._with_engine(cell) for cell in cells]
         results: List[Optional[RunResult]] = [None] * len(cells)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(cells)
@@ -186,6 +218,8 @@ class SweepExecutor:
                     continue
             pending.append(index)
 
+        if pending:
+            pending = self._run_batch_groups(cells, pending, results, keys)
         if pending:
             fresh = self._execute([cells[i] for i in pending])
             for index, result in zip(pending, fresh):
@@ -219,6 +253,71 @@ class SweepExecutor:
         return merge_metrics(result.metrics for result in results)
 
     # -- execution backends ---------------------------------------------------
+
+    def _run_batch_groups(
+        self,
+        cells: Sequence[SweepCell],
+        pending: List[int],
+        results: List[Optional[RunResult]],
+        keys: List[Optional[str]],
+    ) -> List[int]:
+        """Run batch-engine replication groups; returns leftover indices.
+
+        Pending cells that request ``engine="batch"``, fit the batch
+        domain and differ only in their seed are grouped and advanced in
+        lockstep via :func:`repro.engine.batch.run_replications` — the
+        replication-heavy shape of the robustness grid's fault-free
+        baselines and batch-means confidence sweeps.  Everything else
+        (and any group the batch engine rejects at runtime) flows back
+        to the ordinary per-cell backends, whose retry machinery is the
+        single place failures are diagnosed.
+        """
+        groups: Dict[str, List[int]] = {}
+        rest: List[int] = []
+        for index in pending:
+            cell = cells[index]
+            settings = cell.settings
+            telemetry = settings.telemetry
+            if (
+                settings.engine != "batch"
+                or (telemetry is not None and telemetry.jsonl_path is not None)
+                or not batch_capable(cell.scenario, cell.protocol, settings)[0]
+            ):
+                rest.append(index)
+                continue
+            group_key = json.dumps(
+                [
+                    cell.protocol,
+                    _describe_scenario(cell.scenario),
+                    _describe_settings(replace(settings, seed=0)),
+                ],
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            groups.setdefault(group_key, []).append(index)
+        for indices in groups.values():
+            first = cells[indices[0]]
+            seeds = [cells[i].settings.seed for i in indices]
+            try:
+                fresh = run_replications(
+                    first.scenario, first.protocol, first.settings, seeds
+                )
+            except Exception:
+                # Degrade the whole group to the per-cell path; its
+                # retry/diagnostic machinery reports real errors.
+                rest.extend(indices)
+                continue
+            self.stats.batch_groups += 1
+            self.stats.batch_replications += len(indices)
+            self.stats.executed += len(indices)
+            for index, result in zip(indices, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    key = keys[index]
+                    assert key is not None
+                    self.cache.put(key, result)
+        rest.sort()
+        return rest
 
     def _execute(self, cells: Sequence[SweepCell]) -> List[RunResult]:
         if self.jobs > 1 and len(cells) > 1:

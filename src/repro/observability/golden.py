@@ -53,6 +53,11 @@ class GoldenScenario:
     warmup: int = 10
     #: Why this particular cell is worth pinning.
     rationale: str = ""
+    #: Execution engine the trace pins ("event" or "batch").  The batch
+    #: engine is contractually bit-identical on its domain, so a batch
+    #: golden equals its event twin — pinning both means a divergence
+    #: names the engine that moved.
+    engine: str = "event"
 
 
 #: The pinned grid: one RR implementation per §3.1 flavour, one FCFS
@@ -89,6 +94,50 @@ GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
         load=2.0,
         rationale="fixed priority: the starvation baseline of Table 4.1",
     ),
+    # Batch-engine twins: one per batch-capable protocol, same seed and
+    # workload as the event goldens so any divergence is the engine's.
+    "batch-rr": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        rationale="batch engine, RR implementation 1",
+    ),
+    "batch-rr-impl2": GoldenScenario(
+        protocol="rr-impl2",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        rationale="batch engine, RR implementation 2 (no event twin: pins it)",
+    ),
+    "batch-rr-impl3": GoldenScenario(
+        protocol="rr-impl3",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        rationale="batch engine, RR implementation 3 extra-round passes",
+    ),
+    "batch-fcfs": GoldenScenario(
+        protocol="fcfs",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        rationale="batch engine, FCFS strategy 1 loss counting",
+    ),
+    "batch-fcfs-aincr": GoldenScenario(
+        protocol="fcfs-aincr",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        rationale="batch engine, FCFS strategy 2 arrival ticks",
+    ),
+    "batch-fixed": GoldenScenario(
+        protocol="fixed",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        rationale="batch engine, fixed-priority baseline",
+    ),
 }
 
 
@@ -124,6 +173,7 @@ def golden_trace_lines(name: str) -> List[str]:
         warmup=golden.warmup,
         seed=GOLDEN_SEED,
         telemetry=TelemetrySettings(events=True),
+        engine=golden.engine,
     )
     result = run_simulation(scenario, golden.protocol, settings)
     assert result.events is not None

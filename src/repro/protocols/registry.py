@@ -133,6 +133,11 @@ class ProtocolSpec:
         faults (dropped winner broadcasts where a winner register is
         replicated, counter upsets where waiting-time counters exist).
         Empty for ad-hoc specs: fault plans are refused at config time.
+    supports_batch:
+        Whether the lockstep batch engine (:mod:`repro.engine.batch`)
+        has an exact kernel for the protocol.  Only the paper's core
+        closed-loop protocols qualify; everything else transparently
+        falls back to the event-driven engine.
     """
 
     name: str
@@ -144,6 +149,7 @@ class ProtocolSpec:
     number_width: Optional[WidthFn] = None
     common_random_numbers: bool = True
     injectable_faults: FrozenSet[FaultKind] = field(default_factory=frozenset)
+    supports_batch: bool = False
 
     def check_outstanding(self, max_outstanding: int) -> None:
         """Reject a per-agent capacity the protocol cannot serve."""
@@ -320,6 +326,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=1,
         number_width=_width_rr,
         injectable_faults=BUS_LEVEL_FAULTS,
+        supports_batch=True,
     ),
     ProtocolSpec(
         name="rr-impl2",
@@ -329,6 +336,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=1,
         number_width=_width_rr,
         injectable_faults=BUS_LEVEL_FAULTS,
+        supports_batch=True,
     ),
     ProtocolSpec(
         name="rr-impl3",
@@ -338,6 +346,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=0,
         number_width=_width_rr,
         injectable_faults=BUS_LEVEL_FAULTS,
+        supports_batch=True,
     ),
     # the frozen-pointer amendment studied in extension Table E4
     ProtocolSpec(
@@ -358,6 +367,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=0,
         number_width=_width_fcfs,
         injectable_faults=BUS_LEVEL_FAULTS,
+        supports_batch=True,
     ),
     ProtocolSpec(
         name="fcfs-aincr",
@@ -368,6 +378,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=1,
         number_width=_width_fcfs,
         injectable_faults=BUS_LEVEL_FAULTS,
+        supports_batch=True,
     ),
     # §5 future-work extensions
     ProtocolSpec(
@@ -397,6 +408,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         extra_lines=0,
         number_width=_width_static_plus_priority,
         injectable_faults=BUS_LEVEL_FAULTS,
+        supports_batch=True,
     ),
     ProtocolSpec(
         name="aap1",

@@ -1,0 +1,236 @@
+"""Cross-engine differential conformance: batch vs event-driven engine.
+
+The lockstep batch engine (:mod:`repro.engine.batch`) promises *bit
+identity* with the event-driven engine on its supported domain: same
+winner sequences, same :class:`ArbitrationEvent` streams byte for byte,
+same collector statistics, same floating-point timestamps.  Two engines
+that must agree are a far stronger oracle than one engine that must
+agree with itself — a bug in either's ordering rule, RNG consumption or
+accounting shows up here as a concrete first divergence.
+
+The suite checks the contract three ways:
+
+- a fixed grid of every batch-capable protocol across several seeds,
+  comparing every observable of the two runs exactly;
+- hypothesis-generated cells (agent count, per-agent load, CV — CV=0
+  makes simultaneous requests the norm, stressing the tie-break rule —
+  protocol, seed) with the same exact comparison;
+- the integration seams: ``run_simulation``'s transparent dispatch and
+  fallback, the sweep executor's lockstep grouping, and the numpy
+  fast-path toggle.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.engine.batch import HAVE_NUMPY, batch_capable, run_replications
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.observability.events import TelemetrySettings
+from repro.protocols.registry import get_spec, protocol_names
+from repro.workload.scenarios import equal_load
+
+#: Every protocol whose registry spec declares a batch kernel.
+BATCH_PROTOCOLS = tuple(
+    name for name in protocol_names() if get_spec(name).supports_batch
+)
+
+SEEDS = (11, 29, 47, 83, 131)
+
+SETTINGS = SimulationSettings(
+    batches=2,
+    batch_size=80,
+    warmup=10,
+    keep_order=True,
+    keep_records=True,
+    telemetry=TelemetrySettings(events=True, metrics=True),
+)
+
+
+def _assert_identical(event_result, batch_result):
+    """Every observable of the two runs must match exactly."""
+    ev, bt = event_result, batch_result
+    assert ev.collector.completion_order == bt.collector.completion_order
+    assert [r for r in ev.collector.records] == [r for r in bt.collector.records]
+    assert ev.events is not None and bt.events is not None
+    assert [e.to_json() for e in ev.events] == [e.to_json() for e in bt.events]
+    assert ev.elapsed == bt.elapsed
+    assert ev.utilization == bt.utilization
+    assert ev.collector.agent_totals == bt.collector.agent_totals
+    for a, b in zip(ev.collector.batch_stats, bt.collector.batch_stats):
+        assert a.count == b.count
+        assert a.start_time == b.start_time
+        assert a.end_time == b.end_time
+        assert a.sum_waiting == b.sum_waiting
+        assert a.sum_waiting_sq == b.sum_waiting_sq
+        assert a.sum_queueing == b.sum_queueing
+        assert a.agent_counts == b.agent_counts
+    assert ev.metrics == bt.metrics
+
+
+def _both_engines(scenario_factory, protocol, settings):
+    event_result = run_simulation(scenario_factory(), protocol, settings)
+    batch_result = run_simulation(
+        scenario_factory(), protocol, replace(settings, engine="batch")
+    )
+    return event_result, batch_result
+
+
+def test_batch_capable_protocol_set_is_the_expected_six():
+    assert sorted(BATCH_PROTOCOLS) == [
+        "fcfs", "fcfs-aincr", "fixed", "rr", "rr-impl2", "rr-impl3",
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+def test_engines_identical_on_fixed_grid(protocol, seed):
+    settings = replace(SETTINGS, seed=seed)
+    ev, bt = _both_engines(lambda: equal_load(4, 2.0), protocol, settings)
+    _assert_identical(ev, bt)
+
+
+@pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+def test_engines_identical_under_deterministic_arrivals(protocol):
+    # CV=0: every agent requests on a rigid clock, so simultaneous
+    # requests (and therefore insertion-order tie-breaks) dominate.
+    settings = replace(SETTINGS, seed=5)
+    ev, bt = _both_engines(lambda: equal_load(6, 3.0, cv=0.0), protocol, settings)
+    _assert_identical(ev, bt)
+
+
+@hyp_settings(max_examples=40, deadline=None)
+@given(
+    agents=st.integers(min_value=2, max_value=8),
+    per_agent_load=st.sampled_from([0.1, 0.35, 0.6, 0.9, 1.0]),
+    cv=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+    protocol=st.sampled_from(BATCH_PROTOCOLS),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_engines_identical_on_generated_cells(agents, per_agent_load, cv, protocol, seed):
+    settings = SimulationSettings(
+        batches=2,
+        batch_size=40,
+        warmup=5,
+        seed=seed,
+        keep_order=True,
+        telemetry=TelemetrySettings(events=True),
+    )
+    make = lambda: equal_load(agents, per_agent_load * agents, cv=cv)  # noqa: E731
+    ev, bt = _both_engines(make, protocol, settings)
+    assert ev.collector.completion_order == bt.collector.completion_order
+    assert [e.to_json() for e in ev.events] == [e.to_json() for e in bt.events]
+    assert ev.elapsed == bt.elapsed
+    assert ev.utilization == bt.utilization
+
+
+def test_run_replications_matches_independent_runs():
+    scenario = equal_load(5, 2.5)
+    settings = replace(SETTINGS, seed=0)
+    seeds = list(SEEDS)
+    grouped = run_replications(scenario, "rr", settings, seeds)
+    for seed, batch_result in zip(seeds, grouped):
+        event_result = run_simulation(
+            equal_load(5, 2.5), "rr", replace(settings, seed=seed)
+        )
+        assert batch_result.seed == seed
+        _assert_identical(event_result, batch_result)
+
+
+def test_unsupported_cells_fall_back_to_event_engine():
+    # A protocol without a batch kernel: engine="batch" must degrade to
+    # the event engine and produce its exact results.
+    settings = SimulationSettings(batches=2, batch_size=50, warmup=5, seed=3,
+                                  keep_order=True)
+    capable, reason = batch_capable(equal_load(4, 2.0), "aap1", settings)
+    assert not capable and "kernel" in reason
+    ev = run_simulation(equal_load(4, 2.0), "aap1", settings)
+    bt = run_simulation(equal_load(4, 2.0), "aap1", replace(settings, engine="batch"))
+    assert ev.collector.completion_order == bt.collector.completion_order
+    assert ev.elapsed == bt.elapsed
+
+
+def test_sweep_executor_groups_batch_cells():
+    cells = [
+        SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed, engine="batch"))
+        for seed in SEEDS
+    ]
+    executor = SweepExecutor(jobs=1)
+    grouped = executor.run(cells)
+    assert executor.stats.batch_groups == 1
+    assert executor.stats.batch_replications == len(SEEDS)
+    assert executor.stats.executed == len(SEEDS)
+    for seed, result in zip(SEEDS, grouped):
+        reference = run_simulation(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed))
+        _assert_identical(reference, result)
+
+
+def test_executor_engine_override_reaches_declared_event_cells():
+    # The CLI's --engine batch lands on SweepExecutor(engine=...): cells
+    # declaring the default event engine are rewritten and grouped, and
+    # still produce the event engine's exact results.
+    cells = [
+        SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed))
+        for seed in SEEDS
+    ]
+    executor = SweepExecutor(jobs=1, engine="batch")
+    grouped = executor.run(cells)
+    assert executor.stats.batch_groups == 1
+    assert executor.stats.batch_replications == len(SEEDS)
+    for seed, result in zip(SEEDS, grouped):
+        reference = run_simulation(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed))
+        _assert_identical(reference, result)
+
+
+def test_executor_rejects_unknown_engine():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        SweepExecutor(engine="warp")
+
+
+def test_sweep_executor_leaves_event_cells_alone():
+    cells = [SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=s)) for s in (1, 2)]
+    executor = SweepExecutor(jobs=1)
+    executor.run(cells)
+    assert executor.stats.batch_groups == 0
+    assert executor.stats.executed == 2
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_numpy_fast_path_identical_on_wide_bus(monkeypatch):
+    settings = SimulationSettings(batches=2, batch_size=100, warmup=10, seed=9,
+                                  keep_order=True)
+    reference = run_simulation(equal_load(40, 8.0), "rr", settings)
+    monkeypatch.setenv("REPRO_BATCH_NUMPY", "1")
+    forced_on = run_simulation(
+        equal_load(40, 8.0), "rr", replace(settings, engine="batch")
+    )
+    monkeypatch.setenv("REPRO_BATCH_NUMPY", "0")
+    forced_off = run_simulation(
+        equal_load(40, 8.0), "rr", replace(settings, engine="batch")
+    )
+    assert reference.collector.completion_order == forced_on.collector.completion_order
+    assert reference.collector.completion_order == forced_off.collector.completion_order
+    assert reference.elapsed == forced_on.elapsed == forced_off.elapsed
+    assert reference.utilization == forced_on.utilization == forced_off.utilization
+
+
+def test_batch_goldens_equal_their_event_twins():
+    # The golden grid pins both engines on the same cells; the batch
+    # file must be byte-identical to the event file where both exist.
+    from repro.observability.golden import golden_trace_lines
+
+    for name in ("rr", "rr-impl3", "fcfs", "fcfs-aincr", "fixed"):
+        assert golden_trace_lines(name) == golden_trace_lines(f"batch-{name}")
+
+
+@pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+def test_spec_flag_agrees_with_kernel_table(protocol):
+    from repro.engine.batch import _KERNELS
+
+    assert protocol in _KERNELS
+    assert set(_KERNELS) == set(BATCH_PROTOCOLS)

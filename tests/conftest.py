@@ -1,7 +1,10 @@
 """Pytest configuration: make tests/_utils importable and seed hypothesis."""
 
 import os
+import random
 import sys
+
+import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
@@ -14,3 +17,23 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+#: Environment knob for the test-order-independence audit.  When set to
+#: an integer, the collected test items are shuffled with that seed
+#: (stdlib only — no pytest-randomly dependency), so CI can prove no
+#: test leans on a module-level singleton another test happened to
+#: initialise first.  Unset (the default) leaves file order untouched.
+_SHUFFLE_ENV = "REPRO_TEST_SHUFFLE"
+
+
+def pytest_collection_modifyitems(config, items):
+    raw = os.environ.get(_SHUFFLE_ENV)
+    if not raw:
+        return
+    try:
+        seed = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"${_SHUFFLE_ENV} must be an integer seed, got {raw!r}"
+        )
+    random.Random(seed).shuffle(items)

@@ -1,0 +1,118 @@
+"""Branch-coverage backfill for the analytical models.
+
+The main analysis suites validate the models against the paper's tables
+and the simulator; this file pins the edges those tests skip — the
+remaining validation branches, parameter-scaling invariances, and the
+limits the closed forms must respect.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.batching import (
+    aap1_extreme_ratio,
+    aap1_miss_probabilities,
+    aap1_relative_throughputs,
+)
+from repro.analysis.mva import mva_closed_bus
+from repro.analysis.saturation import (
+    saturated_cycle_time,
+    saturated_mean_waiting,
+    saturated_per_agent_throughput,
+)
+from repro.errors import ConfigurationError
+from repro.workload.distributions import Exponential
+
+
+class TestMVAEdges:
+    def test_negative_arbitration_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mva_closed_bus(5, 1.0, arbitration_time=-0.1)
+
+    def test_zero_arbitration_single_agent_is_pure_service(self):
+        # No arbitration exposure, one agent: W is exactly one service.
+        result = mva_closed_bus(1, mean_think_time=4.0, arbitration_time=0.0)
+        assert result.mean_waiting == pytest.approx(1.0)
+        assert result.throughput == pytest.approx(1.0 / 5.0)
+        assert result.utilization == pytest.approx(result.throughput)
+
+    def test_zero_think_time_allowed_and_saturates(self):
+        result = mva_closed_bus(8, mean_think_time=0.0)
+        assert result.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_transaction_time_scales_waiting(self):
+        # Doubling S and R̄ together doubles W and halves X.
+        unit = mva_closed_bus(6, mean_think_time=2.0, arbitration_time=0.0)
+        scaled = mva_closed_bus(
+            6, mean_think_time=4.0, transaction_time=2.0, arbitration_time=0.0
+        )
+        assert scaled.mean_waiting == pytest.approx(2.0 * unit.mean_waiting)
+        assert scaled.throughput == pytest.approx(unit.throughput / 2.0)
+        assert scaled.mean_queue == pytest.approx(unit.mean_queue)
+
+    def test_result_is_frozen(self):
+        result = mva_closed_bus(4, mean_think_time=1.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.throughput = 0.0
+
+
+class TestSaturationEdges:
+    def test_nonpositive_transaction_time_rejected_everywhere(self):
+        with pytest.raises(ConfigurationError):
+            saturated_cycle_time(4, transaction_time=0.0)
+        with pytest.raises(ConfigurationError):
+            saturated_mean_waiting(4, 1.0, transaction_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            saturated_per_agent_throughput(4, transaction_time=0.0)
+
+    def test_per_agent_throughput_validates_population(self):
+        with pytest.raises(ConfigurationError):
+            saturated_per_agent_throughput(0)
+
+    def test_cycle_time_and_throughput_are_reciprocal(self):
+        for n in (1, 4, 30):
+            for s in (0.5, 1.0, 2.0):
+                assert saturated_cycle_time(n, s) * saturated_per_agent_throughput(
+                    n, s
+                ) == pytest.approx(1.0)
+
+    def test_waiting_scales_with_transaction_time(self):
+        # 10 agents, R̄ = 6 at S = 2: W = 10·2 − 6 = 14.
+        assert saturated_mean_waiting(10, 6.0, transaction_time=2.0) == 14.0
+
+
+class TestAAP1Edges:
+    def test_long_thinks_restore_fairness(self):
+        # With thinks far longer than a batch, everyone misses alike:
+        # every q → 1 and the extreme ratio collapses toward 1.
+        ratio = aap1_extreme_ratio(8, Exponential(500.0))
+        assert ratio == pytest.approx(1.0, abs=0.02)
+        q = aap1_miss_probabilities(8, Exponential(500.0))
+        assert all(value > 0.98 for value in q.values())
+
+    def test_extreme_ratio_bounded_by_factor_two(self):
+        for think_mean in (0.1, 1.0, 3.0, 10.0):
+            ratio = aap1_extreme_ratio(16, Exponential(think_mean))
+            assert 1.0 <= ratio <= 2.0 + 1e-9
+
+    def test_scale_invariance_in_transaction_time(self):
+        # Scaling think times and the transaction time together leaves
+        # the (dimensionless) miss probabilities unchanged.
+        unit = aap1_miss_probabilities(12, Exponential(2.0))
+        scaled = aap1_miss_probabilities(
+            12, Exponential(6.0), transaction_time=3.0
+        )
+        for agent_id in unit:
+            assert scaled[agent_id] == pytest.approx(unit[agent_id])
+
+    def test_relative_throughputs_validate_like_miss_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            aap1_relative_throughputs(1, Exponential(3.0))
+        with pytest.raises(ConfigurationError):
+            aap1_extreme_ratio(8, Exponential(3.0), transaction_time=-1.0)
+
+    def test_two_agents_minimal_population(self):
+        shares = aap1_relative_throughputs(2, Exponential(1.0))
+        assert shares[2] == pytest.approx(1.0)
+        assert 0.5 - 1e-9 <= shares[1] <= 1.0

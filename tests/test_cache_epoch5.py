@@ -1,0 +1,104 @@
+"""Regression tests for cache epoch 5: the engine joins the key.
+
+Epoch 5 accompanies the lockstep batch engine: the ``engine`` selector
+becomes part of the content-addressed key, and the epoch bump retires
+every pre-batch entry without touching its bytes.  These tests pin the
+three behaviours the bump must preserve:
+
+- entries written under an older epoch are *ignored* (clean miss, file
+  left intact) — never replayed, never quarantined;
+- the ``.corrupt`` quarantine path still fires on unreadable bytes;
+- the engine field separates keys for otherwise-identical cells, while
+  the two engines' payloads stay interchangeable (they are contractually
+  bit-identical on the batch domain).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.experiments.cache as cache_module
+from repro.experiments.cache import CACHE_EPOCH, ResultCache, cache_key
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.workload.scenarios import equal_load
+
+SETTINGS = SimulationSettings(batches=2, batch_size=50, warmup=5, seed=21)
+
+
+def _scenario():
+    return equal_load(4, 1.5)
+
+
+def _fingerprint(result):
+    return (
+        result.elapsed,
+        result.utilization,
+        result.system_throughput().mean,
+        result.mean_waiting().mean,
+    )
+
+
+def test_epoch_is_five():
+    assert CACHE_EPOCH == 5
+
+
+def test_engine_field_participates_in_the_key():
+    scenario = _scenario()
+    event_key = cache_key(scenario, "rr", SETTINGS)
+    batch_key = cache_key(scenario, "rr", replace(SETTINGS, engine="batch"))
+    assert event_key != batch_key
+
+
+def test_old_epoch_entries_are_ignored_not_corrupted(tmp_path, monkeypatch):
+    scenario = _scenario()
+    result = run_simulation(scenario, "rr", SETTINGS)
+    # Store the result under the previous epoch's key...
+    monkeypatch.setattr(cache_module, "CACHE_EPOCH", CACHE_EPOCH - 1)
+    old_key = cache_key(scenario, "rr", SETTINGS)
+    cache = ResultCache(tmp_path)
+    cache.put(old_key, result)
+    monkeypatch.undo()
+    # ...then look the same cell up under the current epoch: a clean
+    # miss, with the stale file untouched (not deleted, not quarantined).
+    new_key = cache_key(scenario, "rr", SETTINGS)
+    assert new_key != old_key
+    assert cache.get(new_key) is None
+    assert cache.quarantined == 0
+    stale = tmp_path / f"{old_key}.pkl"
+    assert stale.exists()
+    assert not (tmp_path / f"{old_key}.corrupt").exists()
+    # The stale entry is still readable under its own key — the bump
+    # retired it, nothing mangled it.
+    assert _fingerprint(cache.get(old_key)) == _fingerprint(result)
+
+
+def test_corrupt_quarantine_still_fires_after_the_bump(tmp_path):
+    scenario = _scenario()
+    cache = ResultCache(tmp_path)
+    key = cache_key(scenario, "rr", SETTINGS)
+    cache.put(key, run_simulation(scenario, "rr", SETTINGS))
+    (tmp_path / f"{key}.pkl").write_bytes(b"epoch-5 garbage")
+    with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+        assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert (tmp_path / f"{key}.corrupt").read_bytes() == b"epoch-5 garbage"
+
+
+def test_same_cell_different_engine_different_key_identical_payload(tmp_path):
+    scenario = _scenario()
+    cache = ResultCache(tmp_path)
+    event_settings = SETTINGS
+    batch_settings = replace(SETTINGS, engine="batch")
+    event_key = cache_key(scenario, "rr", event_settings)
+    batch_key = cache_key(scenario, "rr", batch_settings)
+    cache.put(event_key, run_simulation(_scenario(), "rr", event_settings))
+    cache.put(batch_key, run_simulation(_scenario(), "rr", batch_settings))
+    assert len(cache) == 2
+    event_cached = cache.get(event_key)
+    batch_cached = cache.get(batch_key)
+    assert event_cached is not None and batch_cached is not None
+    # Distinct keys, but the engines' payloads are bit-identical.
+    assert _fingerprint(event_cached) == _fingerprint(batch_cached)
+    assert (
+        event_cached.collector.agent_totals == batch_cached.collector.agent_totals
+    )
