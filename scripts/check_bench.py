@@ -1,25 +1,40 @@
 #!/usr/bin/env python
-"""CI bench guard: fail when a median drifts past 1.5× the baseline.
+"""CI bench guard: median drift plus the grid-wide speedup gate.
 
-Runs the engine micro-benchmarks fresh (to a throwaway file — the
-committed ``BENCH_engine.json`` is never overwritten here) and compares
-every median against the committed baseline with a generous 50%
-tolerance.  The committed file is a developer-machine snapshot and CI
-runners are slower and noisier, so the guard is deliberately coarse: it
-exists to catch order-of-magnitude regressions (an accidentally
-quadratic loop, a lost fast path), not single-digit drift — that is
-what ``scripts/run_benchmarks.py --compare`` at its default tolerance
-is for, on quiet hardware.
+Runs the engine benchmarks fresh (to a throwaway file — the committed
+``BENCH_engine.json`` is never overwritten here) and applies two
+checks:
+
+1. **Median drift** — every median is compared against the committed
+   baseline with a generous 50% tolerance.  The committed file is a
+   developer-machine snapshot and CI runners are slower and noisier, so
+   this check is deliberately coarse: it exists to catch
+   order-of-magnitude regressions (an accidentally quadratic loop, a
+   lost fast path), not single-digit drift — that is what
+   ``scripts/run_benchmarks.py --compare`` at its default tolerance is
+   for, on quiet hardware.
+
+2. **Grid speedup** — the recorded baseline must demonstrate at least
+   ``--grid-speedup`` (default 10x) end-to-end over the full
+   peak-contention grid, and the fresh run must stay above that bar
+   scaled by the drift tolerance (so 5x at the default 50%).  The
+   ratio is machine-relative, so the fresh check mostly absorbs runner
+   noise; the exact >= 10x bar is enforced where timing is reliable —
+   on the recorded baseline, and by
+   ``benchmarks/test_grid_batch.py::test_grid_batch_speedup_gate``
+   with its interleaved min-of-k discipline.
 
 Usage::
 
     python scripts/check_bench.py [--baseline BENCH_engine.json]
                                   [--tolerance 0.5]
+                                  [--grid-speedup 10.0]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
@@ -27,6 +42,40 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from run_benchmarks import DEFAULT_OUT, compare, condense, run_microbench
+
+
+def check_grid_speedup(summary: dict, baseline: dict, gate: float, tolerance: float) -> int:
+    """Gate the end-to-end grid speedup at the recorded baseline."""
+    status = 0
+    recorded = baseline.get("grid_speedup")
+    if recorded is None:
+        print("  grid speedup: baseline records none  <-- REGRESSION")
+        status = 1
+    elif recorded < gate:
+        print(
+            f"  grid speedup: baseline records {recorded:.2f}x "
+            f"(gate >= {gate:.1f}x)  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(f"  grid speedup: baseline records {recorded:.2f}x (gate >= {gate:.1f}x)")
+    fresh = summary.get("grid_speedup")
+    floor = gate * (1.0 - tolerance)
+    if fresh is None:
+        print("  grid speedup (fresh): missing grid benchmarks  <-- REGRESSION")
+        status = 1
+    elif fresh < floor:
+        print(
+            f"  grid speedup (fresh): {fresh:.2f}x "
+            f"(floor {floor:.1f}x at {tolerance:.0%} tolerance)  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  grid speedup (fresh): {fresh:.2f}x "
+            f"(floor {floor:.1f}x at {tolerance:.0%} tolerance)"
+        )
+    return status
 
 
 def main() -> int:
@@ -43,6 +92,12 @@ def main() -> int:
         default=0.5,
         help="allowed fractional median slowdown (default 0.5, i.e. 1.5x)",
     )
+    parser.add_argument(
+        "--grid-speedup",
+        type=float,
+        default=10.0,
+        help="required end-to-end grid speedup at the recorded baseline",
+    )
     args = parser.parse_args()
 
     if not args.baseline.exists():
@@ -56,7 +111,12 @@ def main() -> int:
         f"bench guard: comparing against {args.baseline} "
         f"(tolerance {args.tolerance:.0%})"
     )
-    return compare(summary, args.baseline, args.tolerance)
+    status = compare(summary, args.baseline, args.tolerance)
+    baseline_doc = json.loads(args.baseline.read_text(encoding="utf-8"))
+    grid_status = check_grid_speedup(
+        summary, baseline_doc, args.grid_speedup, args.tolerance
+    )
+    return status or grid_status
 
 
 if __name__ == "__main__":

@@ -28,7 +28,17 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = ROOT / "BENCH_engine.json"
-BENCH_FILE = "benchmarks/test_engine_microbench.py"
+BENCH_FILES = [
+    "benchmarks/test_engine_microbench.py",
+    "benchmarks/test_grid_batch.py",
+]
+#: Backwards-compatible alias (pre-grid callers imported the scalar).
+BENCH_FILE = BENCH_FILES[0]
+
+#: The grid benchmark pair whose median ratio is the recorded grid
+#: speedup; ``check_bench.py`` gates on it.
+GRID_EVENT = "test_grid_pass_event_engine"
+GRID_BATCH = "test_grid_pass_batch_lanes"
 
 
 def run_microbench(raw_path: Path) -> dict:
@@ -37,7 +47,7 @@ def run_microbench(raw_path: Path) -> dict:
         sys.executable,
         "-m",
         "pytest",
-        BENCH_FILE,
+        *BENCH_FILES,
         "--benchmark-only",
         f"--benchmark-json={raw_path}",
         "-q",
@@ -48,6 +58,25 @@ def run_microbench(raw_path: Path) -> dict:
     )
     subprocess.run(command, cwd=ROOT, env=env, check=True)
     return json.loads(raw_path.read_text(encoding="utf-8"))
+
+
+def engine_metadata() -> dict:
+    """Record the lane-engine environment the timings were taken in.
+
+    Speedups are only comparable like-for-like: a baseline recorded
+    with the numpy timer path forced on (or without numpy installed at
+    all) describes a different engine configuration, so the snapshot
+    carries enough to tell.
+    """
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.engine.batch import HAVE_NUMPY, LANE_WIDTH, _numpy_enabled
+
+    return {
+        "numpy_available": HAVE_NUMPY,
+        "numpy_forced": bool(_numpy_enabled(2)),
+        "repro_batch_numpy": os.environ.get("REPRO_BATCH_NUMPY"),
+        "lane_width": LANE_WIDTH,
+    }
 
 
 def condense(raw: dict) -> dict:
@@ -61,17 +90,33 @@ def condense(raw: dict) -> dict:
             "stddev_us": round(stats["stddev"] * 1e6, 3),
             "rounds": stats["rounds"],
         }
-    return {
-        "source": BENCH_FILE,
+    summary = {
+        "source": BENCH_FILES,
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "engine": engine_metadata(),
         "benchmarks": benchmarks,
     }
+    grid_event = benchmarks.get(GRID_EVENT)
+    grid_batch = benchmarks.get(GRID_BATCH)
+    if grid_event and grid_batch:
+        summary["grid_speedup"] = round(
+            grid_event["median_us"] / grid_batch["median_us"], 2
+        )
+    return summary
 
 
 def compare(current: dict, baseline_path: Path, tolerance: float) -> int:
     """Report median deltas vs a baseline; non-zero on regression."""
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))["benchmarks"]
+    baseline_doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    baseline = baseline_doc["benchmarks"]
+    baseline_engine = baseline_doc.get("engine")
+    if baseline_engine is not None and baseline_engine != current.get("engine"):
+        print(
+            "  note: engine environment differs from baseline "
+            f"(baseline {baseline_engine}, current {current.get('engine')}); "
+            "medians are not like-for-like"
+        )
     status = 0
     for name, entry in sorted(current["benchmarks"].items()):
         reference = baseline.get(name)

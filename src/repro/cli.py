@@ -151,11 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine",
         choices=("event", "batch"),
-        default="event",
+        default=None,
         help=(
-            "execution engine: the general event-driven simulator, or the "
-            "lockstep batch engine (bit-identical results on its supported "
-            "domain; unsupported cells fall back to 'event' transparently)"
+            "execution engine override: 'batch' (the lockstep lane engine, "
+            "the library default inside its conformance-verified domain) or "
+            "'event' (the general event-driven simulator).  Omitted, every "
+            "cell keeps its own declaration; either choice overrides all "
+            "cells, and cells outside the batch domain fall back to 'event' "
+            "transparently"
         ),
     )
     parser.add_argument("--list-protocols", action=_ListProtocolsAction)
@@ -280,11 +283,28 @@ def _make_executor(args) -> SweepExecutor:
     cache = None
     if args.cache or args.cache_dir:
         cache = ResultCache(args.cache_dir)
-    # Only a non-default request overrides cell settings: experiment
-    # grids declare engine="event" themselves, and --engine batch must
-    # reach the grids that build their settings internally.
-    engine = args.engine if args.engine != "event" else None
-    return SweepExecutor(jobs=args.jobs, cache=cache, engine=engine)
+    # None = respect each cell's own engine declaration; an explicit
+    # --engine (either value) overrides every cell, reaching the grids
+    # that build their settings internally.
+    return SweepExecutor(jobs=args.jobs, cache=cache, engine=args.engine)
+
+
+def _run_settings(args, scale, **extra) -> SimulationSettings:
+    """Ad-hoc run settings for the run/compare/trace/metrics commands.
+
+    Without ``--engine`` the settings keep the library default (the
+    batch engine, falling back outside its verified domain); an
+    explicit choice is passed through as an override.
+    """
+    if args.engine is not None:
+        extra["engine"] = args.engine
+    return SimulationSettings(
+        batches=scale.batches,
+        batch_size=scale.batch_size,
+        warmup=scale.warmup,
+        seed=args.seed,
+        **extra,
+    )
 
 
 def _emit_tables(module, scale, seed, executor) -> None:
@@ -297,13 +317,7 @@ def _run_compare(args, scale) -> None:
     from repro.errors import StatisticsError
 
     scenario = equal_load(args.agents, args.load, cv=args.cv)
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=args.seed,
-        engine=args.engine,
-    )
+    settings = _run_settings(args, scale)
     print(f"scenario: {scenario.notes}  (seed {args.seed}, scale {scale.name})")
     print(
         f"{'protocol':14s} {'λ':>6s} {'mean W':>14s} {'std W':>14s} "
@@ -331,13 +345,8 @@ def _run_trace(args, scale) -> None:
     bytes the golden-trace suite pins down.
     """
     scenario = equal_load(args.agents, args.load, cv=args.cv)
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=args.seed,
-        telemetry=TelemetrySettings(events=True, jsonl_path=args.out),
-        engine=args.engine,
+    settings = _run_settings(
+        args, scale, telemetry=TelemetrySettings(events=True, jsonl_path=args.out)
     )
     result = run_simulation(scenario, args.protocol, settings)
     if args.out != "-":
@@ -348,14 +357,7 @@ def _run_trace(args, scale) -> None:
 def _run_metrics(args, scale) -> None:
     """``metrics``: one run's telemetry counters and histograms."""
     scenario = equal_load(args.agents, args.load, cv=args.cv)
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=args.seed,
-        telemetry=TelemetrySettings(metrics=True),
-        engine=args.engine,
-    )
+    settings = _run_settings(args, scale, telemetry=TelemetrySettings(metrics=True))
     result = run_simulation(scenario, args.protocol, settings)
     print(
         f"protocol {args.protocol} on {scenario.name} "
@@ -382,13 +384,7 @@ def _summarise_fault_metrics(table) -> Optional[str]:
 
 def _run_single(args, scale) -> None:
     scenario = equal_load(args.agents, args.load, cv=args.cv)
-    settings = SimulationSettings(
-        batches=scale.batches,
-        batch_size=scale.batch_size,
-        warmup=scale.warmup,
-        seed=args.seed,
-        engine=args.engine,
-    )
+    settings = _run_settings(args, scale)
     result = run_simulation(scenario, args.protocol, settings)
     print(f"protocol          : {args.protocol}")
     print(f"scenario          : {scenario.name}")
@@ -439,7 +435,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 executor=_make_executor(args),
                 telemetry=telemetry,
-                engine=args.engine,
+                engine=args.engine or "batch",
             )
             for panel in tables:
                 print(panel.render())

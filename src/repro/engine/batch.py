@@ -1,43 +1,59 @@
-"""Lockstep batch-replication engine.
+"""Lockstep heterogeneous-lane batch engine.
 
 The event-driven engine (:mod:`repro.engine.simulator` driving
 :class:`~repro.bus.model.BusSystem`) is fully general: it handles
-synchronous clocking, priority classes, open-loop sources, fault
-injection and the watchdog.  But the paper's *core* experiments —
-closed-loop agents on a self-timed bus, no faults — have a rigidly
-cyclic structure: request → arbitration rounds → tenure → release,
-repeat.  For that restricted (and dominant) domain this module provides
-a calendar-free engine that advances R independent replications of one
-experiment cell in lockstep, amortising the Python interpreter overhead
-that dominates replication-heavy sweeps (robustness grids, batch-means
-confidence intervals).
+synchronous clocking, priority classes, open-loop sources, arbitrary
+fault hooks and the watchdog.  But the paper's experiments — closed-loop
+agents on a self-timed bus — have a rigidly cyclic structure: request →
+arbitration rounds → tenure → release, repeat.  For that restricted
+(and dominant) domain this module provides a calendar-free engine that
+advances many independent *lanes* in lockstep, amortising the Python
+interpreter overhead that dominates grid-shaped sweeps.
 
-Instead of a heap of :class:`~repro.engine.calendar.Event` objects, each
-replication keeps a handful of scalar timers (pending release, pending
-arbitration-complete, pending kick) plus flat per-agent arrays (next
-request time, tie-break sequence, think-time buffers, FCFS counters) —
-struct-of-arrays state with no per-event allocation.  Protocol kernels
-operate on integer bitmasks of pending requesters, exploiting that every
-batch-capable protocol resolves its arbitration with a pure max over
-per-agent keys (the wired-OR maximum-finding of §2).
+A lane is one (scenario, protocol, settings) cell.  Unlike the first
+batch engine, lanes are *heterogeneous*: one super-batch may mix bus
+sizes (a ragged n=2 lane next to an n=32 lane), request rates, seeds and
+protocol variants.  Each lane keeps padded struct-of-arrays state sized
+to its own agent count — flat per-agent arrays (next-request timers,
+think-time buffers, FCFS counters, activity masks) plus a handful of
+scalar timers — and its protocol kernel resolves arbitrations on integer
+bitmasks of pending requesters (the wired-OR maximum-finding of §2).
+:func:`run_lanes` groups lanes by kernel family so each lockstep pass
+runs one kernel implementation over every lane of that family.
+
+Faults are in-domain.  Injected bus-level faults and watchdog recovery
+are modelled as two additional timer classes on the collapsed calendar:
+``t_retry`` (the watchdog's backed-off re-arbitration) and ``t_fault``
+(the plan's next agent dropout / hot re-insertion), turning the original
+four-way min dispatch (release, arbitration-complete, request, kick)
+into a six-way one.  Line glitches and stuck-at windows never become
+timers: as in the event engine they perturb the arbitration numbers the
+kernel exposes via ``arbitrate_keys`` while the wired-OR settles, which
+is why only protocols whose registry spec sets ``supports_batch_faults``
+admit fault plans here.
 
 Correctness contract
 --------------------
-For every batch-capable protocol the engine reproduces the event-driven
+For every batch-capable cell the engine reproduces the event-driven
 engine *exactly*: identical winner sequences, identical
 :class:`~repro.observability.events.ArbitrationEvent` streams, identical
 collector statistics and identical floating-point timestamps, given the
 same seed.  This holds because the dispatch loop replays the calendar's
 ordering rule — (time, priority, insertion sequence) with RELEASE <
-ARBITRATION < REQUEST < ARB_KICK — and every timestamp is computed by
-the same floating-point expression (``now + delay``) the event engine
-uses.  The cross-engine differential suite
-(``tests/conformance/test_differential_engines.py``) and the batch
-golden traces enforce the contract.
+ARBITRATION < REQUEST < ARB_KICK = WATCHDOG-RETRY < FAULT — and every
+timestamp is computed by the same floating-point expression
+(``now + delay``) the event engine uses.  The cross-engine differential
+suite (``tests/conformance/test_differential_engines.py``) and the
+golden traces (including the fault-domain twins) enforce the contract.
 
-An optional numpy fast path accelerates the next-request-timer scan on
-wide buses; it is feature-detected (runtime dependencies stay empty) and
-can be forced on or off with ``REPRO_BATCH_NUMPY=1`` / ``=0``.
+Request timers live in a per-lane heap: every agent owns at most one
+think timer at a time, so the heap holds at most n entries and its
+(time, sequence) tuple order is exactly the calendar's request-vs-
+request tie-break.  A vectorised numpy timer scan is retained behind
+``REPRO_BATCH_NUMPY=1`` (feature-detected; runtime dependencies stay
+empty), but it is off by default at every bus width: measured on
+CPython, one ``np.min`` + ``np.flatnonzero`` round trip per dispatch
+costs more than the heap's cached peek even at 64 agents.
 """
 
 from __future__ import annotations
@@ -45,13 +61,17 @@ from __future__ import annotations
 import copy
 import os
 from dataclasses import replace
+from heapq import heapify, heappop, heappush
 from math import inf as _INF
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.bus.agent import _THINK_BLOCK
-from repro.core.base import identity_bits
+from repro.bus.watchdog import BusWatchdog
+from repro.core.base import ArbitrationOutcome, identity_bits
 from repro.engine.rng import RandomStreams
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import BUS_LEVEL_FAULTS, FaultEvent, FaultKind
 from repro.observability.events import ArbitrationEvent
 from repro.observability.metrics import WAIT_BUCKETS, MetricsRegistry, MetricsSink
 from repro.observability.sinks import InMemorySink, JsonlSink
@@ -65,7 +85,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "HAVE_NUMPY",
+    "LANE_WIDTH",
     "batch_capable",
+    "kernel_family",
+    "run_lanes",
     "run_simulation_batch",
     "run_replications",
 ]
@@ -78,24 +101,30 @@ except ImportError:  # pragma: no cover - depends on the environment
     _np = None
     HAVE_NUMPY = False
 
-#: Agent count at which the numpy timer scan starts paying for itself
-#: (below this, the pure-Python scan over a short list wins).
-_NUMPY_MIN_AGENTS = 32
 
-#: Completions each live replication advances per lockstep round.  Large
-#: enough to amortise the round-robin over replications, small enough
-#: that all replications stay within one round of each other.
+#: Completions each live lane advances per lockstep round.  Large enough
+#: to amortise the round-robin over lanes, small enough that all lanes
+#: of a super-batch stay within one round of each other.  Recorded in
+#: benchmark metadata as the lane width.
 _LOCKSTEP_BLOCK = 64
+
+#: Public alias of the lockstep block, for benchmark environment records.
+LANE_WIDTH = _LOCKSTEP_BLOCK
 
 
 def _numpy_enabled(num_agents: int) -> bool:
-    """Decide the timer-scan implementation for one replication."""
+    """Decide the timer-scan implementation for one lane.
+
+    The timer heap wins at every bus width on CPython (its peek is a
+    cached local; the numpy scan pays an array round trip per
+    dispatch), so the vector path only runs when explicitly forced —
+    kept alive, and differentially tested, for interpreters where the
+    trade-off flips.
+    """
     forced = os.environ.get("REPRO_BATCH_NUMPY")
-    if forced is not None:
-        if forced.strip().lower() in ("1", "true", "yes", "on"):
-            return HAVE_NUMPY
-        return False
-    return HAVE_NUMPY and num_agents >= _NUMPY_MIN_AGENTS
+    if forced is not None and forced.strip().lower() in ("1", "true", "yes", "on"):
+        return HAVE_NUMPY
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -107,7 +136,26 @@ def _numpy_enabled(num_agents: int) -> bool:
 # start at 1, so bit 0 is always clear — the paper reserves identity 0).
 # Every batch-capable arbiter's ``release`` is a no-op and its grant
 # simply drops the winner's (single) outstanding request, so kernels
-# only need ``request`` / ``arbitrate`` / ``grant``.
+# only need ``request`` / ``arbitrate`` / ``grant`` — plus
+# ``arbitrate_keys``, the fault-domain variant that also returns the
+# per-agent arbitration numbers the event arbiter would put on the
+# lines, which is the surface the fault injector perturbs.
+
+
+def _identity_keys(mask: int) -> Dict[int, int]:
+    """Key map ``{agent: agent}`` over a competitor bitmask.
+
+    The batch domain excludes priority classing, so every protocol whose
+    event arbiter applies ``(flag << k) | id`` with a constant-zero flag
+    puts the bare identity on the lines.
+    """
+    keys = {}
+    while mask:
+        bit = mask & -mask
+        agent = bit.bit_length() - 1
+        mask ^= bit
+        keys[agent] = agent
+    return keys
 
 
 class _RoundRobinKernel:
@@ -120,11 +168,12 @@ class _RoundRobinKernel:
     computation here.
     """
 
-    __slots__ = ("num_agents", "impl", "pending", "last_winner", "issue")
+    __slots__ = ("num_agents", "impl", "bits", "pending", "last_winner", "issue")
 
     def __init__(self, num_agents: int, impl: int) -> None:
         self.num_agents = num_agents
         self.impl = impl
+        self.bits = identity_bits(num_agents)
         self.pending = 0
         # Implementation 3 starts with the fictitious identity N+1 so the
         # very first pass already sees a non-empty "low" set.
@@ -154,6 +203,44 @@ class _RoundRobinKernel:
             winner = competitors.bit_length() - 1
         self.last_winner = winner
         return winner, rounds, competitors
+
+    def arbitrate_keys(self) -> Tuple[int, int, int, Dict[int, int]]:
+        """:meth:`arbitrate`, also returning the applied key map.
+
+        Implementation 1 puts every pending agent on the lines with its
+        round-robin bit (set exactly for the "low" set); 2 and 3 gate
+        competitors through the low-request line first, so only bare
+        identities compete.  State updates are identical to
+        :meth:`arbitrate` — an anomalous (never granted) pass still
+        advances ``last_winner``, as the event arbiter's does.
+        """
+        pending = self.pending
+        last = self.last_winner
+        low = pending & ((1 << last) - 1)
+        rounds = 1
+        if self.impl == 1:
+            competitors = pending
+            winner = (low or pending).bit_length() - 1
+            high = 1 << self.bits
+            keys = {}
+            mask = pending
+            while mask:
+                bit = mask & -mask
+                agent = bit.bit_length() - 1
+                mask ^= bit
+                keys[agent] = (high | agent) if agent < last else agent
+        else:
+            if self.impl == 2:
+                competitors = low or pending
+            elif low:
+                competitors = low
+            else:
+                competitors = pending
+                rounds = 2
+            winner = competitors.bit_length() - 1
+            keys = _identity_keys(competitors)
+        self.last_winner = winner
+        return winner, rounds, competitors, keys
 
     def grant(self, agent_id: int) -> float:
         self.pending &= ~(1 << agent_id)
@@ -208,6 +295,10 @@ class _FcfsKernel:
             self.rtick[agent_id] = self.tick
 
     def arbitrate(self) -> Tuple[int, int, int]:
+        # The fault-free hot path: one bit-scan, no key map.  Strategy
+        # 1 ages every competitor in the same pass and un-ages the
+        # winner afterwards — value-identical to snapshotting keys
+        # first and incrementing only the losers, and one loop cheaper.
         pending = self.pending
         bits = self.bits
         modulus = self.modulus
@@ -220,7 +311,47 @@ class _FcfsKernel:
                 bit = mask & -mask
                 agent = bit.bit_length() - 1
                 mask ^= bit
+                aged = counter[agent]
+                counter[agent] = aged + 1
+                key = ((aged % modulus) << bits) | agent
+                if key > best_key:
+                    best_key = key
+                    winner = agent
+            counter[winner] -= 1
+        else:
+            tick = self.tick
+            rtick = self.rtick
+            while mask:
+                bit = mask & -mask
+                agent = bit.bit_length() - 1
+                mask ^= bit
+                key = (((tick - rtick[agent]) % modulus) << bits) | agent
+                if key > best_key:
+                    best_key = key
+                    winner = agent
+        return winner, 1, pending
+
+    def arbitrate_keys(self) -> Tuple[int, int, int, Dict[int, int]]:
+        """:meth:`arbitrate`, also returning the applied key map.
+
+        Keys are snapshotted *before* strategy 1's loser increments, as
+        on the real lines; an anomalous pass still ages the losers.
+        """
+        pending = self.pending
+        bits = self.bits
+        modulus = self.modulus
+        keys: Dict[int, int] = {}
+        best_key = -1
+        winner = 0
+        mask = pending
+        if self.strategy == 1:
+            counter = self.counter
+            while mask:
+                bit = mask & -mask
+                agent = bit.bit_length() - 1
+                mask ^= bit
                 key = ((counter[agent] % modulus) << bits) | agent
+                keys[agent] = key
                 if key > best_key:
                     best_key = key
                     winner = agent
@@ -238,10 +369,11 @@ class _FcfsKernel:
                 agent = bit.bit_length() - 1
                 mask ^= bit
                 key = (((tick - rtick[agent]) % modulus) << bits) | agent
+                keys[agent] = key
                 if key > best_key:
                     best_key = key
                     winner = agent
-        return winner, 1, pending
+        return winner, 1, pending, keys
 
     def grant(self, agent_id: int) -> float:
         self.pending &= ~(1 << agent_id)
@@ -266,6 +398,15 @@ class _FixedPriorityKernel:
         pending = self.pending
         return pending.bit_length() - 1, 1, pending
 
+    def arbitrate_keys(self) -> Tuple[int, int, int, Dict[int, int]]:
+        """:meth:`arbitrate`, also returning the applied key map.
+
+        Without priority classing (guaranteed on the batch domain) the
+        urgent bit is constant zero, so bare identities compete.
+        """
+        pending = self.pending
+        return pending.bit_length() - 1, 1, pending, _identity_keys(pending)
+
     def grant(self, agent_id: int) -> float:
         self.pending &= ~(1 << agent_id)
         return self.issue[agent_id]
@@ -279,6 +420,23 @@ _KERNELS = {
     "fcfs-aincr": lambda n: _FcfsKernel(n, 2),
     "fixed": lambda n: _FixedPriorityKernel(n),
 }
+
+#: Kernel implementation family of each batch protocol.  A super-batch
+#: advances its lanes family by family, so one lockstep pass runs one
+#: kernel class over every lane of that family.
+_KERNEL_FAMILY = {
+    "rr": "rr",
+    "rr-impl2": "rr",
+    "rr-impl3": "rr",
+    "fcfs": "fcfs",
+    "fcfs-aincr": "fcfs",
+    "fixed": "fixed",
+}
+
+
+def kernel_family(protocol: str) -> str:
+    """Kernel family a batch protocol's lanes are grouped under."""
+    return _KERNEL_FAMILY[protocol]
 
 
 def _mask_ids(mask: int) -> Tuple[int, ...]:
@@ -306,6 +464,11 @@ def batch_capable(
     Returns ``(capable, reason)``; ``reason`` names the first violated
     restriction (empty when capable).  Callers that want transparent
     behaviour fall back to the event-driven engine when not capable.
+
+    Fault plans are in-domain when the protocol's spec declares
+    ``supports_batch_faults`` and every planned kind is a bus-level
+    fault the spec admits; a watchdog policy alone (no plan) is always
+    in-domain, since clean runs never consult it.
     """
     spec = get_spec(protocol)
     if not spec.supports_batch or protocol not in _KERNELS:
@@ -319,31 +482,39 @@ def batch_capable(
             return False, f"agent {agent.agent_id} uses priority classing"
     if settings.timing.clock_period > 0.0:
         return False, "synchronous bus timing"
-    if settings.fault_plan is not None and len(settings.fault_plan):
-        return False, "fault injection enabled"
-    if settings.watchdog is not None:
-        return False, "watchdog attached"
+    plan = settings.fault_plan
+    if plan is not None and len(plan):
+        if not spec.supports_batch_faults:
+            return False, f"protocol {protocol!r} has no fault-domain batch kernel"
+        outside = plan.kinds() - (spec.injectable_faults & BUS_LEVEL_FAULTS)
+        if outside:
+            names = ", ".join(sorted(kind.value for kind in outside))
+            return False, f"fault kind(s) {names} are outside the batch domain"
     if settings.max_events is not None:
         return False, "max_events budget set"
     return True, ""
 
 
 # ---------------------------------------------------------------------------
-# One replication's state machine
+# One lane's state machine
 # ---------------------------------------------------------------------------
 
 
 class _Replication:
-    """One replication's complete simulation state, calendar-free.
+    """One lane's complete simulation state, calendar-free.
 
     The only "events" the restricted domain can generate are the next
-    release, the next arbitration-complete, one pending kick and one
-    request timer per agent; each is a scalar timestamp (``inf`` when
-    absent).  Dispatch picks the earliest, breaking timestamp ties by
-    the calendar's priority order (release < arbitration-complete <
-    request < kick) and request-vs-request ties by insertion sequence —
-    exactly the event calendar's rule, since at one instant at most one
-    release / arbitration / kick can be pending.
+    release, the next arbitration-complete, one pending kick, one
+    request timer per agent and — with faults in-domain — one pending
+    watchdog retry plus the plan's next point fault; each is a scalar
+    timestamp (``inf`` when absent).  Dispatch picks the earliest,
+    breaking timestamp ties by the calendar's priority order (release <
+    arbitration-complete < request < kick = watchdog-retry < fault) and
+    request-vs-request ties by insertion sequence — exactly the event
+    calendar's rule, since at one instant at most one release /
+    arbitration / kick / retry can be pending and a retry never
+    coexists with a kick (the event model blocks kick scheduling for
+    the whole recovery episode).
     """
 
     __slots__ = (
@@ -366,8 +537,11 @@ class _Replication:
         "t_rel",
         "t_arb",
         "t_kick",
+        "t_retry",
+        "t_fault",
         "t_req",
         "req_seq",
+        "req_heap",
         "seq",
         "arb_winner",
         "busy",
@@ -380,6 +554,12 @@ class _Replication:
         "arb_index",
         "done",
         "np_treq",
+        "active",
+        "woke",
+        "injector",
+        "watchdog",
+        "fault_actions",
+        "fault_idx",
     )
 
     def __init__(
@@ -421,13 +601,49 @@ class _Replication:
         self.txn = settings.timing.transaction_time
         self.arbt = settings.timing.arbitration_time
 
+        # Fault wiring, mirroring run_simulation's event path: a
+        # non-empty plan implies a watchdog (settings.watchdog overrides
+        # its policy); a policy alone still attaches one.
+        plan = settings.fault_plan
+        injector: Optional[FaultInjector] = None
+        watchdog: Optional[BusWatchdog] = None
+        if plan is not None and len(plan):
+            injector = FaultInjector(plan)
+            watchdog = BusWatchdog(settings.watchdog)
+        elif settings.watchdog is not None:
+            watchdog = BusWatchdog(settings.watchdog)
+        if watchdog is not None:
+            watchdog.bind(self.collector)
+        self.injector = injector
+        self.watchdog = watchdog
+        # The plan's point faults, as a time-sorted action list replacing
+        # the calendar events FaultInjector.attach would schedule: one
+        # (time, is_drop, event) pair per dropout window.  The stable
+        # sort preserves the plan's scheduling order for equal times —
+        # the calendar's insertion-sequence rule at equal priority.
+        actions: List[Tuple[float, bool, FaultEvent]] = []
+        if injector is not None:
+            for fevent in plan.events:
+                if fevent.kind is FaultKind.AGENT_DROPOUT:
+                    actions.append((max(0.0, fevent.time), True, fevent))
+                    actions.append((max(0.0, fevent.end_time), False, fevent))
+            actions.sort(key=lambda entry: entry[0])
+        self.fault_actions = actions
+        self.fault_idx = 0
+        self.t_fault = actions[0][0] if actions else _INF
+        self.t_retry = _INF
+
         streams = RandomStreams(settings.seed)
         self.rngs = [None] * (num_agents + 1)
         self.dists = [None] * (num_agents + 1)
         self.buffers: List[list] = [[] for _ in range(num_agents + 1)]
+        self.active = [True] * (num_agents + 1)
+        self.woke = [False] * (num_agents + 1)
         self.t_req = [_INF] * (num_agents + 1)
         self.req_seq = [0] * (num_agents + 1)
         self.seq = 0
+        use_numpy = _numpy_enabled(num_agents)
+        heap: Optional[list] = None if use_numpy else []
         # Start every agent with one think period, in declaration order —
         # the same order BusSystem.run() starts them, so the streams and
         # the request-timer tie-break sequence numbers line up.
@@ -439,9 +655,16 @@ class _Replication:
             buffer = self.buffers[agent]
             buffer.extend(spec.interrequest.sample_batch(rng, _THINK_BLOCK))
             buffer.reverse()
-            self.t_req[agent] = 0.0 + buffer.pop()
+            t_first = 0.0 + buffer.pop()
             self.seq += 1
-            self.req_seq[agent] = self.seq
+            if heap is None:
+                self.t_req[agent] = t_first
+                self.req_seq[agent] = self.seq
+            else:
+                heap.append((t_first, self.seq, agent))
+        if heap is not None:
+            heapify(heap)
+        self.req_heap = heap
 
         self.now = 0.0
         self.t_rel = _INF
@@ -457,55 +680,29 @@ class _Replication:
         self.transactions = 0
         self.arb_index = 0
         self.done = False
-        if _numpy_enabled(num_agents):
+        if use_numpy:
             self.np_treq = _np.array(self.t_req, dtype=_np.float64)
         else:
             self.np_treq = None
 
-    # -- handlers (mirroring BusSystem one-for-one) -----------------------
-
-    def _schedule_kick(self, now: float) -> None:
-        if self.t_kick != _INF or self.t_arb != _INF or self.pending_winner is not None:
-            return
-        self.t_kick = now  # self-timed bus: end of the current instant
-
-    def _grant(self, agent_id: int, now: float) -> None:
-        self.pending_winner = None
-        self.master_issue = self.kernel.grant(agent_id)
-        self.busy = True
-        self.master = agent_id
-        self.master_grant = now
-        self.t_rel = now + self.txn
-        self._schedule_kick(now)
-
     def _next_request(self) -> Tuple[float, int]:
-        """Earliest request timer, insertion order breaking time ties."""
-        t_req = self.t_req
-        if self.np_treq is not None:
-            tmin = float(self.np_treq.min())
-            if tmin == _INF:
-                return _INF, 0
-            candidates = _np.flatnonzero(self.np_treq == tmin)
-            if len(candidates) == 1:
-                return tmin, int(candidates[0])
-            req_seq = self.req_seq
-            agent = min((int(c) for c in candidates), key=req_seq.__getitem__)
-            return tmin, agent
+        """Earliest request timer on the numpy path, seq breaking ties."""
+        tmin = float(self.np_treq.min())
+        if tmin == _INF:
+            return _INF, 0
+        candidates = _np.flatnonzero(self.np_treq == tmin)
+        if len(candidates) == 1:
+            return tmin, int(candidates[0])
         req_seq = self.req_seq
-        best = 0
-        tmin = _INF
-        for agent in range(1, self.num_agents + 1):
-            t = t_req[agent]
-            if t < tmin or (t == tmin and t != _INF and req_seq[agent] < req_seq[best]):
-                tmin = t
-                best = agent
-        return tmin, best
+        agent = min((int(c) for c in candidates), key=req_seq.__getitem__)
+        return tmin, agent
 
     def advance(self, completions: int) -> bool:
         """Advance until ``completions`` more completions are recorded.
 
-        Returns ``False`` once the collector is satisfied (the
-        replication is finished), ``True`` while more work remains.
+        Returns ``False`` once the lane is finished — the collector is
+        satisfied, or the watchdog declared a permanent failure — and
+        ``True`` while more work remains.
 
         The loop body keeps the whole machine state in locals (written
         back at every exit) and inlines the grant/kick handlers: this
@@ -516,12 +713,26 @@ class _Replication:
             return False
         collector = self.collector
         record_completion = collector.record_completion
-        satisfied = collector.satisfied
+        needed = collector.needed
+        warmup_n = collector.warmup
+        batch_size_n = collector.batch_size
+        agent_totals = collector.agent_totals
+        # The flag-free accumulation path is inlined in the RELEASE
+        # branch; anything that retains per-completion artefacts goes
+        # through the reference implementation.
+        fast_record = not (collector.keep_order or collector.keep_records)
         kernel = self.kernel
         kernel_request = kernel.request
-        kernel_grant = kernel.grant
+        kernel_arbitrate = kernel.arbitrate
+        # Every kernel's grant body is `pending &= ~bit; return issue`,
+        # and the RR/fixed request body is `pending |= bit; issue = now`
+        # (FCFS adds counter/tick bookkeeping) — both are inlined below;
+        # the method calls are measurable at two calls per completion.
+        kernel_issue = kernel.issue
+        simple_request = not isinstance(kernel, _FcfsKernel)
         t_req = self.t_req
         req_seq = self.req_seq
+        req_heap = self.req_heap
         np_treq = self.np_treq
         buffers = self.buffers
         dists = self.dists
@@ -531,11 +742,20 @@ class _Replication:
         txn = self.txn
         arbt = self.arbt
         num_agents = self.num_agents
-        agent_range = range(1, num_agents + 1)
+        active = self.active
+        woke = self.woke
+        injector = self.injector
+        watchdog = self.watchdog
+        faulty = injector is not None or watchdog is not None
+        fault_actions = self.fault_actions
+        fault_count = len(fault_actions)
 
         t_rel = self.t_rel
         t_arb = self.t_arb
         t_kick = self.t_kick
+        t_retry = self.t_retry
+        t_fault = self.t_fault
+        fault_idx = self.fault_idx
         seq = self.seq
         arb_winner = self.arb_winner
         busy = self.busy
@@ -548,17 +768,50 @@ class _Replication:
         arb_index = self.arb_index
         now = self.now
         recorded = 0
+        # Earliest request timer, insertion order breaking time ties.
+        # On the heap path the peek is cached across iterations and only
+        # refreshed at the points that can move it: a pop (re-peek) or a
+        # push of an earlier timer (equal times keep the cached head —
+        # pushes carry ever-larger sequence numbers, and smaller seq
+        # wins the tie).
+        tr = _INF
+        ra = 0
+        if req_heap:
+            head = req_heap[0]
+            tr = head[0]
+            ra = head[2]
+        kick_now = False
+        fast_absorb = req_heap is not None and not faulty
         while True:
-            # earliest request timer, insertion order breaking time ties
-            if np_treq is None:
-                ra = 0
-                tr = _INF
-                for agent in agent_range:
-                    t = t_req[agent]
-                    if t < tr or (t == tr and t != _INF and req_seq[agent] < req_seq[ra]):
-                        tr = t
-                        ra = agent
-            else:
+            if fast_absorb and pending_winner is not None:
+                # The next master is already latched, so until the
+                # release fires nothing can schedule an arbitration,
+                # kick or retry — the only dispatchable events are
+                # request expiries, and their handler (sans the
+                # suppressed kick guard) can absorb them without a full
+                # dispatch round.  Strictly earlier only: a request at
+                # exactly t_rel fires after the release, as in the
+                # calendar's priority order.
+                while tr < t_rel:
+                    fire = tr
+                    agent = ra
+                    heappop(req_heap)
+                    if req_heap:
+                        head = req_heap[0]
+                        tr = head[0]
+                        ra = head[2]
+                    else:
+                        tr = _INF
+                        ra = 0
+                    if active[agent]:
+                        if simple_request:
+                            kernel.pending |= 1 << agent
+                            kernel_issue[agent] = fire
+                        else:
+                            kernel_request(agent, fire)
+                    else:
+                        woke[agent] = True
+            if req_heap is None:
                 tr, ra = self._next_request()
             tmin = t_rel
             if t_arb < tmin:
@@ -567,9 +820,14 @@ class _Replication:
                 tmin = tr
             if t_kick < tmin:
                 tmin = t_kick
+            if t_retry < tmin:
+                tmin = t_retry
+            if t_fault < tmin:
+                tmin = t_fault
             if tmin == _INF:
                 self.busy_time = busy_time
                 self.transactions = transactions
+                self.fault_idx = fault_idx
                 self.now = now
                 self._close_sinks()
                 raise SimulationError(
@@ -584,25 +842,66 @@ class _Replication:
                 busy = False
                 busy_time += txn
                 transactions += 1
-                record_completion(agent, issue, master_grant, now)
+                if fast_record:
+                    # Inline of CompletionCollector.record_completion's
+                    # flag-free path — that method is the reference
+                    # implementation, and the cross-engine differential
+                    # suite pins this copy to it.  The call (plus its
+                    # self-attribute traffic) is the single largest
+                    # per-completion cost once dispatch is lean.
+                    index = collector.total_recorded
+                    collector.total_recorded = index + 1
+                    if index < warmup_n:
+                        collector._last_boundary_time = now
+                    elif index < needed:
+                        batch = collector._current
+                        if batch is None or batch.count == batch_size_n:
+                            collector._open_batch(
+                                (index - warmup_n) // batch_size_n
+                            )
+                            batch = collector._current
+                        waiting = now - issue
+                        batch.count += 1
+                        batch.sum_waiting += waiting
+                        batch.sum_waiting_sq += waiting * waiting
+                        batch.sum_queueing += master_grant - issue
+                        counts = batch.agent_counts
+                        counts[agent] = counts.get(agent, 0) + 1
+                        agent_totals[agent] = agent_totals.get(agent, 0) + 1
+                        if batch.samples is not None:
+                            batch.samples.append(waiting)
+                        batch.end_time = now
+                        if batch.count == batch_size_n:
+                            collector._last_boundary_time = now
+                else:
+                    record_completion(agent, issue, master_grant, now)
                 if metrics is not None:
                     metrics.counter("completions").increment()
                     metrics.histogram(f"wait.agent.{agent}", WAIT_BUCKETS).observe(
                         now - issue
                     )
-                # Closed loop: the agent draws its next think period now.
+                # Closed loop: the agent draws its next think period now
+                # (even while dropped out — its timer then wakes it).
                 buffer = buffers[agent]
                 if not buffer:
                     buffer.extend(dists[agent].sample_batch(rngs[agent], _THINK_BLOCK))
                     buffer.reverse()
                 t_next = now + buffer.pop()
-                t_req[agent] = t_next
-                if np_treq is not None:
-                    np_treq[agent] = t_next
                 seq += 1
-                req_seq[agent] = seq
+                if req_heap is not None:
+                    heappush(req_heap, (t_next, seq, agent))
+                    if t_next < tr:
+                        tr = t_next
+                        ra = agent
+                else:
+                    t_req[agent] = t_next
+                    np_treq[agent] = t_next
+                    req_seq[agent] = seq
+                    if t_next < tr:
+                        tr = t_next
+                        ra = agent
                 recorded += 1
-                if satisfied():
+                if collector.total_recorded >= needed:  # inlined satisfied()
                     # The event engine's post-event effects (inline grant
                     # of a pending winner, a same-instant kick) never run
                     # another event after the stop rule fires, so they
@@ -611,48 +910,266 @@ class _Replication:
                     self.transactions = transactions
                     self.seq = seq
                     self.arb_index = arb_index
+                    self.fault_idx = fault_idx
                     self.now = now
                     self.done = True
                     self._close_sinks()
                     return False
                 if pending_winner is not None:
                     # inline grant of the already-arbitrated next master
-                    master_issue = kernel_grant(pending_winner)
+                    kernel.pending &= ~(1 << pending_winner)
+                    master_issue = kernel_issue[pending_winner]
+                    if watchdog is not None:
+                        watchdog.on_clean_grant(now)
                     busy = True
                     master = pending_winner
                     pending_winner = None
                     master_grant = now
                     t_rel = now + txn
-                    if t_kick == _INF and t_arb == _INF:
+                    if t_kick == _INF and t_arb == _INF and t_retry == _INF:
+                        if not faulty and tr > now:
+                            kick_now = True
+                        else:
+                            t_kick = now
+                elif t_kick == _INF and t_arb == _INF and t_retry == _INF:
+                    if not faulty and tr > now:
+                        kick_now = True
+                    else:
                         t_kick = now
-                elif t_kick == _INF and t_arb == _INF:
-                    t_kick = now
-                if recorded >= completions:
-                    break
             elif t_arb == tmin:  # ARBITRATION-COMPLETE — the lines settled
                 t_arb = _INF
                 if busy:
                     pending_winner = arb_winner
                 else:  # idle self-timed bus: hand over immediately
-                    master_issue = kernel_grant(arb_winner)
+                    kernel.pending &= ~(1 << arb_winner)
+                    master_issue = kernel_issue[arb_winner]
+                    if watchdog is not None:
+                        watchdog.on_clean_grant(now)
                     busy = True
                     master = arb_winner
                     pending_winner = None
                     master_grant = now
                     t_rel = now + txn
-                    if t_kick == _INF:
-                        t_kick = now
-            elif tr == tmin:  # REQUEST — an agent asserts its line
-                t_req[ra] = _INF
-                if np_treq is not None:
-                    np_treq[ra] = _INF
-                kernel_request(ra, now)
-                if t_kick == _INF and t_arb == _INF and pending_winner is None:
-                    t_kick = now
-            else:  # ARB_KICK — competitor snapshot at instant's end
-                t_kick = _INF
+                    if t_kick == _INF and t_retry == _INF:
+                        if not faulty and tr > now:
+                            kick_now = True
+                        else:
+                            t_kick = now
+            elif tr == tmin:  # REQUEST — an agent's think timer expires
+                agent = ra
+                if req_heap is not None:
+                    heappop(req_heap)
+                    if req_heap:
+                        head = req_heap[0]
+                        tr = head[0]
+                        ra = head[2]
+                    else:
+                        tr = _INF
+                        ra = 0
+                else:
+                    t_req[agent] = _INF
+                    np_treq[agent] = _INF
+                if active[agent]:
+                    if simple_request:
+                        kernel.pending |= 1 << agent
+                        kernel_issue[agent] = now
+                    else:
+                        kernel_request(agent, now)
+                    if (
+                        t_kick == _INF
+                        and t_arb == _INF
+                        and t_retry == _INF
+                        and pending_winner is None
+                    ):
+                        if not faulty and tr > now:
+                            kick_now = True
+                        else:
+                            t_kick = now
+                else:
+                    # Dropped out: swallow the expiry, remember it so
+                    # rejoin restarts the generation loop (BusAgent).
+                    woke[agent] = True
+            elif t_kick == tmin or t_retry == tmin:
+                # ARB_KICK / WATCHDOG-RETRY — competitor snapshot at the
+                # instant's end.  The two share the calendar priority and
+                # the same handler body (_arb_kick and _watchdog_retry
+                # both land in _maybe_start_arbitration) and are never
+                # pending together.
+                if t_kick == tmin:
+                    t_kick = _INF
+                else:
+                    t_retry = _INF
                 if t_arb == _INF and pending_winner is None and kernel.pending:
-                    winner, rounds, competitors = kernel.arbitrate()
+                    if not faulty:
+                        winner, rounds, competitors = kernel_arbitrate()
+                        settle = arbt * rounds
+                        if sinks:
+                            event = ArbitrationEvent(
+                                index=arb_index,
+                                time=now,
+                                competitors=_mask_ids(competitors),
+                                winner=winner,
+                                rounds=rounds,
+                                settle_time=settle,
+                            )
+                            arb_index += 1
+                            for sink in sinks:
+                                sink.emit(event)
+                        t_settled = now + settle
+                        if busy and t_settled < t_rel:
+                            # The current master still owns the bus when
+                            # the lines settle, so the arbitration-
+                            # complete event's only effect would be to
+                            # latch the winner — fold it into this
+                            # instant and save a dispatch round per
+                            # saturated transaction.  Strict `<`: at a
+                            # settle/release tie the calendar fires the
+                            # release first and the arbitration lands on
+                            # an idle bus, a different handler.
+                            pending_winner = winner
+                        else:
+                            arb_winner = winner
+                            t_arb = t_settled
+                    else:
+                        # Fault-domain pass: expose the applied keys,
+                        # perturb them, and route anomalies through the
+                        # watchdog — mirroring _maybe_start_arbitration.
+                        winner, rounds, competitors, keys = kernel.arbitrate_keys()
+                        settle = arbt * rounds
+                        anomaly = None
+                        fault_tags: Tuple[str, ...] = ()
+                        if injector is not None:
+                            perturbed = injector.perturb(
+                                ArbitrationOutcome(
+                                    winner=winner,
+                                    rounds=rounds,
+                                    competitors=frozenset(keys),
+                                    keys=keys,
+                                ),
+                                now,
+                            )
+                            anomaly = perturbed.anomaly
+                            if anomaly is None:
+                                if perturbed.deviated:
+                                    collector.record_deviation()
+                                    fault_tags = ("deviated",)
+                                winner = perturbed.winner
+                        if anomaly is not None:
+                            # Emit before consulting the watchdog: the
+                            # event carries the episode's attempt count
+                            # *before* this anomaly joined it.
+                            if sinks:
+                                event = ArbitrationEvent(
+                                    index=arb_index,
+                                    time=now,
+                                    competitors=_mask_ids(competitors),
+                                    winner=None,
+                                    rounds=rounds,
+                                    settle_time=settle,
+                                    anomaly=anomaly,
+                                    watchdog_attempt=watchdog.attempts,
+                                )
+                                arb_index += 1
+                                for sink in sinks:
+                                    sink.emit(event)
+                            delay = watchdog.on_anomaly(anomaly, now)
+                            if delay is None:
+                                # Retry budget exhausted: permanent
+                                # failure ends the lane, as run()'s stop
+                                # rule would at the same instant.
+                                self.busy_time = busy_time
+                                self.transactions = transactions
+                                self.seq = seq
+                                self.arb_index = arb_index
+                                self.fault_idx = fault_idx
+                                self.now = now
+                                self.done = True
+                                self._close_sinks()
+                                return False
+                            t_retry = now + settle + delay
+                        else:
+                            if sinks:
+                                event = ArbitrationEvent(
+                                    index=arb_index,
+                                    time=now,
+                                    competitors=_mask_ids(competitors),
+                                    winner=winner,
+                                    rounds=rounds,
+                                    settle_time=settle,
+                                    watchdog_attempt=(
+                                        watchdog.attempts
+                                        if watchdog is not None
+                                        else 0
+                                    ),
+                                    fault_tags=fault_tags,
+                                )
+                                arb_index += 1
+                                for sink in sinks:
+                                    sink.emit(event)
+                            t_settled = now + settle
+                            if busy and t_settled < t_rel:
+                                # Same fusion as the fault-free path: a
+                                # clean (or deviated) outcome on a busy
+                                # bus only latches the winner.
+                                pending_winner = winner
+                            else:
+                                arb_winner = winner
+                                t_arb = t_settled
+            else:  # FAULT — the plan's next dropout / hot re-insertion
+                _, is_drop, fevent = fault_actions[fault_idx]
+                fault_idx += 1
+                t_fault = (
+                    fault_actions[fault_idx][0]
+                    if fault_idx < fault_count
+                    else _INF
+                )
+                aid = fevent.agent_id
+                present = 0 < aid <= num_agents and rngs[aid] is not None
+                if is_drop:
+                    if present and active[aid]:
+                        # Asserted requests stay on the arbiter — the
+                        # hardware cannot recall a request line; only
+                        # new generation stops (BusAgent.drop_out).
+                        active[aid] = False
+                        injector.count_applied(fevent.kind)
+                    else:
+                        injector.count_skipped(fevent.kind)
+                elif present and not active[aid]:
+                    active[aid] = True
+                    if woke[aid]:
+                        # The think timer expired while absent: restart
+                        # the generation loop with a fresh think period
+                        # (BusAgent.rejoin).
+                        woke[aid] = False
+                        buffer = buffers[aid]
+                        if not buffer:
+                            buffer.extend(
+                                dists[aid].sample_batch(rngs[aid], _THINK_BLOCK)
+                            )
+                            buffer.reverse()
+                        t_next = now + buffer.pop()
+                        seq += 1
+                        if req_heap is not None:
+                            heappush(req_heap, (t_next, seq, aid))
+                            if t_next < tr:
+                                tr = t_next
+                                ra = aid
+                        else:
+                            t_req[aid] = t_next
+                            np_treq[aid] = t_next
+                            req_seq[aid] = seq
+            if kick_now:
+                # Same-instant kick fusion: the handler above scheduled
+                # a kick "for now" and proved no other event shares the
+                # timestamp (the earliest request timer is strictly
+                # later, every other timer infinite), so the kick's
+                # competitor snapshot is already final — run it in this
+                # dispatch round instead of paying another.  Fault-
+                # domain runs keep the scheduled kick; their handler
+                # needs the full anomaly machinery.
+                kick_now = False
+                if kernel.pending:
+                    winner, rounds, competitors = kernel_arbitrate()
                     settle = arbt * rounds
                     if sinks:
                         event = ArbitrationEvent(
@@ -666,12 +1183,21 @@ class _Replication:
                         arb_index += 1
                         for sink in sinks:
                             sink.emit(event)
-                    arb_winner = winner
-                    t_arb = now + settle
+                    t_settled = now + settle
+                    if busy and t_settled < t_rel:
+                        pending_winner = winner
+                    else:
+                        arb_winner = winner
+                        t_arb = t_settled
+            if recorded >= completions:
+                break
 
         self.t_rel = t_rel
         self.t_arb = t_arb
         self.t_kick = t_kick
+        self.t_retry = t_retry
+        self.t_fault = t_fault
+        self.fault_idx = fault_idx
         self.seq = seq
         self.arb_winner = arb_winner
         self.busy = busy
@@ -700,6 +1226,7 @@ class _Replication:
             elapsed=self.now,
             seed=self.settings.seed,
             confidence=self.settings.confidence,
+            failed=self.watchdog.gave_up if self.watchdog is not None else False,
             events=self.memory.events if self.memory is not None else None,
             metrics=self.metrics,
         )
@@ -719,6 +1246,20 @@ def _require_capable(
             f"batch engine cannot run {protocol!r} on scenario "
             f"{scenario.name!r}: {reason}"
         )
+
+
+def _fresh_scenario(scenario: ScenarioSpec) -> ScenarioSpec:
+    """A scenario safe to hand one lane exclusive use of.
+
+    Renewal distributions are stateless (sampling is a pure function of
+    the rng), so the shared object is already safe; only scenarios
+    carrying stateful distributions — trace-replay cursors — need a
+    private deep copy, and the copy is expensive enough to matter at
+    lane-pack setup.
+    """
+    if any(agent.interrequest.stateful for agent in scenario.agents):
+        return copy.deepcopy(scenario)
+    return scenario
 
 
 def run_simulation_batch(
@@ -743,6 +1284,59 @@ def run_simulation_batch(
     return replication.result()
 
 
+def run_lanes(
+    cells: Sequence[Tuple[ScenarioSpec, str, "SimulationSettings"]],
+) -> List[RunResult]:
+    """Run heterogeneous cells as the lanes of one lockstep super-batch.
+
+    ``cells`` may mix agent counts, loads, seeds, protocols and fault
+    plans freely — every cell just has to be :func:`batch_capable` on
+    its own.  Lanes are grouped by kernel family
+    (:func:`kernel_family`), and the scheduler round-robins over the
+    families, advancing each family's live lanes by one lockstep block
+    per pass, so one pass runs one kernel implementation across all its
+    lanes.  A lane deep-copies its scenario only when it carries
+    stateful (trace-replay) distributions, which must not be shared
+    between lanes built from one scenario object.
+
+    Results are returned in ``cells`` order and are identical to
+    independent :func:`run_simulation_batch` calls — lane packing, and
+    therefore the order cells are handed in, cannot influence any
+    observable (each lane owns all of its state; nothing is shared).
+    """
+    paths = [
+        cell[2].telemetry.jsonl_path
+        for cell in cells
+        if cell[2].telemetry is not None
+        and cell[2].telemetry.jsonl_path is not None
+    ]
+    if len(paths) != len(set(paths)):
+        raise ConfigurationError(
+            "run_lanes cannot share one telemetry jsonl_path across lanes; "
+            "give each lane its own path"
+        )
+    for scenario, protocol, settings in cells:
+        _require_capable(scenario, protocol, settings)
+    lanes = [
+        _Replication(_fresh_scenario(scenario), protocol, settings)
+        for scenario, protocol, settings in cells
+    ]
+    families: Dict[str, List[_Replication]] = {}
+    for lane in lanes:
+        families.setdefault(_KERNEL_FAMILY[lane.protocol], []).append(lane)
+    try:
+        while any(families.values()):
+            for family, group in families.items():
+                if group:
+                    families[family] = [
+                        lane for lane in group if lane.advance(_LOCKSTEP_BLOCK)
+                    ]
+    finally:
+        for lane in lanes:
+            lane._close_sinks()
+    return [lane.result() for lane in lanes]
+
+
 def run_replications(
     scenario: ScenarioSpec,
     protocol: str,
@@ -751,10 +1345,9 @@ def run_replications(
 ) -> List[RunResult]:
     """Run R replications of one cell in lockstep, one per seed.
 
-    Each replication gets a deep copy of the scenario (stateful trace
-    distributions must not be shared) and ``settings`` with its seed
-    replaced; results are returned in ``seeds`` order and are identical
-    to R independent :func:`run_simulation` calls.
+    A convenience wrapper over :func:`run_lanes` for the homogeneous
+    special case; results are returned in ``seeds`` order and are
+    identical to R independent :func:`run_simulation` calls.
     """
     _require_capable(scenario, protocol, settings)
     telemetry = settings.telemetry
@@ -763,15 +1356,6 @@ def run_replications(
             "run_replications cannot share one telemetry jsonl_path across "
             f"{len(seeds)} replications; run them individually"
         )
-    replications = [
-        _Replication(copy.deepcopy(scenario), protocol, replace(settings, seed=seed))
-        for seed in seeds
-    ]
-    live = list(replications)
-    try:
-        while live:
-            live = [rep for rep in live if rep.advance(_LOCKSTEP_BLOCK)]
-    finally:
-        for rep in replications:
-            rep._close_sinks()
-    return [rep.result() for rep in replications]
+    return run_lanes(
+        [(scenario, protocol, replace(settings, seed=seed)) for seed in seeds]
+    )

@@ -14,8 +14,10 @@ Keys are SHA-256 digests of a canonical description of the cell:
   (:meth:`~repro.workload.distributions.Distribution.spec_key`), loop
   mode and priority mix;
 - the protocol name;
-- every :class:`~repro.experiments.runner.SimulationSettings` field,
-  including the nested bus timing;
+- every :class:`~repro.experiments.runner.SimulationSettings` field
+  that can influence the result, including the nested bus timing but
+  *not* the engine selector (the engines are bit-identical wherever
+  both apply, so a cell keys the same however it was executed);
 - a cache-format epoch (:data:`CACHE_EPOCH`) plus the package version,
   so results produced by older engine revisions are never replayed
   against newer code.
@@ -57,7 +59,13 @@ __all__ = ["CACHE_EPOCH", "cache_key", "ResultCache", "default_cache_dir"]
 #: engines are contractually identical, but a cached payload must name
 #: the execution path that produced it so differential checks can
 #: exercise both).
-CACHE_EPOCH = 5
+#: Epoch 6: heterogeneous lane engine (the engine selector *leaves* the
+#: key: the engines are conformance-verified bit-identical on the whole
+#: batch domain — faults included — so one payload serves both, and a
+#: grid hits the cache regardless of which engine, or which lane
+#: packing, produced it; lane packing cannot influence a result, so it
+#: never enters the key).
+CACHE_EPOCH = 6
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 
@@ -99,7 +107,9 @@ def _describe_settings(settings: SimulationSettings) -> list:
         settings.fault_plan.spec_key() if settings.fault_plan is not None else None,
         settings.watchdog.spec_key() if settings.watchdog is not None else None,
         settings.telemetry.spec_key() if settings.telemetry is not None else None,
-        settings.engine,
+        # settings.engine is deliberately absent: the engines are
+        # bit-identical on the batch domain and fall back identically
+        # outside it, so the selector is not part of a cell's identity.
     ]
 
 

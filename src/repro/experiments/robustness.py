@@ -240,7 +240,7 @@ def run(
     seed: int = DEFAULT_SEED,
     executor: Optional[SweepExecutor] = None,
     telemetry: Optional[TelemetrySettings] = None,
-    engine: str = "event",
+    engine: str = "batch",
 ) -> Tuple[ExperimentTable, ...]:
     """The full robustness grid: one panel per protocol.
 
@@ -251,8 +251,11 @@ def run(
 
     ``engine`` selects the execution engine for the fault-free
     baselines — the grid's replication-heavy, batch-eligible cells.
-    Fault cells always need the event engine (the batch domain excludes
-    injection) and fall back transparently.
+    The grid's *fault* cells run the fault-specialised protocol
+    variants (faulty-register RR, rotating RR, glitchable FCFS), none
+    of which has a batch kernel, so they fall back to the event engine
+    transparently whatever ``engine`` says — the batch engine's fault
+    domain covers bus-level plans on the six core kernels only.
     """
     executor = executor or SweepExecutor()
     scale = scale or current_scale()

@@ -60,13 +60,15 @@ class SimulationSettings:
     default) leaves the bus with no sink at all, so every experiment
     output stays byte-identical with telemetry off.
 
-    ``engine`` selects the execution engine: ``"event"`` (the general
-    event-driven simulator) or ``"batch"`` (the lockstep replication
-    engine of :mod:`repro.engine.batch`).  The batch engine produces
-    bit-identical results on its supported domain and is a pure
-    performance choice; cells outside that domain (faults, watchdog,
-    synchronous timing, priority classes, open loops, protocols without
-    a batch kernel) transparently fall back to the event engine.
+    ``engine`` selects the execution engine: ``"batch"`` (the lockstep
+    lane engine of :mod:`repro.engine.batch`, the default) or
+    ``"event"`` (the general event-driven simulator).  The batch engine
+    produces bit-identical results on its conformance-verified domain —
+    which includes bus-level fault plans and watchdog recovery — and is
+    a pure performance choice; cells outside that domain (synchronous
+    timing, priority classes, open loops, out-of-domain fault kinds,
+    protocols without a batch kernel) transparently fall back to the
+    event engine, so the default is safe everywhere.
     """
 
     batches: int = 10
@@ -82,7 +84,7 @@ class SimulationSettings:
     fault_plan: Optional[FaultPlan] = None
     watchdog: Optional[WatchdogPolicy] = None
     telemetry: Optional[TelemetrySettings] = None
-    engine: str = "event"
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
         if self.engine not in ("event", "batch"):

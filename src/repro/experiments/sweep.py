@@ -3,10 +3,14 @@
 The paper's evaluation is a grid: every table cell is one independent
 ``(scenario, protocol, settings)`` simulation, and nothing couples the
 cells — each derives all of its randomness from its own settings seed.
-This module fans such grids out over a :class:`concurrent.futures.
-ProcessPoolExecutor`, with a serial fallback, and consults the
-content-addressed :class:`~repro.experiments.cache.ResultCache` before
-executing anything.
+This module compiles such grids into lane-packed super-batches for the
+lockstep batch engine (:func:`repro.engine.batch.run_lanes` advances
+every batch-capable cell of a grid together, however heterogeneous),
+fans the remainder out over a
+:class:`concurrent.futures.ProcessPoolExecutor` with a serial fallback,
+and consults the content-addressed
+:class:`~repro.experiments.cache.ResultCache` before executing
+anything.
 
 Determinism guarantees (the common-random-numbers discipline the paper's
 protocol comparisons depend on):
@@ -25,20 +29,15 @@ protocol comparisons depend on):
 from __future__ import annotations
 
 import copy
-import json
 import os
+import warnings
 from concurrent.futures import BrokenExecutor, CancelledError, Future, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.engine.batch import batch_capable, run_replications
+from repro.engine.batch import batch_capable, kernel_family, run_lanes
 from repro.errors import ConfigurationError, SweepExecutionError
-from repro.experiments.cache import (
-    ResultCache,
-    _describe_scenario,
-    _describe_settings,
-    cache_key,
-)
+from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.observability.metrics import MetricsRegistry, merge_metrics
 from repro.stats.summary import RunResult
@@ -138,10 +137,16 @@ class SweepStats:
     retries: int = 0
     #: Per-cell diagnostics for cells whose retry failed too.
     failures: List[CellFailure] = field(default_factory=list)
-    #: Lockstep batch-engine groups executed, and the replications
-    #: (cells) they covered.
+    #: Lockstep kernel-family groups executed by the lane-packed batch
+    #: engine, and the lanes (cells) they covered.
     batch_groups: int = 0
     batch_replications: int = 0
+    #: Batch-capable cells that *silently degraded* to the per-cell
+    #: event path because the lane pack failed at runtime.  Statically
+    #: out-of-domain cells (no kernel, JSONL telemetry, event cells) are
+    #: not counted — they were never promised the batch engine.  The
+    #: fault-free differential suite asserts this stays zero.
+    fallback_cells: int = 0
 
     def snapshot(self) -> "SweepStats":
         return SweepStats(
@@ -153,6 +158,7 @@ class SweepStats:
             list(self.failures),
             self.batch_groups,
             self.batch_replications,
+            self.fallback_cells,
         )
 
 
@@ -174,9 +180,10 @@ class SweepExecutor:
         Optional engine override applied to every cell's settings (the
         CLI's ``--engine`` reaches experiment grids that build their
         settings internally this way).  ``None`` leaves each cell's own
-        declaration alone.  The override participates in cache keys —
-        it rewrites the settings before lookup — and cells outside the
-        batch domain still fall back to the event engine per cell.
+        declaration alone.  The override never changes cache keys — the
+        engine selector is not part of a cell's identity (epoch 6) —
+        and cells outside the batch domain still fall back to the event
+        engine per cell.
     """
 
     def __init__(
@@ -219,7 +226,7 @@ class SweepExecutor:
             pending.append(index)
 
         if pending:
-            pending = self._run_batch_groups(cells, pending, results, keys)
+            pending = self._run_lane_batches(cells, pending, results, keys)
         if pending:
             fresh = self._execute([cells[i] for i in pending])
             for index, result in zip(pending, fresh):
@@ -254,25 +261,32 @@ class SweepExecutor:
 
     # -- execution backends ---------------------------------------------------
 
-    def _run_batch_groups(
+    def _run_lane_batches(
         self,
         cells: Sequence[SweepCell],
         pending: List[int],
         results: List[Optional[RunResult]],
         keys: List[Optional[str]],
     ) -> List[int]:
-        """Run batch-engine replication groups; returns leftover indices.
+        """Run batch-capable cells as one super-batch; returns leftovers.
 
-        Pending cells that request ``engine="batch"``, fit the batch
-        domain and differ only in their seed are grouped and advanced in
-        lockstep via :func:`repro.engine.batch.run_replications` — the
-        replication-heavy shape of the robustness grid's fault-free
-        baselines and batch-means confidence sweeps.  Everything else
-        (and any group the batch engine rejects at runtime) flows back
-        to the ordinary per-cell backends, whose retry machinery is the
-        single place failures are diagnosed.
+        Every pending cell that requests ``engine="batch"`` and fits the
+        batch domain becomes a lane of a single
+        :func:`repro.engine.batch.run_lanes` super-batch — agent counts,
+        loads, seeds, protocols and fault plans may all differ; the lane
+        engine groups them by kernel family internally.  Statically
+        out-of-domain cells (no kernel, an ``engine="event"``
+        declaration, JSONL telemetry, out-of-domain fault kinds) flow
+        straight to the ordinary per-cell backends.
+
+        A lane pack that fails *at runtime* is different: those cells
+        were promised the batch engine, and the per-cell path would
+        quietly mask whatever broke, so the degradation emits a
+        ``RuntimeWarning`` and is tallied in ``stats.fallback_cells``
+        before the cells are handed back to the backends (whose
+        retry/diagnostic machinery reports real per-cell errors).
         """
-        groups: Dict[str, List[int]] = {}
+        lane_indices: List[int] = []
         rest: List[int] = []
         for index in pending:
             cell = cells[index]
@@ -285,37 +299,37 @@ class SweepExecutor:
             ):
                 rest.append(index)
                 continue
-            group_key = json.dumps(
-                [
-                    cell.protocol,
-                    _describe_scenario(cell.scenario),
-                    _describe_settings(replace(settings, seed=0)),
-                ],
-                sort_keys=True,
-                separators=(",", ":"),
-            )
-            groups.setdefault(group_key, []).append(index)
-        for indices in groups.values():
-            first = cells[indices[0]]
-            seeds = [cells[i].settings.seed for i in indices]
+            lane_indices.append(index)
+        if lane_indices:
             try:
-                fresh = run_replications(
-                    first.scenario, first.protocol, first.settings, seeds
+                fresh = run_lanes(
+                    [
+                        (cells[i].scenario, cells[i].protocol, cells[i].settings)
+                        for i in lane_indices
+                    ]
                 )
-            except Exception:
-                # Degrade the whole group to the per-cell path; its
-                # retry/diagnostic machinery reports real errors.
-                rest.extend(indices)
-                continue
-            self.stats.batch_groups += 1
-            self.stats.batch_replications += len(indices)
-            self.stats.executed += len(indices)
-            for index, result in zip(indices, fresh):
-                results[index] = result
-                if self.cache is not None:
-                    key = keys[index]
-                    assert key is not None
-                    self.cache.put(key, result)
+            except Exception as exc:
+                self.stats.fallback_cells += len(lane_indices)
+                warnings.warn(
+                    f"{len(lane_indices)} batch-capable sweep cell(s) fell "
+                    f"back to the event engine "
+                    f"({type(exc).__name__}: {exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                rest.extend(lane_indices)
+            else:
+                self.stats.batch_groups += len(
+                    {kernel_family(cells[i].protocol) for i in lane_indices}
+                )
+                self.stats.batch_replications += len(lane_indices)
+                self.stats.executed += len(lane_indices)
+                for index, result in zip(lane_indices, fresh):
+                    results[index] = result
+                    if self.cache is not None:
+                        key = keys[index]
+                        assert key is not None
+                        self.cache.put(key, result)
         rest.sort()
         return rest
 

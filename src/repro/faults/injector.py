@@ -88,6 +88,19 @@ class FaultInjector:
     def _count(self, table: Dict[str, int], kind: FaultKind) -> None:
         table[kind.value] = table.get(kind.value, 0) + 1
 
+    def count_applied(self, kind: FaultKind) -> None:
+        """Record one fault of ``kind`` as having taken effect.
+
+        Public so engines that execute the plan's point faults
+        themselves (the batch engine's fault-timer class) keep the same
+        applied/skipped books as the calendar-scheduled handlers below.
+        """
+        self._count(self.applied, kind)
+
+    def count_skipped(self, kind: FaultKind) -> None:
+        """Record one fault of ``kind`` as having had no effect."""
+        self._count(self.skipped, kind)
+
     # -- wiring --------------------------------------------------------------
 
     def attach(self, system: "BusSystem") -> None:

@@ -58,6 +58,13 @@ class GoldenScenario:
     #: golden equals its event twin — pinning both means a divergence
     #: names the engine that moved.
     engine: str = "event"
+    #: Bus-level faults per unit simulated time.  Non-zero turns the run
+    #: into a fault-domain golden: a deterministic
+    #: :class:`~repro.faults.plan.FaultPlan` (seeded from
+    #: :data:`GOLDEN_SEED`, bus-level kinds only) plus the default
+    #: watchdog policy, so the trace pins anomaly emission, watchdog
+    #: attempt counting and recovery scheduling — not just clean grants.
+    fault_rate: float = 0.0
 
 
 #: The pinned grid: one RR implementation per §3.1 flavour, one FCFS
@@ -138,6 +145,25 @@ GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
         engine="batch",
         rationale="batch engine, fixed-priority baseline",
     ),
+    # Fault-domain twins: the same seeded bus-level fault plan and
+    # default watchdog on both engines.  The rate is tuned so the run
+    # completes while exercising anomalies, deviated grants and
+    # watchdog retries — the whole fault-recovery event vocabulary.
+    "rr-faults": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=2.0,
+        fault_rate=0.3,
+        rationale="event engine under bus-level faults: anomaly/retry pinning",
+    ),
+    "batch-rr-faults": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        fault_rate=0.3,
+        rationale="batch engine fault-timer class, byte-equal to rr-faults",
+    ),
 }
 
 
@@ -162,16 +188,34 @@ def golden_trace_lines(name: str) -> List[str]:
     # Imported here, not at module top: repro.experiments.runner imports
     # this package's event/sink modules, so a top-level import would put
     # a cycle one refactor away.
+    from repro.bus.watchdog import WatchdogPolicy
     from repro.experiments.runner import SimulationSettings, run_simulation
+    from repro.faults.plan import BUS_LEVEL_FAULTS, FaultPlan
     from repro.observability.events import TelemetrySettings
+    from repro.protocols.registry import get_spec
     from repro.workload.scenarios import equal_load
 
     scenario = equal_load(golden.agents, golden.load)
+    fault_plan = None
+    watchdog = None
+    if golden.fault_rate > 0.0:
+        spec = get_spec(golden.protocol)
+        fault_plan = FaultPlan.generate(
+            seed=GOLDEN_SEED,
+            rate=golden.fault_rate,
+            horizon=float(golden.completions + golden.warmup),
+            kinds=tuple(sorted(BUS_LEVEL_FAULTS, key=lambda kind: kind.value)),
+            num_agents=golden.agents,
+            line_span=spec.number_width(golden.agents) if spec.number_width else 4,
+        )
+        watchdog = WatchdogPolicy()
     settings = SimulationSettings(
         batches=2,
         batch_size=golden.completions // 2,
         warmup=golden.warmup,
         seed=GOLDEN_SEED,
+        fault_plan=fault_plan,
+        watchdog=watchdog,
         telemetry=TelemetrySettings(events=True),
         engine=golden.engine,
     )

@@ -138,6 +138,12 @@ class ProtocolSpec:
         has an exact kernel for the protocol.  Only the paper's core
         closed-loop protocols qualify; everything else transparently
         falls back to the event-driven engine.
+    supports_batch_faults:
+        Whether that batch kernel also exposes the exact per-agent
+        arbitration numbers the fault injector perturbs, extending the
+        kernel's verified domain to bus-level fault plans (line
+        glitches, stuck lines, agent dropout) plus watchdog recovery.
+        Never true without ``supports_batch``.
     """
 
     name: str
@@ -150,6 +156,7 @@ class ProtocolSpec:
     common_random_numbers: bool = True
     injectable_faults: FrozenSet[FaultKind] = field(default_factory=frozenset)
     supports_batch: bool = False
+    supports_batch_faults: bool = False
 
     def check_outstanding(self, max_outstanding: int) -> None:
         """Reject a per-agent capacity the protocol cannot serve."""
@@ -327,6 +334,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         number_width=_width_rr,
         injectable_faults=BUS_LEVEL_FAULTS,
         supports_batch=True,
+        supports_batch_faults=True,
     ),
     ProtocolSpec(
         name="rr-impl2",
@@ -337,6 +345,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         number_width=_width_rr,
         injectable_faults=BUS_LEVEL_FAULTS,
         supports_batch=True,
+        supports_batch_faults=True,
     ),
     ProtocolSpec(
         name="rr-impl3",
@@ -347,6 +356,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         number_width=_width_rr,
         injectable_faults=BUS_LEVEL_FAULTS,
         supports_batch=True,
+        supports_batch_faults=True,
     ),
     # the frozen-pointer amendment studied in extension Table E4
     ProtocolSpec(
@@ -368,6 +378,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         number_width=_width_fcfs,
         injectable_faults=BUS_LEVEL_FAULTS,
         supports_batch=True,
+        supports_batch_faults=True,
     ),
     ProtocolSpec(
         name="fcfs-aincr",
@@ -379,6 +390,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         number_width=_width_fcfs,
         injectable_faults=BUS_LEVEL_FAULTS,
         supports_batch=True,
+        supports_batch_faults=True,
     ),
     # §5 future-work extensions
     ProtocolSpec(
@@ -409,6 +421,7 @@ _BUILTIN_SPECS: Tuple[ProtocolSpec, ...] = (
         number_width=_width_static_plus_priority,
         injectable_faults=BUS_LEVEL_FAULTS,
         supports_batch=True,
+        supports_batch_faults=True,
     ),
     ProtocolSpec(
         name="aap1",

@@ -59,6 +59,8 @@ class TraceDistribution(Distribution):
     variability is the trace's own.
     """
 
+    stateful = True
+
     def __init__(
         self,
         samples: Sequence[float],

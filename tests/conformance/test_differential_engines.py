@@ -8,27 +8,38 @@ that must agree are a far stronger oracle than one engine that must
 agree with itself — a bug in either's ordering rule, RNG consumption or
 accounting shows up here as a concrete first divergence.
 
-The suite checks the contract three ways:
+The suite checks the contract four ways:
 
 - a fixed grid of every batch-capable protocol across several seeds,
   comparing every observable of the two runs exactly;
+- the fault domain: seeded bus-level fault plans with watchdog
+  recovery — including permanent failure (the watchdog giving up) and
+  agent dropout — compared observable for observable;
 - hypothesis-generated cells (agent count, per-agent load, CV — CV=0
   makes simultaneous requests the norm, stressing the tie-break rule —
-  protocol, seed) with the same exact comparison;
+  protocol, seed), both as single runs and as heterogeneous
+  ``run_lanes`` packs mixing agent counts, protocols and fault plans
+  in one super-batch;
 - the integration seams: ``run_simulation``'s transparent dispatch and
-  fallback, the sweep executor's lockstep grouping, and the numpy
-  fast-path toggle.
+  fallback, the sweep executor's lane packing and fallback counter,
+  and the numpy fast-path toggle.
 """
 
-import os
 from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings as hyp_settings, strategies as st
 
-from repro.engine.batch import HAVE_NUMPY, batch_capable, run_replications
+from repro.bus.watchdog import WatchdogPolicy
+from repro.engine.batch import (
+    HAVE_NUMPY,
+    batch_capable,
+    run_lanes,
+    run_replications,
+)
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.experiments.sweep import SweepCell, SweepExecutor
+from repro.faults.plan import BUS_LEVEL_FAULTS, FaultKind, FaultPlan
 from repro.observability.events import TelemetrySettings
 from repro.protocols.registry import get_spec, protocol_names
 from repro.workload.scenarios import equal_load
@@ -72,11 +83,29 @@ def _assert_identical(event_result, batch_result):
 
 
 def _both_engines(scenario_factory, protocol, settings):
-    event_result = run_simulation(scenario_factory(), protocol, settings)
+    event_result = run_simulation(
+        scenario_factory(), protocol, replace(settings, engine="event")
+    )
     batch_result = run_simulation(
         scenario_factory(), protocol, replace(settings, engine="batch")
     )
     return event_result, batch_result
+
+
+def _bus_fault_plan(protocol, agents, rate, seed, horizon=100.0, **overrides):
+    """A seeded bus-level plan matched to the protocol's line width."""
+    spec = get_spec(protocol)
+    return FaultPlan.generate(
+        seed=seed,
+        rate=rate,
+        horizon=horizon,
+        kinds=overrides.pop(
+            "kinds", tuple(sorted(BUS_LEVEL_FAULTS, key=lambda kind: kind.value))
+        ),
+        num_agents=agents,
+        line_span=spec.number_width(agents) if spec.number_width else 4,
+        **overrides,
+    )
 
 
 def test_batch_capable_protocol_set_is_the_expected_six():
@@ -99,6 +128,56 @@ def test_engines_identical_under_deterministic_arrivals(protocol):
     # requests (and therefore insertion-order tie-breaks) dominate.
     settings = replace(SETTINGS, seed=5)
     ev, bt = _both_engines(lambda: equal_load(6, 3.0, cv=0.0), protocol, settings)
+    _assert_identical(ev, bt)
+
+
+# -- fault domain -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", (11, 47, 131))
+@pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)
+def test_engines_identical_under_fault_injection(protocol, seed):
+    # Bus-level glitches, stuck lines and dropouts with watchdog
+    # recovery: every kernel's fault path, observable for observable.
+    plan = _bus_fault_plan(protocol, 4, rate=0.3, seed=seed)
+    settings = replace(
+        SETTINGS, seed=seed, fault_plan=plan, watchdog=WatchdogPolicy()
+    )
+    capable, reason = batch_capable(equal_load(4, 2.0), protocol, settings)
+    assert capable, reason
+    ev, bt = _both_engines(lambda: equal_load(4, 2.0), protocol, settings)
+    _assert_identical(ev, bt)
+    assert ev.failed == bt.failed
+
+
+def test_engines_identical_under_agent_dropout():
+    # Dropout/rejoin point faults: the agent's pending requests stay
+    # asserted, think-timer wakeups while inactive are swallowed, and
+    # the rejoin draws a fresh think time — on both engines alike.
+    plan = _bus_fault_plan(
+        "rr", 4, rate=0.2, seed=13,
+        kinds=(FaultKind.AGENT_DROPOUT,), mean_duration=5.0,
+    )
+    assert len(plan)
+    settings = replace(SETTINGS, seed=13, fault_plan=plan, watchdog=WatchdogPolicy())
+    ev, bt = _both_engines(lambda: equal_load(4, 2.0), "rr", settings)
+    _assert_identical(ev, bt)
+
+
+def test_engines_identical_when_watchdog_gives_up():
+    # A stuck line long enough to exhaust the watchdog: both engines
+    # must declare permanent failure at the same attempt with the same
+    # truncated event stream.
+    plan = _bus_fault_plan(
+        "rr", 4, rate=2.0, seed=7, horizon=60.0,
+        kinds=(FaultKind.STUCK_LINE,), mean_duration=30.0,
+    )
+    settings = replace(
+        SETTINGS, seed=7, fault_plan=plan,
+        watchdog=WatchdogPolicy(max_attempts=3),
+    )
+    ev, bt = _both_engines(lambda: equal_load(4, 2.0), "rr", settings)
+    assert ev.failed and bt.failed
     _assert_identical(ev, bt)
 
 
@@ -134,10 +213,126 @@ def test_run_replications_matches_independent_runs():
     grouped = run_replications(scenario, "rr", settings, seeds)
     for seed, batch_result in zip(seeds, grouped):
         event_result = run_simulation(
-            equal_load(5, 2.5), "rr", replace(settings, seed=seed)
+            equal_load(5, 2.5), "rr", replace(settings, seed=seed, engine="event")
         )
         assert batch_result.seed == seed
         _assert_identical(event_result, batch_result)
+
+
+# -- heterogeneous lane packs -------------------------------------------------
+
+#: A deliberately ragged grid: n=2 beside n=32, every kernel family,
+#: fault plans on alternating lanes.
+_HETERO_GRID = (
+    (2, 1.0, "rr"),
+    (32, 8.0, "fcfs"),
+    (4, 2.0, "rr-impl3"),
+    (6, 3.0, "fixed"),
+    (3, 1.5, "fcfs-aincr"),
+    (5, 2.5, "rr-impl2"),
+)
+
+
+def _hetero_settings(index, agents, protocol):
+    settings = replace(SETTINGS, seed=100 + index)
+    if index % 2 == 0:
+        settings = replace(
+            settings,
+            fault_plan=_bus_fault_plan(protocol, agents, rate=0.2, seed=100 + index),
+            watchdog=WatchdogPolicy(),
+        )
+    return settings
+
+
+def test_heterogeneous_lane_pack_matches_event_engine():
+    cells = [
+        (equal_load(agents, load), protocol, _hetero_settings(i, agents, protocol))
+        for i, (agents, load, protocol) in enumerate(_HETERO_GRID)
+    ]
+    results = run_lanes(cells)
+    assert len(results) == len(cells)
+    for (i, (agents, load, protocol)), result in zip(enumerate(_HETERO_GRID), results):
+        reference = run_simulation(
+            equal_load(agents, load),
+            protocol,
+            replace(_hetero_settings(i, agents, protocol), engine="event"),
+        )
+        _assert_identical(reference, result)
+        assert reference.failed == result.failed
+
+
+def test_lane_packing_order_cannot_influence_results():
+    # The same cells in reversed order produce the same per-cell
+    # results: lanes share nothing, so packing is not part of identity.
+    def build():
+        return [
+            (equal_load(agents, load), protocol, _hetero_settings(i, agents, protocol))
+            for i, (agents, load, protocol) in enumerate(_HETERO_GRID)
+        ]
+
+    forward = run_lanes(build())
+    backward = run_lanes(list(reversed(build())))
+    for a, b in zip(forward, reversed(backward)):
+        _assert_identical(a, b)
+
+
+@hyp_settings(max_examples=15, deadline=None)
+@given(
+    lanes=st.lists(
+        st.tuples(
+            st.integers(min_value=2, max_value=10),
+            st.sampled_from([0.3, 0.6, 1.0]),
+            st.sampled_from(BATCH_PROTOCOLS),
+            st.integers(min_value=0, max_value=2**16),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_lane_packs_identical_on_generated_cells(lanes):
+    specs = []
+    for agents, per_agent_load, protocol, seed, faulty in lanes:
+        settings = SimulationSettings(
+            batches=2,
+            batch_size=30,
+            warmup=5,
+            seed=seed,
+            keep_order=True,
+            telemetry=TelemetrySettings(events=True),
+        )
+        if faulty:
+            settings = replace(
+                settings,
+                fault_plan=_bus_fault_plan(protocol, agents, rate=0.15, seed=seed),
+                watchdog=WatchdogPolicy(),
+            )
+        specs.append((agents, per_agent_load * agents, protocol, settings))
+    results = run_lanes(
+        [(equal_load(a, load), p, s) for a, load, p, s in specs]
+    )
+    for (agents, load, protocol, settings), result in zip(specs, results):
+        reference = run_simulation(
+            equal_load(agents, load), protocol, replace(settings, engine="event")
+        )
+        assert reference.collector.completion_order == result.collector.completion_order
+        assert [e.to_json() for e in reference.events] == [
+            e.to_json() for e in result.events
+        ]
+        assert reference.elapsed == result.elapsed
+        assert reference.failed == result.failed
+
+
+def test_run_lanes_rejects_shared_jsonl_path(tmp_path):
+    from repro.errors import ConfigurationError
+
+    path = str(tmp_path / "trace.jsonl")
+    settings = replace(
+        SETTINGS, telemetry=TelemetrySettings(events=True, jsonl_path=path)
+    )
+    cells = [(equal_load(4, 2.0), "rr", settings)] * 2
+    with pytest.raises(ConfigurationError):
+        run_lanes(cells)
 
 
 def test_unsupported_cells_fall_back_to_event_engine():
@@ -147,7 +342,7 @@ def test_unsupported_cells_fall_back_to_event_engine():
                                   keep_order=True)
     capable, reason = batch_capable(equal_load(4, 2.0), "aap1", settings)
     assert not capable and "kernel" in reason
-    ev = run_simulation(equal_load(4, 2.0), "aap1", settings)
+    ev = run_simulation(equal_load(4, 2.0), "aap1", replace(settings, engine="event"))
     bt = run_simulation(equal_load(4, 2.0), "aap1", replace(settings, engine="batch"))
     assert ev.collector.completion_order == bt.collector.completion_order
     assert ev.elapsed == bt.elapsed
@@ -163,17 +358,20 @@ def test_sweep_executor_groups_batch_cells():
     assert executor.stats.batch_groups == 1
     assert executor.stats.batch_replications == len(SEEDS)
     assert executor.stats.executed == len(SEEDS)
+    assert executor.stats.fallback_cells == 0
     for seed, result in zip(SEEDS, grouped):
-        reference = run_simulation(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed))
+        reference = run_simulation(
+            equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed, engine="event")
+        )
         _assert_identical(reference, result)
 
 
 def test_executor_engine_override_reaches_declared_event_cells():
     # The CLI's --engine batch lands on SweepExecutor(engine=...): cells
-    # declaring the default event engine are rewritten and grouped, and
-    # still produce the event engine's exact results.
+    # explicitly declaring the event engine are rewritten and grouped,
+    # and still produce the event engine's exact results.
     cells = [
-        SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed))
+        SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed, engine="event"))
         for seed in SEEDS
     ]
     executor = SweepExecutor(jobs=1, engine="batch")
@@ -181,7 +379,62 @@ def test_executor_engine_override_reaches_declared_event_cells():
     assert executor.stats.batch_groups == 1
     assert executor.stats.batch_replications == len(SEEDS)
     for seed, result in zip(SEEDS, grouped):
-        reference = run_simulation(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed))
+        reference = run_simulation(
+            equal_load(4, 2.0), "rr", replace(SETTINGS, seed=seed, engine="event")
+        )
+        _assert_identical(reference, result)
+
+
+def test_sweep_executor_packs_fault_cells_into_lanes():
+    # Fault-plan cells are in-domain now: they ride the lane-packed
+    # super-batch, hit no fallback, and match the event engine exactly.
+    cells = []
+    for seed in (1, 2):
+        plan = _bus_fault_plan("rr", 4, rate=0.3, seed=seed)
+        cells.append(
+            SweepCell(
+                equal_load(4, 2.0),
+                "rr",
+                replace(SETTINGS, seed=seed, fault_plan=plan, watchdog=WatchdogPolicy()),
+            )
+        )
+    executor = SweepExecutor(jobs=1)
+    results = executor.run(cells)
+    assert executor.stats.batch_groups == 1
+    assert executor.stats.batch_replications == 2
+    assert executor.stats.fallback_cells == 0
+    for cell, result in zip(cells, results):
+        reference = run_simulation(
+            cell.scenario, cell.protocol, replace(cell.settings, engine="event")
+        )
+        _assert_identical(reference, result)
+
+
+def test_sweep_executor_warns_and_counts_runtime_fallback(monkeypatch):
+    # If the lane engine dies at runtime the sweep must not silently
+    # absorb it: a RuntimeWarning fires, fallback_cells tallies the
+    # demoted cells, and the event engine still produces exact results.
+    import repro.experiments.sweep as sweep_module
+
+    def boom(cells):
+        raise RuntimeError("lane engine exploded")
+
+    monkeypatch.setattr(sweep_module, "run_lanes", boom)
+    seeds = (1, 2, 3)
+    cells = [
+        SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=s))
+        for s in seeds
+    ]
+    executor = SweepExecutor(jobs=1)
+    with pytest.warns(RuntimeWarning, match="fell back to the event engine"):
+        results = executor.run(cells)
+    assert executor.stats.fallback_cells == len(seeds)
+    assert executor.stats.batch_groups == 0
+    assert executor.stats.executed == len(seeds)
+    for s, result in zip(seeds, results):
+        reference = run_simulation(
+            equal_load(4, 2.0), "rr", replace(SETTINGS, seed=s, engine="event")
+        )
         _assert_identical(reference, result)
 
 
@@ -192,19 +445,28 @@ def test_executor_rejects_unknown_engine():
         SweepExecutor(engine="warp")
 
 
-def test_sweep_executor_leaves_event_cells_alone():
-    cells = [SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=s)) for s in (1, 2)]
+def test_sweep_executor_leaves_declared_event_cells_alone():
+    # An explicit engine="event" declaration is respected: the cell
+    # never enters a lane pack (and is not a "fallback" — it was never
+    # batch-eligible to begin with).
+    cells = [
+        SweepCell(equal_load(4, 2.0), "rr", replace(SETTINGS, seed=s, engine="event"))
+        for s in (1, 2)
+    ]
     executor = SweepExecutor(jobs=1)
     executor.run(cells)
     assert executor.stats.batch_groups == 0
     assert executor.stats.executed == 2
+    assert executor.stats.fallback_cells == 0
 
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
 def test_numpy_fast_path_identical_on_wide_bus(monkeypatch):
     settings = SimulationSettings(batches=2, batch_size=100, warmup=10, seed=9,
                                   keep_order=True)
-    reference = run_simulation(equal_load(40, 8.0), "rr", settings)
+    reference = run_simulation(
+        equal_load(40, 8.0), "rr", replace(settings, engine="event")
+    )
     monkeypatch.setenv("REPRO_BATCH_NUMPY", "1")
     forced_on = run_simulation(
         equal_load(40, 8.0), "rr", replace(settings, engine="batch")
@@ -224,7 +486,7 @@ def test_batch_goldens_equal_their_event_twins():
     # file must be byte-identical to the event file where both exist.
     from repro.observability.golden import golden_trace_lines
 
-    for name in ("rr", "rr-impl3", "fcfs", "fcfs-aincr", "fixed"):
+    for name in ("rr", "rr-impl3", "fcfs", "fcfs-aincr", "fixed", "rr-faults"):
         assert golden_trace_lines(name) == golden_trace_lines(f"batch-{name}")
 
 

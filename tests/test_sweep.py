@@ -7,6 +7,7 @@ test here ultimately checks some facet of that.
 """
 
 import pickle
+from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings as hyp_settings
@@ -22,6 +23,11 @@ from repro.workload.scenarios import AgentSpec, ScenarioSpec, equal_load
 from repro.workload.traces import TraceDistribution
 
 SETTINGS = SimulationSettings(batches=3, batch_size=60, warmup=30, seed=424242)
+
+#: Cells pinned to the event engine: the per-cell execution backends
+#: (process pools, retries, failure diagnostics) only see cells that
+#: are not swept into the lane-packed batch path.
+EVENT_SETTINGS = replace(SETTINGS, engine="event")
 
 
 def _fingerprint(result):
@@ -45,9 +51,9 @@ def _fingerprint(result):
     )
 
 
-def _grid(loads=(0.5, 1.5), protocols=("rr", "fcfs")):
+def _grid(loads=(0.5, 1.5), protocols=("rr", "fcfs"), settings=SETTINGS):
     return [
-        SweepCell(equal_load(6, load), protocol, SETTINGS)
+        SweepCell(equal_load(6, load), protocol, settings)
         for load in loads
         for protocol in protocols
     ]
@@ -84,7 +90,7 @@ class TestSerialExecution:
 
 class TestParallelExecution:
     def test_bit_identical_to_serial(self):
-        cells = _grid(loads=(0.5, 1.5, 2.5))
+        cells = _grid(loads=(0.5, 1.5, 2.5), settings=EVENT_SETTINGS)
         serial = SweepExecutor(jobs=1).run(cells)
         parallel_executor = SweepExecutor(jobs=2)
         parallel = parallel_executor.run(cells)
@@ -140,7 +146,7 @@ class TestRetryAndDegradation:
             return real(scenario, protocol, settings)
 
         monkeypatch.setattr(sweep_module, "run_simulation", flaky)
-        cells = _grid(loads=(0.5,), protocols=("rr", "fcfs"))
+        cells = _grid(loads=(0.5,), protocols=("rr", "fcfs"), settings=EVENT_SETTINGS)
         executor = SweepExecutor(jobs=1)
         results = executor.run(cells)
         assert [r.protocol for r in results] == ["rr", "fcfs"]
@@ -158,7 +164,7 @@ class TestRetryAndDegradation:
 
         monkeypatch.setattr(sweep_module, "run_simulation", doomed)
         executor = SweepExecutor(jobs=1)
-        cells = [SweepCell(equal_load(4, 1.0), "rr", SETTINGS, tag="probe-cell")]
+        cells = [SweepCell(equal_load(4, 1.0), "rr", EVENT_SETTINGS, tag="probe-cell")]
         with pytest.raises(SweepExecutionError) as excinfo:
             executor.run(cells)
         message = str(excinfo.value)
@@ -174,7 +180,7 @@ class TestRetryAndDegradation:
         monkeypatch.setattr(
             sweep_module, "ProcessPoolExecutor", _BrokenSubmitPool
         )
-        cells = _grid()
+        cells = _grid(settings=EVENT_SETTINGS)
         executor = SweepExecutor(jobs=2)
         results = executor.run(cells)
         serial = SweepExecutor(jobs=1).run(cells)
@@ -187,7 +193,7 @@ class TestRetryAndDegradation:
 
     def test_unconstructible_pool_falls_back_to_plain_serial(self, monkeypatch):
         monkeypatch.setattr(sweep_module, "ProcessPoolExecutor", _UnavailablePool)
-        cells = _grid()
+        cells = _grid(settings=EVENT_SETTINGS)
         executor = SweepExecutor(jobs=2)
         results = executor.run(cells)
         serial = SweepExecutor(jobs=1).run(cells)
