@@ -24,11 +24,21 @@ checks:
    ``benchmarks/test_grid_batch.py::test_grid_batch_speedup_gate``
    with its interleaved min-of-k discipline.
 
+3. **Session overhead** — the recorded baseline's session-routed grid
+   pass must sit within ``--session-overhead`` (default 2%) of the raw
+   lane-engine pass.  Orchestration (planning, routing, outcome
+   assembly) is pure bookkeeping; if it shows up in grid timings, the
+   session layer grew a per-cell cost it must not have.  The exact bar
+   is enforced on the recorded baseline and by
+   ``benchmarks/test_session_overhead.py::test_session_overhead_gate``;
+   the fresh run gets the same drift-scaled slack as the speedup.
+
 Usage::
 
     python scripts/check_bench.py [--baseline BENCH_engine.json]
                                   [--tolerance 0.5]
                                   [--grid-speedup 10.0]
+                                  [--session-overhead 0.02]
 """
 
 from __future__ import annotations
@@ -78,6 +88,44 @@ def check_grid_speedup(summary: dict, baseline: dict, gate: float, tolerance: fl
     return status
 
 
+def check_session_overhead(
+    summary: dict, baseline: dict, gate: float, tolerance: float
+) -> int:
+    """Gate the session layer's grid overhead at the recorded baseline."""
+    status = 0
+    recorded = baseline.get("session_overhead")
+    if recorded is None:
+        print("  session overhead: baseline records none  <-- REGRESSION")
+        status = 1
+    elif recorded >= gate:
+        print(
+            f"  session overhead: baseline records {recorded:+.2%} "
+            f"(gate < {gate:.0%})  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  session overhead: baseline records {recorded:+.2%} (gate < {gate:.0%})"
+        )
+    fresh = summary.get("session_overhead")
+    ceiling = gate * (1.0 + tolerance)
+    if fresh is None:
+        print("  session overhead (fresh): missing session benchmark  <-- REGRESSION")
+        status = 1
+    elif fresh >= ceiling:
+        print(
+            f"  session overhead (fresh): {fresh:+.2%} "
+            f"(ceiling {ceiling:.0%} at {tolerance:.0%} tolerance)  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  session overhead (fresh): {fresh:+.2%} "
+            f"(ceiling {ceiling:.0%} at {tolerance:.0%} tolerance)"
+        )
+    return status
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -98,6 +146,12 @@ def main() -> int:
         default=10.0,
         help="required end-to-end grid speedup at the recorded baseline",
     )
+    parser.add_argument(
+        "--session-overhead",
+        type=float,
+        default=0.02,
+        help="allowed session-layer grid overhead at the recorded baseline",
+    )
     args = parser.parse_args()
 
     if not args.baseline.exists():
@@ -116,7 +170,10 @@ def main() -> int:
     grid_status = check_grid_speedup(
         summary, baseline_doc, args.grid_speedup, args.tolerance
     )
-    return status or grid_status
+    session_status = check_session_overhead(
+        summary, baseline_doc, args.session_overhead, args.tolerance
+    )
+    return status or grid_status or session_status
 
 
 if __name__ == "__main__":

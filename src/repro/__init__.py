@@ -93,6 +93,11 @@ from repro.protocols import (
     get_spec,
     protocol_names,
 )
+from repro.session import (
+    RunOutcome,
+    RunRequest,
+    Session,
+)
 from repro.signals import (
     ArbitrationLineBundle,
     AsyncContention,
@@ -210,6 +215,10 @@ __all__ = [
     "ks_distance",
     "CompletionCollector",
     "RunResult",
+    # session layer (run orchestration)
+    "Session",
+    "RunRequest",
+    "RunOutcome",
     # experiment harness
     "run_simulation",
     "SimulationSettings",

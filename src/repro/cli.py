@@ -25,10 +25,7 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.experiments import (
-    SimulationSettings,
-    run_simulation,
-)
+from repro.experiments import SimulationSettings
 from repro.experiments import (
     extensions,
     figure_4_1,
@@ -43,9 +40,9 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.formatting import fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
 from repro.experiments.scale import SCALES, current_scale
-from repro.experiments.sweep import SweepExecutor
 from repro.observability import TelemetrySettings, render_metrics
 from repro.protocols.registry import get_spec, protocol_names
+from repro.session import Session
 from repro.workload.scenarios import equal_load
 
 __all__ = ["main", "build_parser", "render_protocol_listing"]
@@ -279,25 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_executor(args) -> SweepExecutor:
+def _make_session(args) -> Session:
+    """One session per invocation: every subcommand routes through it.
+
+    ``--jobs``, ``--cache``/``--cache-dir`` and ``--engine`` configure
+    the session's executor backend; ``engine=None`` respects each
+    cell's own declaration, while an explicit ``--engine`` (validated
+    by argparse against the known engines) overrides every cell,
+    reaching the grids that build their settings internally.
+    """
     cache = None
     if args.cache or args.cache_dir:
         cache = ResultCache(args.cache_dir)
-    # None = respect each cell's own engine declaration; an explicit
-    # --engine (either value) overrides every cell, reaching the grids
-    # that build their settings internally.
-    return SweepExecutor(jobs=args.jobs, cache=cache, engine=args.engine)
+    return Session(jobs=args.jobs, cache=cache, engine=args.engine)
 
 
 def _run_settings(args, scale, **extra) -> SimulationSettings:
     """Ad-hoc run settings for the run/compare/trace/metrics commands.
 
-    Without ``--engine`` the settings keep the library default (the
-    batch engine, falling back outside its verified domain); an
-    explicit choice is passed through as an override.
+    The engine is *not* set here: the session's ``--engine`` override
+    applies uniformly at plan time, so ad-hoc runs and grid sweeps
+    resolve their engine in exactly one place.
     """
-    if args.engine is not None:
-        extra["engine"] = args.engine
     return SimulationSettings(
         batches=scale.batches,
         batch_size=scale.batch_size,
@@ -313,7 +313,7 @@ def _emit_tables(module, scale, seed, executor) -> None:
         print()
 
 
-def _run_compare(args, scale) -> None:
+def _run_compare(args, scale, session: Session) -> None:
     from repro.errors import StatisticsError
 
     scenario = equal_load(args.agents, args.load, cv=args.cv)
@@ -324,7 +324,10 @@ def _run_compare(args, scale) -> None:
         f"{'t_N/t_1':>16s}"
     )
     for protocol in args.protocols:
-        result = run_simulation(scenario, protocol, settings)
+        session.submit(scenario, protocol, settings, tag=f"compare/{protocol}")
+    outcomes = session.gather()
+    for protocol, outcome in zip(args.protocols, outcomes):
+        result = outcome.result
         try:
             fairness = fmt_estimate(result.extreme_throughput_ratio())
         except StatisticsError:
@@ -337,7 +340,7 @@ def _run_compare(args, scale) -> None:
         )
 
 
-def _run_trace(args, scale) -> None:
+def _run_trace(args, scale, session: Session) -> None:
     """``trace``: stream one run's arbitration events as JSON lines.
 
     The trace goes through the run's own :class:`JsonlSink` (via
@@ -348,17 +351,17 @@ def _run_trace(args, scale) -> None:
     settings = _run_settings(
         args, scale, telemetry=TelemetrySettings(events=True, jsonl_path=args.out)
     )
-    result = run_simulation(scenario, args.protocol, settings)
+    result = session.simulate(scenario, args.protocol, settings)
     if args.out != "-":
         count = len(result.events) if result.events is not None else 0
         print(f"{count} arbitration events written to {args.out}")
 
 
-def _run_metrics(args, scale) -> None:
+def _run_metrics(args, scale, session: Session) -> None:
     """``metrics``: one run's telemetry counters and histograms."""
     scenario = equal_load(args.agents, args.load, cv=args.cv)
     settings = _run_settings(args, scale, telemetry=TelemetrySettings(metrics=True))
-    result = run_simulation(scenario, args.protocol, settings)
+    result = session.simulate(scenario, args.protocol, settings)
     print(
         f"protocol {args.protocol} on {scenario.name} "
         f"(seed {args.seed}, scale {scale.name})"
@@ -382,10 +385,10 @@ def _summarise_fault_metrics(table) -> Optional[str]:
     return f"telemetry totals: {body}"
 
 
-def _run_single(args, scale) -> None:
+def _run_single(args, scale, session: Session) -> None:
     scenario = equal_load(args.agents, args.load, cv=args.cv)
     settings = _run_settings(args, scale)
-    result = run_simulation(scenario, args.protocol, settings)
+    result = session.simulate(scenario, args.protocol, settings)
     print(f"protocol          : {args.protocol}")
     print(f"scenario          : {scenario.name}")
     print(f"bus utilisation   : {result.utilization:.3f}")
@@ -399,20 +402,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    scale = current_scale(args.scale)
+    if args.command == "faults":
+        # Enum-like choices (--engine, --protocols, table/figure numbers,
+        # --scale) are validated by argparse; numeric flags get the same
+        # treatment here so bad values exit 2 with a usage message
+        # instead of surfacing mid-run.
+        bad = [f"{rate:g}" for rate in args.rates if rate <= 0.0]
+        if bad:
+            parser.error(f"--rates must be > 0, got: {', '.join(bad)}")
     try:
+        # Inside the try: an invalid $REPRO_SCALE raises ReproError and
+        # must exit 1 with a clean message, not a traceback.
+        scale = current_scale(args.scale)
         if args.command == "table":
-            executor = _make_executor(args)
+            session = _make_session(args)
             if args.number in _EXTENSION_TABLES:
                 print(
-                    _EXTENSION_TABLES[args.number](scale, args.seed, executor).render()
+                    _EXTENSION_TABLES[args.number](scale, args.seed, session).render()
                 )
                 print()
             else:
-                _emit_tables(_TABLES[args.number], scale, args.seed, executor)
+                _emit_tables(_TABLES[args.number], scale, args.seed, session)
         elif args.command == "figure":
             figure = figure_4_1.run(
-                scale=scale, seed=args.seed, executor=_make_executor(args)
+                scale=scale, seed=args.seed, executor=_make_session(args)
             )
             print(figure.render())
             if args.csv:
@@ -420,10 +433,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     handle.write(figure.series_csv())
                 print(f"(series written to {args.csv})")
         elif args.command == "all":
-            executor = _make_executor(args)
+            session = _make_session(args)
             for number in sorted(_TABLES):
-                _emit_tables(_TABLES[number], scale, args.seed, executor)
-            print(figure_4_1.run(scale=scale, seed=args.seed, executor=executor).render())
+                _emit_tables(_TABLES[number], scale, args.seed, session)
+            print(figure_4_1.run(scale=scale, seed=args.seed, executor=session).render())
         elif args.command == "protocols":
             print(render_protocol_listing())
         elif args.command == "faults":
@@ -433,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rates=args.rates,
                 scale=scale,
                 seed=args.seed,
-                executor=_make_executor(args),
+                executor=_make_session(args),
                 telemetry=telemetry,
                 engine=args.engine or "batch",
             )
@@ -444,13 +457,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(summary)
                 print()
         elif args.command == "trace":
-            _run_trace(args, scale)
+            _run_trace(args, scale, _make_session(args))
         elif args.command == "metrics":
-            _run_metrics(args, scale)
+            _run_metrics(args, scale, _make_session(args))
         elif args.command == "run":
-            _run_single(args, scale)
+            _run_single(args, scale, _make_session(args))
         elif args.command == "compare":
-            _run_compare(args, scale)
+            _run_compare(args, scale, _make_session(args))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

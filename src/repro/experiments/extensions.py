@@ -38,6 +38,7 @@ from repro.experiments.spec import (
     build_table,
     settings_for,
 )
+from repro.experiments.spec import RunExecutor
 from repro.experiments.sweep import SweepExecutor
 from repro.faults import FaultyWinnerRegisterRR
 from repro.protocols.registry import get_spec, protocol_names
@@ -159,7 +160,7 @@ def run_table_e3(
     num_agents: int = 12,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> ExperimentTable:
     """Table E3: fairness under trace-driven workloads ([EgGi87] angle)."""
     scale = scale or current_scale()
@@ -226,7 +227,7 @@ def run_table_e4(
     load: float = 2.5,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> ExperimentTable:
     """Table E4: the urgent-traffic pointer-reset finding (§3.1).
 

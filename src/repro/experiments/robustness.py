@@ -39,9 +39,10 @@ from repro.experiments.formatting import ExperimentTable
 from repro.experiments.params import DEFAULT_SEED
 from repro.experiments.scale import Scale, current_scale
 from repro.experiments.spec import (
-    CellSpec, ExperimentSpec, PanelSpec, RowSpec, build_table, settings_for,
+    CellSpec, ExperimentSpec, PanelSpec, RowSpec, RunExecutor, build_table, settings_for,
 )
 from repro.experiments.sweep import SweepExecutor
+from repro.session.planner import normalize_engine
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.observability.events import TelemetrySettings
 from repro.protocols.registry import get_spec
@@ -238,7 +239,7 @@ def run(
     rates: Sequence[float] = DEFAULT_FAULT_RATES,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
     telemetry: Optional[TelemetrySettings] = None,
     engine: str = "batch",
 ) -> Tuple[ExperimentTable, ...]:
@@ -260,7 +261,9 @@ def run(
     executor = executor or SweepExecutor()
     scale = scale or current_scale()
     scenario = equal_load(NUM_AGENTS, LOAD)
-    baseline_settings = settings_for(scale, seed, keep_order=True, engine=engine)
+    baseline_settings = settings_for(
+        scale, seed, keep_order=True, engine=normalize_engine(engine, allow_none=False)
+    )
     tables = []
     for protocol in protocols:
         baseline = executor.simulate(scenario, protocol, baseline_settings)
@@ -278,7 +281,7 @@ def spec(
     rates: Sequence[float] = DEFAULT_FAULT_RATES,
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> ExperimentSpec:
     """Declarative form of the grid (baselines run eagerly to anchor rows)."""
     executor = executor or SweepExecutor()

@@ -2,7 +2,13 @@
 
 :func:`run_simulation` is the one place a scenario, a protocol name and
 run-length settings meet; every experiment module and every example goes
-through it.  Protocols live in the first-class registry
+through it.  Since the session refactor it is a thin delegate to
+:func:`repro.session.single.run_cell` — engine dispatch, the runtime
+batch→event fallback and the event-simulation body all live in
+:mod:`repro.session` now — kept here so the historical import path (and
+the process-pool pickling of sweep payloads) stays stable.
+
+Protocols live in the first-class registry
 (:mod:`repro.protocols.registry`): each is a
 :class:`~repro.protocols.registry.ProtocolSpec` declaring its factory
 and capabilities, so scenario-vs-protocol mismatches (an ``r > 1``
@@ -17,17 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.bus.model import BusSystem
 from repro.bus.timing import BusTiming
-from repro.errors import ConfigurationError
-from repro.bus.watchdog import BusWatchdog, WatchdogPolicy
-from repro.faults.injector import FaultInjector
+from repro.bus.watchdog import WatchdogPolicy
 from repro.faults.plan import FaultPlan
 from repro.observability.events import TelemetrySettings
-from repro.observability.metrics import MetricsRegistry
-from repro.observability.sinks import EventSink, InMemorySink, JsonlSink, TeeSink
-from repro.protocols.registry import PROTOCOLS, get_spec, make_arbiter
-from repro.stats.collector import CompletionCollector
+from repro.protocols.registry import PROTOCOLS, make_arbiter
+from repro.session.planner import normalize_engine
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
 
@@ -87,10 +88,7 @@ class SimulationSettings:
     engine: str = "batch"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("event", "batch"):
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; choose 'event' or 'batch'"
-            )
+        normalize_engine(self.engine, allow_none=False)
 
 
 def run_simulation(
@@ -109,76 +107,6 @@ def run_simulation(
     arrival processes — the common-random-numbers discipline behind the
     paper's protocol comparisons.
     """
-    if settings is None:
-        settings = SimulationSettings()
-    if settings.engine == "batch":
-        # Local import: the batch engine imports RunResult/registry and
-        # would cycle with this module at import time.
-        from repro.engine.batch import batch_capable, run_simulation_batch
+    from repro.session.single import run_cell
 
-        if batch_capable(scenario, protocol, settings)[0]:
-            return run_simulation_batch(scenario, protocol, settings)
-    needed_capacity = max(spec.max_outstanding for spec in scenario.agents)
-    arbiter = make_arbiter(protocol, scenario.num_agents, needed_capacity)
-    injector: Optional[FaultInjector] = None
-    watchdog: Optional[BusWatchdog] = None
-    if settings.fault_plan is not None and len(settings.fault_plan):
-        # Validate the plan against the protocol's declared fault
-        # capabilities now, before any event runs.
-        get_spec(protocol).check_faults(settings.fault_plan.kinds())
-        injector = FaultInjector(settings.fault_plan)
-        watchdog = BusWatchdog(settings.watchdog)
-    elif settings.watchdog is not None:
-        watchdog = BusWatchdog(settings.watchdog)
-    memory: Optional[InMemorySink] = None
-    jsonl: Optional[JsonlSink] = None
-    sink: Optional[EventSink] = None
-    metrics: Optional[MetricsRegistry] = None
-    if settings.telemetry is not None:
-        sinks = []
-        if settings.telemetry.events:
-            memory = InMemorySink()
-            sinks.append(memory)
-        if settings.telemetry.jsonl_path is not None:
-            jsonl = JsonlSink(settings.telemetry.jsonl_path)
-            sinks.append(jsonl)
-        if sinks:
-            sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
-        if settings.telemetry.metrics:
-            metrics = MetricsRegistry()
-    collector = CompletionCollector(
-        batches=settings.batches,
-        batch_size=settings.batch_size,
-        warmup=settings.warmup,
-        keep_samples=settings.keep_samples,
-        keep_order=settings.keep_order,
-        keep_records=settings.keep_records,
-    )
-    system = BusSystem(
-        scenario=scenario,
-        arbiter=arbiter,
-        collector=collector,
-        timing=settings.timing,
-        seed=settings.seed,
-        injector=injector,
-        watchdog=watchdog,
-        sink=sink,
-        metrics=metrics,
-    )
-    try:
-        system.run(max_events=settings.max_events)
-    finally:
-        if jsonl is not None:
-            jsonl.close()
-    return RunResult(
-        scenario=scenario,
-        protocol=protocol,
-        collector=collector,
-        utilization=system.utilization(),
-        elapsed=system.simulator.now,
-        seed=settings.seed,
-        confidence=settings.confidence,
-        failed=watchdog.gave_up if watchdog is not None else False,
-        events=memory.events if memory is not None else None,
-        metrics=metrics,
-    )
+    return run_cell(scenario, protocol, settings)

@@ -14,17 +14,24 @@ module declares its grid as data —
 - :class:`ExperimentSpec` — the panels of one table/figure.
 
 — and :func:`build_table` / :func:`build_tables` do the rest: flatten
-the grid, submit it to a :class:`~repro.experiments.sweep.SweepExecutor`
-as one sweep (parallel- and cache-friendly), and assemble the rendered
+the grid, submit it as one batch of session-layer
+:class:`~repro.session.request.RunRequest`\\ s (parallel- and
+cache-friendly), and assemble the rendered
 :class:`~repro.experiments.formatting.ExperimentTable`.  Cells are
 submitted in row-major declaration order, so results are byte-identical
 to the historical per-module loops at the same scale and seed.
+
+Any :data:`RunExecutor` can back a grid: a
+:class:`~repro.experiments.sweep.SweepExecutor` (the default) or a
+:class:`~repro.session.session.Session` — both expose
+``run_requests(requests) -> [RunOutcome]`` and ``simulate``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -33,6 +40,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.errors import ConfigurationError
@@ -41,8 +49,12 @@ from repro.experiments.runner import SimulationSettings
 from repro.experiments.scale import Scale
 from repro.experiments.sweep import SweepCell, SweepExecutor
 from repro.protocols.registry import get_spec
+from repro.session.request import RunRequest
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.session import Session
 
 __all__ = [
     "CellSpec",
@@ -50,12 +62,17 @@ __all__ = [
     "PanelSpec",
     "ExperimentSpec",
     "RowBuilder",
+    "RunExecutor",
     "settings_for",
     "grid_rows",
     "run_cells",
     "build_table",
     "build_tables",
 ]
+
+#: Anything that can back an experiment grid: duck-typed on
+#: ``run_requests(requests) -> [RunOutcome]`` plus ``simulate``.
+RunExecutor = Union[SweepExecutor, "Session"]
 
 #: ``build_row(label, results_by_key) -> (formatted_cells, record)``.
 RowBuilder = Callable[
@@ -100,6 +117,10 @@ class CellSpec:
     def sweep_cell(self) -> SweepCell:
         """The executable form submitted to a sweep executor."""
         return SweepCell(self.scenario, self.protocol, self.settings, tag=self.tag)
+
+    def run_request(self) -> RunRequest:
+        """The session-layer form of the cell."""
+        return RunRequest(self.scenario, self.protocol, self.settings, tag=self.tag)
 
 
 @dataclass(frozen=True)
@@ -180,16 +201,17 @@ def grid_rows(
 
 def run_cells(
     cells: Sequence[CellSpec],
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> List[RunResult]:
-    """Execute declared cells as one sweep; results in cell order."""
+    """Execute declared cells as one session batch; results in cell order."""
     executor = executor or SweepExecutor()
-    return executor.run([cell.sweep_cell() for cell in cells])
+    outcomes = executor.run_requests([cell.run_request() for cell in cells])
+    return [outcome.result for outcome in outcomes]
 
 
 def build_table(
     panel: PanelSpec,
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> ExperimentTable:
     """Compile one panel: run its grid, assemble the rendered table."""
     results = iter(run_cells(panel.cells(), executor))
@@ -205,7 +227,7 @@ def build_table(
 
 def build_tables(
     experiment: ExperimentSpec,
-    executor: Optional[SweepExecutor] = None,
+    executor: Optional[RunExecutor] = None,
 ) -> Tuple[ExperimentTable, ...]:
     """Compile every panel of an experiment, sharing one executor."""
     executor = executor or SweepExecutor()

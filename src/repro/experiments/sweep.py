@@ -3,14 +3,15 @@
 The paper's evaluation is a grid: every table cell is one independent
 ``(scenario, protocol, settings)`` simulation, and nothing couples the
 cells — each derives all of its randomness from its own settings seed.
-This module compiles such grids into lane-packed super-batches for the
-lockstep batch engine (:func:`repro.engine.batch.run_lanes` advances
-every batch-capable cell of a grid together, however heterogeneous),
-fans the remainder out over a
-:class:`concurrent.futures.ProcessPoolExecutor` with a serial fallback,
-and consults the content-addressed
-:class:`~repro.experiments.cache.ResultCache` before executing
-anything.
+Since the session refactor, *what* to run is decided by the session
+layer — :func:`repro.session.planner.plan_runs` resolves engine choice,
+lane packing and cache lookup; :func:`repro.session.execute.execute_plan`
+drives the plan — and this module supplies the execution backends: the
+lane super-batch hook (:func:`repro.engine.batch.run_lanes` advances
+every batch-capable cell of a grid together, however heterogeneous) and
+the per-cell fan-out over a
+:class:`concurrent.futures.ProcessPoolExecutor` with a serial fallback
+and one in-process retry.
 
 Determinism guarantees (the common-random-numbers discipline the paper's
 protocol comparisons depend on):
@@ -30,20 +31,27 @@ from __future__ import annotations
 
 import copy
 import os
-import warnings
 from concurrent.futures import BrokenExecutor, CancelledError, Future, ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.engine.batch import batch_capable, kernel_family, run_lanes
+from repro.engine.batch import run_lanes
 from repro.errors import ConfigurationError, SweepExecutionError
-from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.cache import ResultCache
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.observability.metrics import MetricsRegistry, merge_metrics
+from repro.session.execute import execute_plan
+from repro.session.outcome import CellFailure, RunOutcome, SessionStats
+from repro.session.planner import normalize_engine, plan_runs
+from repro.session.request import RunRequest
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
 
 __all__ = ["SweepCell", "CellFailure", "SweepExecutor", "default_jobs"]
+
+#: Historical name for the shared orchestration accounting
+#: (:class:`repro.session.outcome.SessionStats`).
+SweepStats = SessionStats
 
 _ENV_JOBS = "REPRO_JOBS"
 
@@ -89,77 +97,14 @@ def _execute_payload(payload: Tuple[ScenarioSpec, str, SimulationSettings]) -> R
     return run_simulation(scenario, protocol, settings)
 
 
-@dataclass(frozen=True)
-class CellFailure:
-    """Diagnostics for one sweep cell that failed even after a retry.
+def _call_run_lanes(cells):
+    """Lane backend handed to the session layer.
 
-    Attributes
-    ----------
-    index:
-        Position of the cell within the executed batch.
-    tag:
-        The cell's caller-supplied label, if any.
-    protocol:
-        The cell's protocol name.
-    scenario:
-        The cell's scenario name.
-    error:
-        ``TypeName: message`` of the final (retry) failure.
-    first_error:
-        ``TypeName: message`` of the original failure that triggered
-        the retry.
+    A function (not a bare reference) so ``run_lanes`` resolves through
+    this module's globals at call time — the differential and fault
+    suites monkeypatch ``sweep.run_lanes`` to probe the fallback path.
     """
-
-    index: int
-    tag: Optional[str]
-    protocol: str
-    scenario: str
-    error: str
-    first_error: str
-
-    def __str__(self) -> str:
-        label = self.tag if self.tag is not None else f"cell {self.index}"
-        return (
-            f"{label} ({self.protocol} on {self.scenario}): {self.error} "
-            f"(first attempt: {self.first_error})"
-        )
-
-
-@dataclass
-class SweepStats:
-    """Execution accounting for one executor, across all its sweeps."""
-
-    executed: int = 0
-    cache_hits: int = 0
-    parallel_batches: int = 0
-    serial_batches: int = 0
-    #: Cells re-run after their first attempt raised.
-    retries: int = 0
-    #: Per-cell diagnostics for cells whose retry failed too.
-    failures: List[CellFailure] = field(default_factory=list)
-    #: Lockstep kernel-family groups executed by the lane-packed batch
-    #: engine, and the lanes (cells) they covered.
-    batch_groups: int = 0
-    batch_replications: int = 0
-    #: Batch-capable cells that *silently degraded* to the per-cell
-    #: event path because the lane pack failed at runtime.  Statically
-    #: out-of-domain cells (no kernel, JSONL telemetry, event cells) are
-    #: not counted — they were never promised the batch engine.  The
-    #: fault-free differential suite asserts this stays zero.
-    fallback_cells: int = 0
-
-    def snapshot(self) -> "SweepStats":
-        return SweepStats(
-            self.executed,
-            self.cache_hits,
-            self.parallel_batches,
-            self.serial_batches,
-            self.retries,
-            list(self.failures),
-            self.batch_groups,
-            self.batch_replications,
-            self.fallback_cells,
-        )
+    return run_lanes(cells)
 
 
 class SweepExecutor:
@@ -192,51 +137,49 @@ class SweepExecutor:
         cache: Optional[ResultCache] = None,
         engine: Optional[str] = None,
     ) -> None:
-        if engine is not None and engine not in ("event", "batch"):
-            raise ConfigurationError(
-                f"engine must be 'event' or 'batch', got {engine!r}"
-            )
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
-        self.engine = engine
+        self.engine = normalize_engine(engine)
         self.stats = SweepStats()
 
     # -- public API -----------------------------------------------------------
 
-    def _with_engine(self, cell: SweepCell) -> SweepCell:
-        if self.engine is None or cell.settings.engine == self.engine:
-            return cell
-        return replace(cell, settings=replace(cell.settings, engine=self.engine))
-
     def run(self, cells: Sequence[SweepCell]) -> List[RunResult]:
         """Execute (or replay) every cell; results in cell order."""
-        cells = [self._with_engine(cell) for cell in cells]
-        results: List[Optional[RunResult]] = [None] * len(cells)
-        pending: List[int] = []
-        keys: List[Optional[str]] = [None] * len(cells)
-        for index, cell in enumerate(cells):
-            if self.cache is not None:
-                key = cache_key(cell.scenario, cell.protocol, cell.settings)
-                keys[index] = key
-                cached = self.cache.get(key)
-                if cached is not None:
-                    self.stats.cache_hits += 1
-                    results[index] = cached
-                    continue
-            pending.append(index)
+        outcomes = self.run_requests(
+            [
+                RunRequest(cell.scenario, cell.protocol, cell.settings, tag=cell.tag)
+                for cell in cells
+            ]
+        )
+        return [outcome.result for outcome in outcomes]
 
-        if pending:
-            pending = self._run_lane_batches(cells, pending, results, keys)
-        if pending:
-            fresh = self._execute([cells[i] for i in pending])
-            for index, result in zip(pending, fresh):
-                results[index] = result
-                if self.cache is not None:
-                    key = keys[index]
-                    assert key is not None
-                    self.cache.put(key, result)
-            self.stats.executed += len(pending)
-        return [result for result in results if result is not None]
+    def run_requests(self, requests: Sequence[RunRequest]) -> List[RunOutcome]:
+        """Plan and execute a request batch; outcomes in request order.
+
+        The session layer decides everything (engine override, lane
+        packing, cache lookup — see :func:`repro.session.planner.
+        plan_runs`); this executor contributes its backends: the lane
+        super-batch hook and the per-cell process-pool/serial path with
+        retries.
+        """
+        plan = plan_runs(requests, cache=self.cache, engine=self.engine)
+        return execute_plan(
+            plan,
+            cache=self.cache,
+            stats=self.stats,
+            lane_runner=_call_run_lanes,
+            direct_runner=self._execute_requests,
+        )
+
+    def _execute_requests(self, requests: Sequence[RunRequest]) -> List[RunResult]:
+        """Direct backend handed to the session layer (per-cell path)."""
+        return self._execute(
+            [
+                SweepCell(req.scenario, req.protocol, req.settings, tag=req.tag)
+                for req in requests
+            ]
+        )
 
     def simulate(
         self,
@@ -260,78 +203,6 @@ class SweepExecutor:
         return merge_metrics(result.metrics for result in results)
 
     # -- execution backends ---------------------------------------------------
-
-    def _run_lane_batches(
-        self,
-        cells: Sequence[SweepCell],
-        pending: List[int],
-        results: List[Optional[RunResult]],
-        keys: List[Optional[str]],
-    ) -> List[int]:
-        """Run batch-capable cells as one super-batch; returns leftovers.
-
-        Every pending cell that requests ``engine="batch"`` and fits the
-        batch domain becomes a lane of a single
-        :func:`repro.engine.batch.run_lanes` super-batch — agent counts,
-        loads, seeds, protocols and fault plans may all differ; the lane
-        engine groups them by kernel family internally.  Statically
-        out-of-domain cells (no kernel, an ``engine="event"``
-        declaration, JSONL telemetry, out-of-domain fault kinds) flow
-        straight to the ordinary per-cell backends.
-
-        A lane pack that fails *at runtime* is different: those cells
-        were promised the batch engine, and the per-cell path would
-        quietly mask whatever broke, so the degradation emits a
-        ``RuntimeWarning`` and is tallied in ``stats.fallback_cells``
-        before the cells are handed back to the backends (whose
-        retry/diagnostic machinery reports real per-cell errors).
-        """
-        lane_indices: List[int] = []
-        rest: List[int] = []
-        for index in pending:
-            cell = cells[index]
-            settings = cell.settings
-            telemetry = settings.telemetry
-            if (
-                settings.engine != "batch"
-                or (telemetry is not None and telemetry.jsonl_path is not None)
-                or not batch_capable(cell.scenario, cell.protocol, settings)[0]
-            ):
-                rest.append(index)
-                continue
-            lane_indices.append(index)
-        if lane_indices:
-            try:
-                fresh = run_lanes(
-                    [
-                        (cells[i].scenario, cells[i].protocol, cells[i].settings)
-                        for i in lane_indices
-                    ]
-                )
-            except Exception as exc:
-                self.stats.fallback_cells += len(lane_indices)
-                warnings.warn(
-                    f"{len(lane_indices)} batch-capable sweep cell(s) fell "
-                    f"back to the event engine "
-                    f"({type(exc).__name__}: {exc})",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                rest.extend(lane_indices)
-            else:
-                self.stats.batch_groups += len(
-                    {kernel_family(cells[i].protocol) for i in lane_indices}
-                )
-                self.stats.batch_replications += len(lane_indices)
-                self.stats.executed += len(lane_indices)
-                for index, result in zip(lane_indices, fresh):
-                    results[index] = result
-                    if self.cache is not None:
-                        key = keys[index]
-                        assert key is not None
-                        self.cache.put(key, result)
-        rest.sort()
-        return rest
 
     def _execute(self, cells: Sequence[SweepCell]) -> List[RunResult]:
         if self.jobs > 1 and len(cells) > 1:

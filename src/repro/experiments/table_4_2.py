@@ -16,9 +16,8 @@ from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED, PAPER_LOADS, PAPER_SIZES
 from repro.experiments.scale import Scale, current_scale
 from repro.experiments.spec import (
-    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+    RunExecutor, ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
 )
-from repro.experiments.sweep import SweepExecutor
 from repro.workload.scenarios import equal_load
 
 __all__ = ["run", "run_panel", "panel_spec", "spec"]
@@ -84,14 +83,14 @@ def spec(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOAD
 
 def run_panel(num_agents: int, loads: Sequence[float] = PAPER_LOADS,
               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
-              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+              executor: Optional[RunExecutor] = None) -> ExperimentTable:
     """One panel of Table 4.2 (one system size)."""
     return build_table(panel_spec(num_agents, loads, scale, seed), executor)
 
 
 def run(sizes: Sequence[int] = PAPER_SIZES, loads: Sequence[float] = PAPER_LOADS,
         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
-        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+        executor: Optional[RunExecutor] = None) -> Tuple[ExperimentTable, ...]:
     """All panels of Table 4.2."""
     return build_tables(spec(sizes, loads, scale, seed), executor)
 

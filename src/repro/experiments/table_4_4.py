@@ -17,9 +17,8 @@ from repro.experiments.formatting import ExperimentTable, fmt_estimate
 from repro.experiments.params import DEFAULT_SEED
 from repro.experiments.scale import Scale, current_scale
 from repro.experiments.spec import (
-    ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
+    RunExecutor, ExperimentSpec, PanelSpec, build_table, build_tables, grid_rows, settings_for,
 )
-from repro.experiments.sweep import SweepExecutor
 from repro.workload.scenarios import unequal_load
 
 __all__ = ["run", "run_panel", "panel_spec", "spec", "BASE_LOADS"]
@@ -93,7 +92,7 @@ def spec(factors: Sequence[float] = (2.0, 4.0), num_agents: int = 30,
 def run_panel(factor: float, num_agents: int = 30,
               base_loads: Sequence[float] = BASE_LOADS,
               scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
-              executor: Optional[SweepExecutor] = None) -> ExperimentTable:
+              executor: Optional[RunExecutor] = None) -> ExperimentTable:
     """One panel of Table 4.4 (one rate factor)."""
     return build_table(panel_spec(factor, num_agents, base_loads, scale, seed), executor)
 
@@ -101,7 +100,7 @@ def run_panel(factor: float, num_agents: int = 30,
 def run(factors: Sequence[float] = (2.0, 4.0), num_agents: int = 30,
         base_loads: Sequence[float] = BASE_LOADS,
         scale: Optional[Scale] = None, seed: int = DEFAULT_SEED,
-        executor: Optional[SweepExecutor] = None) -> Tuple[ExperimentTable, ...]:
+        executor: Optional[RunExecutor] = None) -> Tuple[ExperimentTable, ...]:
     """Both panels of Table 4.4."""
     return build_tables(spec(factors, num_agents, base_loads, scale, seed), executor)
 

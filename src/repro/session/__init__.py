@@ -1,0 +1,62 @@
+"""Run orchestration: request → plan → outcome.
+
+The session layer is the single place engine selection, lane packing,
+cache lookup and graceful degradation are decided.  Every entry point —
+:func:`~repro.experiments.runner.run_simulation`, the
+:class:`~repro.experiments.sweep.SweepExecutor` backends, the
+robustness grid, all experiment tables and the CLI — routes through it:
+
+- :class:`RunRequest` (:mod:`repro.session.request`): one requested
+  simulation — scenario, protocol, settings, tag — with a
+  JSON-round-trippable wire format;
+- :func:`plan_runs` (:mod:`repro.session.planner`): resolves requests
+  into a :class:`RunPlan` — engine choice via
+  :func:`repro.engine.batch.batch_capable`, lane packing, epoch-6
+  cache lookup;
+- :func:`execute_plan` (:mod:`repro.session.execute`): runs the plan
+  against injected backends and returns :class:`RunOutcome`\\ s
+  carrying the :class:`~repro.stats.summary.RunResult`, cache
+  provenance, the runtime batch→event fallback flag
+  (:mod:`repro.session.fallback`) and :class:`CellFailure`
+  degradation;
+- :class:`Session` (:mod:`repro.session.session`): the synchronous
+  submit/gather facade with cross-request dedup, the seam the future
+  service front end wraps.
+
+The layering rule: this package never imports
+:mod:`repro.experiments` at module level (the experiments package
+imports session right back); those references resolve lazily at call
+time.
+"""
+
+from repro.session.execute import execute_plan
+from repro.session.fallback import batch_fallback_message, warn_batch_fallback
+from repro.session.outcome import CellFailure, RunOutcome, SessionStats
+from repro.session.planner import (
+    ENGINES,
+    PlannedRun,
+    RunPlan,
+    normalize_engine,
+    plan_runs,
+)
+from repro.session.request import RunRequest
+from repro.session.session import Session
+from repro.session.single import run_cell, run_cell_event
+
+__all__ = [
+    "RunRequest",
+    "RunOutcome",
+    "CellFailure",
+    "SessionStats",
+    "PlannedRun",
+    "RunPlan",
+    "plan_runs",
+    "execute_plan",
+    "run_cell",
+    "run_cell_event",
+    "Session",
+    "ENGINES",
+    "normalize_engine",
+    "batch_fallback_message",
+    "warn_batch_fallback",
+]

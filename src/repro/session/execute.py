@@ -1,0 +1,135 @@
+"""Execute a :class:`~repro.session.planner.RunPlan`.
+
+:func:`execute_plan` is the single orchestration loop every entry point
+shares — :func:`~repro.experiments.runner.run_simulation` (via the
+single-cell plan), :class:`~repro.experiments.sweep.SweepExecutor` and
+the :class:`~repro.session.session.Session` facade.  It replays cached
+runs, packs the lane route into one lockstep super-batch, demotes a
+lane pack that fails at runtime to the direct path (loudly — see
+:mod:`repro.session.fallback`), hands the direct route to the supplied
+backend (process pool, serial loop), writes fresh results back to the
+cache, and accounts everything on a shared
+:class:`~repro.session.outcome.SessionStats`.
+
+Backends are injected as callables so this module stays free of
+process-pool mechanics — and so ``SweepExecutor`` can keep resolving
+``run_lanes``/``run_simulation`` through its own module globals (which
+the differential and fault suites monkeypatch).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+from repro.session.fallback import warn_batch_fallback
+from repro.session.outcome import (
+    ROUTE_CACHE,
+    ROUTE_DIRECT,
+    ROUTE_LANES,
+    RunOutcome,
+    SessionStats,
+)
+from repro.session.planner import PlannedRun, RunPlan
+from repro.session.request import RunRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.cache import ResultCache
+    from repro.stats.summary import RunResult
+
+__all__ = ["execute_plan"]
+
+#: A lane backend: cells in, results in lane order.
+LaneRunner = Callable[[Sequence[tuple]], Sequence["RunResult"]]
+#: A per-cell backend: requests in, results in request order.
+DirectRunner = Callable[[Sequence[RunRequest]], Sequence["RunResult"]]
+
+
+def _default_lane_runner(cells: Sequence[tuple]) -> Sequence["RunResult"]:
+    from repro.engine.batch import run_lanes
+
+    return run_lanes(cells)
+
+
+def _default_direct_runner(requests: Sequence[RunRequest]) -> List["RunResult"]:
+    """Serial per-cell execution against private scenario copies."""
+    from repro.session.single import run_cell
+
+    results = []
+    for request in requests:
+        scenario = copy.deepcopy(request.scenario)
+        results.append(run_cell(scenario, request.protocol, request.settings))
+    return results
+
+
+def execute_plan(
+    plan: RunPlan,
+    cache: Optional["ResultCache"] = None,
+    stats: Optional[SessionStats] = None,
+    lane_runner: Optional[LaneRunner] = None,
+    direct_runner: Optional[DirectRunner] = None,
+) -> List[RunOutcome]:
+    """Run every planned cell; outcomes in plan (= request) order.
+
+    A lane pack that fails at runtime demotes its cells to the direct
+    path with one ``RuntimeWarning`` and a ``fallback_cells`` tally
+    (those cells were promised the batch engine; the direct path's
+    retry/diagnostic machinery then reports real per-cell errors).
+    Fresh results are written back to ``cache`` under their planned
+    keys.  ``stats`` accumulates across calls when the caller owns it.
+    """
+    stats = stats if stats is not None else SessionStats()
+    lane_runner = lane_runner or _default_lane_runner
+    direct_runner = direct_runner or _default_direct_runner
+    outcomes: List[Optional[RunOutcome]] = [None] * len(plan.runs)
+
+    for run in plan.cached_runs:
+        stats.cache_hits += 1
+        outcomes[run.index] = RunOutcome(
+            request=run.request,
+            result=run.cached,
+            route=ROUTE_CACHE,
+            cache_key=run.key,
+        )
+
+    direct: List[Tuple[PlannedRun, bool]] = [
+        (run, False) for run in plan.direct_runs
+    ]
+    lane_runs = plan.lane_runs
+    if lane_runs:
+        try:
+            fresh = lane_runner([run.request.as_cell() for run in lane_runs])
+        except Exception as exc:
+            warn_batch_fallback(len(lane_runs), exc, stats)
+            direct.extend((run, True) for run in lane_runs)
+        else:
+            stats.batch_groups += len({run.family for run in lane_runs})
+            stats.batch_replications += len(lane_runs)
+            stats.executed += len(lane_runs)
+            for run, result in zip(lane_runs, fresh):
+                if cache is not None and run.key is not None:
+                    cache.put(run.key, result)
+                outcomes[run.index] = RunOutcome(
+                    request=run.request,
+                    result=result,
+                    route=ROUTE_LANES,
+                    cache_key=run.key,
+                    stored=cache is not None,
+                )
+
+    if direct:
+        direct.sort(key=lambda entry: entry[0].index)
+        fresh = direct_runner([run.request for run, _ in direct])
+        for (run, demoted), result in zip(direct, fresh):
+            if cache is not None and run.key is not None:
+                cache.put(run.key, result)
+            outcomes[run.index] = RunOutcome(
+                request=run.request,
+                result=result,
+                route=ROUTE_DIRECT,
+                cache_key=run.key,
+                stored=cache is not None,
+                fallback=demoted,
+            )
+        stats.executed += len(direct)
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,148 @@
+"""Resolve requests into an executable plan: engine, route, cache.
+
+:func:`plan_runs` is the single place orchestration decisions are made.
+For every :class:`~repro.session.request.RunRequest` it
+
+- resolves defaults and applies an optional engine override (which
+  never changes cache keys — the engine selector is not part of a
+  cell's identity, epoch 6);
+- consults the content-addressed
+  :class:`~repro.experiments.cache.ResultCache`, when one is given;
+- classifies the remaining runs by route: batch-capable
+  ``engine="batch"`` cells without JSONL telemetry become lanes of one
+  lockstep super-batch (:func:`repro.engine.batch.run_lanes` packs
+  them however heterogeneous); everything else flows to the per-cell
+  direct path (which may still use the batch engine for one cell —
+  JSONL telemetry is only excluded from *lane packs*, where several
+  lanes could contend for one trace file).
+
+The resulting :class:`RunPlan` is pure data; executing it is
+:func:`repro.session.execute.execute_plan`'s job, so backends (process
+pools, serial loops) stay out of the decision layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.engine.batch import batch_capable, kernel_family
+from repro.errors import ConfigurationError
+from repro.session.outcome import ROUTE_CACHE, ROUTE_DIRECT, ROUTE_LANES
+from repro.session.request import RunRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.cache import ResultCache
+    from repro.stats.summary import RunResult
+
+__all__ = ["PlannedRun", "RunPlan", "plan_runs", "normalize_engine", "ENGINES"]
+
+#: The execution engines a settings object (or an override) may name.
+ENGINES: Tuple[str, ...] = ("event", "batch")
+
+
+def normalize_engine(engine: Optional[str], allow_none: bool = True) -> Optional[str]:
+    """Validate an engine selector; the one place the vocabulary lives.
+
+    ``None`` (allowed by default) means "respect each cell's own
+    declaration".  Anything outside :data:`ENGINES` raises
+    :class:`~repro.errors.ConfigurationError` with a uniform message.
+    """
+    if engine is None:
+        if allow_none:
+            return None
+        raise ConfigurationError("an engine is required; choose 'event' or 'batch'")
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose 'event' or 'batch'"
+        )
+    return engine
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One request's resolved execution decision."""
+
+    #: Position in the planned batch (results are returned in this order).
+    index: int
+    #: The resolved request (defaults filled, engine override applied).
+    request: RunRequest
+    #: ``"cache"``, ``"lanes"`` or ``"direct"`` (see the module docstring).
+    route: str
+    #: The epoch-6 content hash, when a cache was consulted.
+    key: Optional[str] = None
+    #: The replayed result, for ``route == "cache"``.
+    cached: Optional["RunResult"] = None
+    #: The lockstep kernel family, for ``route == "lanes"``.
+    family: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """The executable form of one batch of requests."""
+
+    runs: Tuple[PlannedRun, ...]
+
+    def by_route(self, route: str) -> List[PlannedRun]:
+        return [run for run in self.runs if run.route == route]
+
+    @property
+    def cached_runs(self) -> List[PlannedRun]:
+        return self.by_route(ROUTE_CACHE)
+
+    @property
+    def lane_runs(self) -> List[PlannedRun]:
+        return self.by_route(ROUTE_LANES)
+
+    @property
+    def direct_runs(self) -> List[PlannedRun]:
+        return self.by_route(ROUTE_DIRECT)
+
+
+def _lane_eligible(request: RunRequest) -> bool:
+    settings = request.settings
+    telemetry = settings.telemetry
+    if settings.engine != "batch":
+        return False
+    if telemetry is not None and telemetry.jsonl_path is not None:
+        return False
+    return batch_capable(request.scenario, request.protocol, settings)[0]
+
+
+def plan_runs(
+    requests: Sequence[RunRequest],
+    cache: Optional["ResultCache"] = None,
+    engine: Optional[str] = None,
+) -> RunPlan:
+    """Resolve a batch of requests into a :class:`RunPlan`.
+
+    Requests are planned in order; the plan's indices are positions in
+    ``requests``.  ``engine`` (validated against :data:`ENGINES`)
+    overrides every request's own declaration; ``None`` respects them.
+    """
+    engine = normalize_engine(engine)
+    runs: List[PlannedRun] = []
+    for index, request in enumerate(requests):
+        resolved = request.resolved(engine)
+        key: Optional[str] = None
+        if cache is not None:
+            key = resolved.cache_key()
+            hit = cache.get(key)
+            if hit is not None:
+                runs.append(
+                    PlannedRun(index, resolved, ROUTE_CACHE, key=key, cached=hit)
+                )
+                continue
+        if _lane_eligible(resolved):
+            runs.append(
+                PlannedRun(
+                    index,
+                    resolved,
+                    ROUTE_LANES,
+                    key=key,
+                    family=kernel_family(resolved.protocol),
+                )
+            )
+        else:
+            runs.append(PlannedRun(index, resolved, ROUTE_DIRECT, key=key))
+    return RunPlan(runs=tuple(runs))

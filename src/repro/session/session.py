@@ -1,0 +1,158 @@
+"""The synchronous session facade: submit requests, gather outcomes.
+
+A :class:`Session` is the seam the future asyncio service front end
+(ROADMAP item 2) will wrap: callers :meth:`~Session.submit`
+:class:`~repro.session.request.RunRequest`\\ s, then :meth:`~Session.gather`
+the batch — one planned, lane-packed, cached, pool-backed sweep — and
+receive :class:`~repro.session.outcome.RunOutcome`\\ s in submission
+order.
+
+On top of the executor's own cache replay, a session deduplicates
+*within a gather*: identical requests (same epoch-6 content hash) run
+once and every duplicate receives the same result with
+``route="dedup"`` — the "many concurrent clients, mostly cache hits"
+shape of the service, working even with no cache directory configured.
+
+A session also satisfies the executor duck type the experiment grids
+accept (``run_requests`` / ``simulate``), so one session can back the
+tables, the robustness grid and ad-hoc runs alike.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.session.outcome import ROUTE_DEDUP, RunOutcome, SessionStats
+from repro.session.request import RunRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.runner import SimulationSettings
+    from repro.experiments.sweep import SweepExecutor
+    from repro.stats.summary import RunResult
+    from repro.workload.scenarios import ScenarioSpec
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Synchronous run orchestration over one sweep executor.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the executor backend (``0`` = one per
+        core; default ``$REPRO_JOBS`` or serial).
+    cache:
+        Optional :class:`~repro.experiments.cache.ResultCache` shared
+        by every gather.
+    engine:
+        Optional engine override applied to every request (validated;
+        ``None`` respects each request's own declaration).
+    executor:
+        An existing :class:`~repro.experiments.sweep.SweepExecutor` to
+        reuse (its jobs/cache/engine then win); built from the other
+        arguments when omitted.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional["ResultCache"] = None,
+        engine: Optional[str] = None,
+        executor: Optional["SweepExecutor"] = None,
+    ) -> None:
+        if executor is None:
+            from repro.experiments.sweep import SweepExecutor
+
+            executor = SweepExecutor(jobs=jobs, cache=cache, engine=engine)
+        self.executor = executor
+        self._pending: List[RunRequest] = []
+
+    @property
+    def stats(self) -> SessionStats:
+        """The backing executor's accounting (shared, cumulative)."""
+        return self.executor.stats
+
+    # -- submit / gather ------------------------------------------------------
+
+    def submit(
+        self,
+        scenario: "ScenarioSpec",
+        protocol: str,
+        settings: Optional["SimulationSettings"] = None,
+        tag: Optional[str] = None,
+    ) -> RunRequest:
+        """Queue one run for the next :meth:`gather`; returns its request."""
+        request = RunRequest(scenario, protocol, settings, tag=tag)
+        self._pending.append(request)
+        return request
+
+    def submit_request(self, request: RunRequest) -> RunRequest:
+        """Queue an already-built request (e.g. one off the wire)."""
+        self._pending.append(request)
+        return request
+
+    def gather(self) -> List[RunOutcome]:
+        """Run everything submitted since the last gather, in order."""
+        requests, self._pending = self._pending, []
+        return self.run_requests(requests)
+
+    # -- executor duck type ---------------------------------------------------
+
+    def run_requests(self, requests: Sequence[RunRequest]) -> List[RunOutcome]:
+        """One deduplicated sweep over ``requests``; outcomes in order.
+
+        Identical requests (same epoch-6 content hash) execute once;
+        duplicates replay the first occurrence's outcome with
+        ``route="dedup"`` and count in ``stats.deduplicated``.
+        """
+        engine = self.executor.engine
+        resolved = [request.resolved(engine) for request in requests]
+        first_by_key: dict = {}
+        unique: List[RunRequest] = []
+        slots: List[int] = []
+        duplicate: List[bool] = []
+        for request in resolved:
+            key = request.cache_key()
+            slot = first_by_key.get(key)
+            duplicate.append(slot is not None)
+            if slot is None:
+                first_by_key[key] = len(unique)
+                slots.append(len(unique))
+                unique.append(request)
+            else:
+                slots.append(slot)
+        outcomes = self.executor.run_requests(unique)
+        gathered: List[RunOutcome] = []
+        for request, slot, is_dup in zip(resolved, slots, duplicate):
+            outcome = outcomes[slot]
+            if not is_dup:
+                gathered.append(outcome)
+            else:
+                self.stats.deduplicated += 1
+                gathered.append(
+                    RunOutcome(
+                        request=request,
+                        result=outcome.result,
+                        route=ROUTE_DEDUP,
+                        cache_key=outcome.cache_key,
+                    )
+                )
+        return gathered
+
+    def simulate(
+        self,
+        scenario: "ScenarioSpec",
+        protocol: str,
+        settings: Optional["SimulationSettings"] = None,
+    ) -> "RunResult":
+        """Single-run convenience: submit, gather, return the result."""
+        request = RunRequest(scenario, protocol, settings)
+        return self.run_requests([request])[0].result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(pending={len(self._pending)}, "
+            f"executor={self.executor!r})"
+        )

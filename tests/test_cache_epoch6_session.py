@@ -1,0 +1,263 @@
+"""Cache-key invariance across the session refactor (epoch 6 pinned).
+
+The session layer replaced the per-caller engine-selection and cache
+code paths; nothing about a cell's *identity* was allowed to move.  Two
+regression surfaces pin that down:
+
+- every way of computing a key — the historical
+  :func:`~repro.experiments.cache.cache_key` call, a
+  :class:`~repro.session.request.RunRequest`'s own :meth:`cache_key`,
+  and a request that crossed the JSON wire — produces byte-identical
+  epoch-6 digests, engine variants included;
+- entries written by the *pre-refactor* paths (direct ``cache_key`` +
+  ``run_simulation`` + ``cache.put``) are hits for session-routed
+  gathers: a populated cache directory survives the refactor with zero
+  re-execution.
+
+The hypothesis suite generalises the first surface into a property:
+for any request the wire format can express — every distribution the
+workload builders emit, fault plans, watchdog policies, timing and
+telemetry blocks — ``from_json(to_json(r))`` reconstructs a request
+with an identical canonical document and an identical epoch-6 key.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.bus.timing import BusTiming
+from repro.bus.watchdog import WatchdogPolicy
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runner import SimulationSettings, run_simulation
+from repro.faults.plan import BUS_LEVEL_FAULTS, FaultPlan
+from repro.observability import TelemetrySettings
+from repro.session import RunRequest, Session
+from repro.workload.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+)
+from repro.workload.scenarios import AgentSpec, ScenarioSpec, equal_load, unequal_load
+from repro.workload.traces import TraceDistribution
+
+SETTINGS = SimulationSettings(batches=2, batch_size=50, warmup=5, seed=21)
+
+
+def _fingerprint(result):
+    return (
+        result.elapsed,
+        result.utilization,
+        result.system_throughput().mean,
+        result.mean_waiting().mean,
+    )
+
+
+def _fault_settings(seed=21):
+    plan = FaultPlan.generate(
+        seed=seed,
+        rate=0.3,
+        horizon=100.0,
+        kinds=tuple(sorted(BUS_LEVEL_FAULTS, key=lambda kind: kind.value)),
+        num_agents=4,
+        line_span=5,
+    )
+    return replace(SETTINGS, seed=seed, fault_plan=plan, watchdog=WatchdogPolicy())
+
+
+class TestSessionKeysMatchDirectKeys:
+    def test_request_key_equals_direct_cache_key(self):
+        scenario = equal_load(4, 2.0)
+        assert RunRequest(scenario, "rr", SETTINGS).cache_key() == cache_key(
+            scenario, "rr", SETTINGS
+        )
+
+    def test_engine_variants_share_one_session_key(self):
+        scenario = equal_load(4, 2.0)
+        keys = {
+            RunRequest(scenario, "rr", replace(SETTINGS, engine=engine)).cache_key()
+            for engine in ("event", "batch")
+        }
+        assert keys == {cache_key(scenario, "rr", SETTINGS)}
+
+    def test_session_engine_override_never_changes_the_key(self):
+        # plan-time overrides rewrite settings.engine; epoch 6 demands
+        # the key stays put.
+        request = RunRequest(equal_load(4, 2.0), "rr", SETTINGS)
+        assert request.resolved("event").cache_key() == request.cache_key()
+
+    def test_fault_plan_requests_key_identically(self):
+        scenario = equal_load(4, 2.0)
+        faulty = _fault_settings()
+        assert RunRequest(scenario, "rr", faulty).cache_key() == cache_key(
+            scenario, "rr", faulty
+        )
+
+    def test_default_settings_key_like_explicit_defaults(self):
+        scenario = equal_load(4, 2.0)
+        assert RunRequest(scenario, "rr").cache_key() == cache_key(
+            scenario, "rr", SimulationSettings()
+        )
+
+    def test_wire_round_trip_preserves_the_key(self):
+        request = RunRequest(unequal_load(6, 0.2, 3.0), "aap1", SETTINGS)
+        assert RunRequest.from_json(request.to_json()).cache_key() == request.cache_key()
+
+
+class TestPreRefactorEntriesStillHit:
+    def test_session_gather_hits_entries_written_the_old_way(self, tmp_path):
+        # Populate the cache exactly as pre-refactor code did: direct
+        # cache_key + run_simulation + put, no session machinery.
+        cells = [
+            (equal_load(4, 2.0), "rr", SETTINGS),
+            (equal_load(6, 1.5), "fcfs", replace(SETTINGS, seed=9)),
+            (equal_load(4, 2.0), "fixed", SETTINGS),
+        ]
+        cache = ResultCache(tmp_path)
+        fresh = []
+        for scenario, protocol, settings in cells:
+            result = run_simulation(scenario, protocol, settings)
+            cache.put(cache_key(scenario, protocol, settings), result)
+            fresh.append(result)
+
+        session = Session(jobs=1, cache=ResultCache(tmp_path))
+        for scenario, protocol, settings in cells:
+            session.submit(scenario, protocol, settings)
+        outcomes = session.gather()
+        assert session.stats.cache_hits == len(cells)
+        assert session.stats.executed == 0
+        for outcome, result in zip(outcomes, fresh):
+            assert outcome.route == "cache"
+            assert _fingerprint(outcome.result) == _fingerprint(result)
+
+    def test_fault_plan_entries_replay_through_the_session(self, tmp_path):
+        scenario = equal_load(4, 2.0)
+        faulty = _fault_settings()
+        cache = ResultCache(tmp_path)
+        result = run_simulation(scenario, "rr", faulty)
+        cache.put(cache_key(scenario, "rr", faulty), result)
+
+        session = Session(jobs=1, cache=ResultCache(tmp_path))
+        (outcome,) = session.run_requests([RunRequest(scenario, "rr", faulty)])
+        assert outcome.route == "cache"
+        assert session.stats.executed == 0
+        assert _fingerprint(outcome.result) == _fingerprint(result)
+
+    def test_session_stored_entries_hit_for_direct_lookups(self, tmp_path):
+        # And the converse: a session-stored entry replays for code
+        # still doing direct key lookups.
+        scenario = equal_load(4, 2.0)
+        session = Session(jobs=1, cache=ResultCache(tmp_path))
+        (outcome,) = session.run_requests([RunRequest(scenario, "rr", SETTINGS)])
+        assert outcome.stored
+        direct = ResultCache(tmp_path).get(cache_key(scenario, "rr", SETTINGS))
+        assert direct is not None
+        assert _fingerprint(direct) == _fingerprint(outcome.result)
+
+
+# -- wire-format property suite ----------------------------------------------
+
+_means = st.floats(min_value=0.05, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+_distributions = st.one_of(
+    _means.map(Deterministic),
+    _means.map(Exponential),
+    st.builds(Erlang, _means, st.integers(min_value=1, max_value=6)),
+    st.builds(
+        Hyperexponential,
+        _means,
+        st.floats(min_value=1.01, max_value=5.0, allow_nan=False),
+    ),
+    st.builds(
+        TraceDistribution,
+        st.lists(_means, min_size=1, max_size=8),
+        cycle=st.just(True),
+    ),
+)
+
+_protocols = st.sampled_from(["rr", "rr-impl3", "fcfs", "aap1", "fixed", "central-rr"])
+
+
+@st.composite
+def _scenarios(draw):
+    num_agents = draw(st.integers(min_value=1, max_value=6))
+    agents = tuple(
+        AgentSpec(
+            agent_id=agent_id,
+            interrequest=draw(_distributions),
+            priority_fraction=draw(
+                st.one_of(st.just(0.0), st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+            ),
+        )
+        for agent_id in range(1, num_agents + 1)
+    )
+    return ScenarioSpec(name=draw(st.sampled_from(["grid", "probe"])), agents=agents)
+
+
+_fault_plans = st.builds(
+    FaultPlan.generate,
+    seed=st.integers(min_value=0, max_value=2**31),
+    rate=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    horizon=st.just(50.0),
+    kinds=st.just(tuple(sorted(BUS_LEVEL_FAULTS, key=lambda kind: kind.value))),
+    num_agents=st.integers(min_value=2, max_value=6),
+    line_span=st.just(5),
+)
+
+_settings = st.builds(
+    SimulationSettings,
+    batches=st.integers(min_value=1, max_value=5),
+    batch_size=st.integers(min_value=10, max_value=200),
+    warmup=st.integers(min_value=0, max_value=50),
+    keep_order=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**31),
+    timing=st.builds(
+        BusTiming,
+        transaction_time=st.floats(min_value=0.5, max_value=2.0, allow_nan=False),
+        arbitration_time=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+    ),
+    fault_plan=st.one_of(st.none(), _fault_plans),
+    watchdog=st.one_of(st.none(), st.just(WatchdogPolicy())),
+    telemetry=st.one_of(
+        st.none(),
+        # At least one knob must be on: an all-off block is rejected.
+        st.sampled_from([(True, False), (False, True), (True, True)]).map(
+            lambda knobs: TelemetrySettings(events=knobs[0], metrics=knobs[1])
+        ),
+    ),
+    engine=st.sampled_from(["event", "batch"]),
+)
+
+_requests = st.builds(
+    RunRequest,
+    scenario=_scenarios(),
+    protocol=_protocols,
+    settings=_settings,
+    tag=st.one_of(st.none(), st.text(max_size=12)),
+)
+
+
+class TestWireRoundTripProperties:
+    @hyp_settings(max_examples=40, deadline=None)
+    @given(request=_requests)
+    def test_json_round_trip_is_canonical(self, request):
+        restored = RunRequest.from_json(request.to_json())
+        assert restored.to_dict() == request.to_dict()
+        assert restored.to_json() == request.to_json()
+
+    @hyp_settings(max_examples=40, deadline=None)
+    @given(request=_requests)
+    def test_json_round_trip_preserves_epoch6_key(self, request):
+        restored = RunRequest.from_json(request.to_json())
+        assert restored.cache_key() == request.cache_key()
+        # And the key equals the historical direct computation.
+        resolved = request.resolved()
+        assert request.cache_key() == cache_key(
+            resolved.scenario, resolved.protocol, resolved.settings
+        )
+
+    @hyp_settings(max_examples=25, deadline=None)
+    @given(request=_requests, engine=st.sampled_from(["event", "batch"]))
+    def test_engine_never_enters_the_key(self, request, engine):
+        assert request.resolved(engine).cache_key() == request.cache_key()
