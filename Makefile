@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= quick
 
-.PHONY: install test lint bench bench-all tables faults trace golden conformance experiments apidocs examples clean
+.PHONY: install test lint bench bench-all tables faults trace golden conformance experiments apidocs examples serve soak clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -53,6 +53,18 @@ experiments:
 
 apidocs:
 	$(PYTHON) scripts/generate_api_docs.py
+
+# Serve the arbitration service on a local AF_UNIX socket (override the
+# path with REPRO_SERVICE_SOCKET or `-- --socket PATH`); submit work
+# with `repro submit` or ServiceClient, stop with the shutdown op.
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve
+
+# The service acceptance soak: a 200-job stream with injected worker
+# kills and deadline expiries — every job must reach a terminal state
+# and every completed job must match a direct session run exactly.
+soak:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_service_soak.py -q -s -m slow
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

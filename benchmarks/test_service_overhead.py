@@ -1,0 +1,145 @@
+"""Service-layer overhead gate: the cached-hit path must stay cheap.
+
+The arbitration service fronts the same planner/cache machinery a
+:class:`~repro.session.session.Session` uses directly, adding a job
+object, an admission queue, a dispatcher-thread handoff and telemetry
+events per *gather*.  None of that may grow a per-cell cost: a client
+replaying a warmed grid through the service should pay the same
+48 cache reads a direct session pays, plus a fixed sub-millisecond
+handoff.  This bench drives the warmed peak-contention grid twice —
+a direct cacheful session gather, and the same requests submitted
+through a running :class:`~repro.service.service.ArbitrationService`
+(serial back end; the pool is idle on a pure-hit pass) — and gates the
+service's overhead with the interleaved min-of-k discipline the other
+gates use.
+
+The gate is deliberately wider than the session gate's 2%: the base
+pass is ~5ms of cache reads, so the fixed handoff (two thread wakeups,
+a queue append, a handful of telemetry events) is a visible fraction
+of it.  What the gate must catch is the overhead *scaling with cells*
+— an accidental serialization, re-hash or per-cell event on the hit
+path shows up as hundreds of percent, far above the bar.
+
+Two pytest-benchmark entries record the pair in ``BENCH_engine.json``,
+adjacent in this file so the medians share machine state;
+``scripts/run_benchmarks.py`` condenses them into a
+``service_overhead`` ratio that ``scripts/check_bench.py`` gates.
+"""
+
+import pickle
+import time
+
+import pytest
+from test_grid_batch import grid_cells
+
+from repro.experiments.cache import ResultCache
+from repro.service import ArbitrationService, ServiceConfig
+from repro.session import RunRequest, Session
+
+#: The gate: serving the warmed grid through the service may cost at
+#: most this fraction over the direct session gather, min-of-k.
+OVERHEAD_GATE = 0.50
+
+
+def _requests(cells):
+    return [RunRequest(scenario, protocol, settings) for scenario, protocol, settings in cells]
+
+
+@pytest.fixture(scope="module")
+def warmed(tmp_path_factory):
+    """A cache directory holding every grid cell, plus the requests."""
+    directory = tmp_path_factory.mktemp("service-bench-cache")
+    requests = _requests(grid_cells())
+    Session(cache=ResultCache(directory), jobs=1).run_requests(requests)
+    return directory, requests
+
+
+@pytest.fixture(scope="module")
+def service(warmed):
+    """One running service over the warmed cache, shared by the module."""
+    directory, __ = warmed
+    instance = ArbitrationService(
+        cache=ResultCache(directory),
+        config=ServiceConfig(serial=True, poll_interval=0.02),
+    )
+    instance.start()
+    yield instance
+    instance.close()
+
+
+def _direct_pass(session, requests):
+    start = time.perf_counter()
+    outcomes = session.run_requests(requests)
+    return time.perf_counter() - start, outcomes
+
+
+def _service_pass(instance, requests):
+    start = time.perf_counter()
+    outcomes = instance.run_requests(requests)
+    return time.perf_counter() - start, outcomes
+
+
+def test_service_serves_the_grid_from_cache(warmed, service):
+    """Every cell must route to the cache — the bench times the hit
+    path, not an accidental re-execution."""
+    __, requests = warmed
+    outcomes = service.run_requests(requests)
+    assert [outcome.route for outcome in outcomes] == ["cache"] * len(requests)
+
+
+def test_service_results_match_direct_session(warmed, service):
+    directory, requests = warmed
+    direct = Session(cache=ResultCache(directory), jobs=1).run_requests(requests)
+    routed = service.run_requests(requests)
+    for ours, theirs in zip(routed, direct):
+        assert pickle.dumps(ours.result) == pickle.dumps(theirs.result)
+
+
+def test_service_overhead_gate(warmed, service):
+    """Service-routed cached pass within 50% of the direct gather.
+
+    Interleaved rounds with a min-of-k comparison: the minimum of each
+    series strips scheduler noise, so the ratio isolates the job-layer
+    handoff.  A per-cell cost on the hit path would blow far past the
+    bar; the fixed handoff sits well under it.
+    """
+    directory, requests = warmed
+    session = Session(cache=ResultCache(directory), jobs=1)
+    _service_pass(service, requests)  # warm allocator / dispatcher path
+    service_times, direct_times = [], []
+    for __ in range(5):
+        direct_time, __outcomes = _direct_pass(session, requests)
+        service_time, __outcomes = _service_pass(service, requests)
+        direct_times.append(direct_time)
+        service_times.append(service_time)
+    overhead = min(service_times) / min(direct_times) - 1.0
+    print(f"\nservice overhead on the cached grid: {overhead:+.2%} (gate < {OVERHEAD_GATE:.0%})")
+    assert overhead < OVERHEAD_GATE
+
+
+def test_grid_pass_cached_session(benchmark, warmed):
+    """Recorded median of the direct cached gather, as the pair baseline.
+
+    Runs immediately before ``test_grid_pass_cached_service`` so the
+    two medians share machine state; their ratio is the recorded
+    ``service_overhead``.
+    """
+    directory, requests = warmed
+    session = Session(cache=ResultCache(directory), jobs=1)
+    outcomes = benchmark.pedantic(
+        lambda: session.run_requests(requests), rounds=5, iterations=1
+    )
+    assert [outcome.route for outcome in outcomes] == ["cache"] * len(requests)
+
+
+def test_grid_pass_cached_service(benchmark, warmed, service):
+    """Recorded median of the service-routed cached gather.
+
+    Paired with ``test_grid_pass_cached_session`` this yields the
+    ``service_overhead`` ratio ``scripts/check_bench.py`` gates.
+    """
+    __, requests = warmed
+    outcomes = benchmark.pedantic(
+        lambda: service.run_requests(requests), rounds=5, iterations=1
+    )
+    assert [outcome.route for outcome in outcomes] == ["cache"] * len(requests)

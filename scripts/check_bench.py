@@ -33,12 +33,22 @@ checks:
    ``benchmarks/test_session_overhead.py::test_session_overhead_gate``;
    the fresh run gets the same drift-scaled slack as the speedup.
 
+4. **Service overhead** — the recorded baseline's service-routed
+   cached grid pass must sit within ``--service-overhead`` (default
+   50%) of the direct session gather.  The job layer's cost is a fixed
+   sub-millisecond handoff per gather; a per-cell cost on the hit path
+   (re-serialization, re-hashing, per-cell events) lands hundreds of
+   percent above the bar.  The exact bar is enforced on the recorded
+   baseline and by ``benchmarks/test_service_overhead.py::
+   test_service_overhead_gate``; the fresh run gets drift-scaled slack.
+
 Usage::
 
     python scripts/check_bench.py [--baseline BENCH_engine.json]
                                   [--tolerance 0.5]
                                   [--grid-speedup 10.0]
                                   [--session-overhead 0.02]
+                                  [--service-overhead 0.5]
 """
 
 from __future__ import annotations
@@ -126,6 +136,44 @@ def check_session_overhead(
     return status
 
 
+def check_service_overhead(
+    summary: dict, baseline: dict, gate: float, tolerance: float
+) -> int:
+    """Gate the service layer's cached-hit overhead at the baseline."""
+    status = 0
+    recorded = baseline.get("service_overhead")
+    if recorded is None:
+        print("  service overhead: baseline records none  <-- REGRESSION")
+        status = 1
+    elif recorded >= gate:
+        print(
+            f"  service overhead: baseline records {recorded:+.2%} "
+            f"(gate < {gate:.0%})  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  service overhead: baseline records {recorded:+.2%} (gate < {gate:.0%})"
+        )
+    fresh = summary.get("service_overhead")
+    ceiling = gate * (1.0 + tolerance)
+    if fresh is None:
+        print("  service overhead (fresh): missing service benchmark  <-- REGRESSION")
+        status = 1
+    elif fresh >= ceiling:
+        print(
+            f"  service overhead (fresh): {fresh:+.2%} "
+            f"(ceiling {ceiling:.0%} at {tolerance:.0%} tolerance)  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  service overhead (fresh): {fresh:+.2%} "
+            f"(ceiling {ceiling:.0%} at {tolerance:.0%} tolerance)"
+        )
+    return status
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -152,6 +200,12 @@ def main() -> int:
         default=0.02,
         help="allowed session-layer grid overhead at the recorded baseline",
     )
+    parser.add_argument(
+        "--service-overhead",
+        type=float,
+        default=0.5,
+        help="allowed service-layer cached-hit overhead at the recorded baseline",
+    )
     args = parser.parse_args()
 
     if not args.baseline.exists():
@@ -173,7 +227,10 @@ def main() -> int:
     session_status = check_session_overhead(
         summary, baseline_doc, args.session_overhead, args.tolerance
     )
-    return status or grid_status or session_status
+    service_status = check_service_overhead(
+        summary, baseline_doc, args.service_overhead, args.tolerance
+    )
+    return status or grid_status or session_status or service_status
 
 
 if __name__ == "__main__":

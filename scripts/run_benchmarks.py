@@ -32,6 +32,7 @@ BENCH_FILES = [
     "benchmarks/test_engine_microbench.py",
     "benchmarks/test_grid_batch.py",
     "benchmarks/test_session_overhead.py",
+    "benchmarks/test_service_overhead.py",
 ]
 #: Backwards-compatible alias (pre-grid callers imported the scalar).
 BENCH_FILE = BENCH_FILES[0]
@@ -47,6 +48,12 @@ GRID_BATCH = "test_grid_pass_batch_lanes"
 #: fraction ``check_bench.py`` gates.
 GRID_SESSION = "test_grid_pass_session_routed"
 GRID_SESSION_BASE = "test_grid_pass_lanes_paired"
+
+#: The service-routed cached grid pass and its paired direct-session
+#: baseline (adjacent in ``test_service_overhead.py``); their minima
+#: yield the ``service_overhead`` fraction ``check_bench.py`` gates.
+GRID_SERVICE = "test_grid_pass_cached_service"
+GRID_SERVICE_BASE = "test_grid_pass_cached_session"
 
 
 def run_microbench(raw_path: Path) -> dict:
@@ -121,6 +128,12 @@ def condense(raw: dict) -> dict:
         # ~100ms passes cannot do at the 2% resolution the gate needs.
         summary["session_overhead"] = round(
             grid_session["min_us"] / grid_session_base["min_us"] - 1.0, 4
+        )
+    grid_service = benchmarks.get(GRID_SERVICE)
+    grid_service_base = benchmarks.get(GRID_SERVICE_BASE)
+    if grid_service and grid_service_base:
+        summary["service_overhead"] = round(
+            grid_service["min_us"] / grid_service_base["min_us"] - 1.0, 4
         )
     return summary
 

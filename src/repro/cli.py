@@ -273,6 +273,89 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument("--agents", type=int, default=10)
     compare_cmd.add_argument("--load", type=float, default=2.0)
     compare_cmd.add_argument("--cv", type=float, default=1.0)
+
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="run the arbitration service on a local socket (see docs/service.md)",
+    )
+    serve_cmd.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="listen socket ($REPRO_SERVICE_SOCKET or the temp-dir default)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue capacity; beyond it submissions are rejected "
+        "with a retry-after hint (backpressure, never unbounded buffering)",
+    )
+    serve_cmd.add_argument(
+        "--shards", type=int, default=2, metavar="N", help="process-pool shards"
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1, metavar="N", help="workers per shard"
+    )
+    serve_cmd.add_argument(
+        "--serial",
+        action="store_true",
+        help="execute in-process instead of on process pools",
+    )
+    serve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock deadline (jobs may override)",
+    )
+    serve_cmd.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-job cell budget (larger jobs are rejected)",
+    )
+    serve_cmd.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream service lifecycle telemetry as JSON lines to PATH",
+    )
+
+    submit_cmd = subparsers.add_parser(
+        "submit", help="submit one job to a running service and await it"
+    )
+    submit_cmd.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="service socket ($REPRO_SERVICE_SOCKET or the temp-dir default)",
+    )
+    submit_cmd.add_argument(
+        "--protocols",
+        nargs="+",
+        choices=protocol_names(),
+        default=["rr"],
+        help="one cell per protocol, all on the same workload",
+    )
+    submit_cmd.add_argument("--agents", type=int, default=10)
+    submit_cmd.add_argument("--load", type=float, default=1.5)
+    submit_cmd.add_argument("--cv", type=float, default=1.0)
+    submit_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline",
+    )
+    submit_cmd.add_argument("--tag", default=None, help="free-form job label")
+    submit_cmd.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id after admission instead of awaiting results",
+    )
     return parser
 
 
@@ -385,6 +468,68 @@ def _summarise_fault_metrics(table) -> Optional[str]:
     return f"telemetry totals: {body}"
 
 
+def _run_serve(args) -> None:
+    """``serve``: the arbitration service on a local socket, until shutdown."""
+    from repro.service.server import ServiceServer, default_socket_path
+    from repro.service.service import ArbitrationService, ServiceConfig
+
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    config = ServiceConfig(
+        queue_limit=args.queue_limit,
+        shards=args.shards,
+        workers=args.workers,
+        serial=args.serial,
+        default_deadline=args.deadline,
+        default_max_cells=args.max_cells,
+        jsonl_path=args.events,
+    )
+    service = ArbitrationService(cache=cache, config=config)
+    socket_path = args.socket if args.socket is not None else default_socket_path()
+    mode = "serial" if args.serial else f"{args.shards}x{args.workers} workers"
+    print(f"serving on {socket_path} ({mode}); stop with the 'shutdown' op")
+    ServiceServer(service, socket_path).run()
+
+
+def _run_submit(args, scale) -> None:
+    """``submit``: one job to a running service, honouring backpressure."""
+    from repro.service.client import ServiceClient
+    from repro.session.request import RunRequest
+
+    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    settings = _run_settings(args, scale)
+    requests = [
+        RunRequest(scenario, protocol, settings) for protocol in args.protocols
+    ]
+    with ServiceClient(args.socket) as client:
+        summary = client.submit_retry(
+            requests, deadline=args.deadline, tag=args.tag
+        )
+        if summary["state"] == "rejected":
+            raise ReproError(f"job rejected: {summary.get('error')}")
+        if args.no_wait:
+            print(f"{summary['job_id']} {summary['state']}")
+            return
+        summary = client.wait(summary["job_id"])
+    print(f"job {summary['job_id']}: {summary['state']}", end="")
+    if summary.get("elapsed") is not None:
+        print(f" in {summary['elapsed']:.3f}s", end="")
+    print()
+    if summary["state"] != "done":
+        raise ReproError(summary.get("error") or f"job {summary['state']}")
+    print(f"{'protocol':14s} {'route':>6s} {'util':>6s} {'λ':>7s} {'mean W':>8s}")
+    for cell in summary.get("results", []):
+        throughput = cell.get("throughput")
+        waiting = cell.get("mean_waiting")
+        print(
+            f"{cell['protocol']:14s} {cell['route']:>6s} "
+            f"{cell['utilization']:6.3f} "
+            f"{throughput if throughput is None else format(throughput, '7.2f')} "
+            f"{waiting if waiting is None else format(waiting, '8.2f')}"
+        )
+
+
 def _run_single(args, scale, session: Session) -> None:
     scenario = equal_load(args.agents, args.load, cv=args.cv)
     settings = _run_settings(args, scale)
@@ -464,6 +609,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_single(args, scale, _make_session(args))
         elif args.command == "compare":
             _run_compare(args, scale, _make_session(args))
+        elif args.command == "serve":
+            _run_serve(args)
+        elif args.command == "submit":
+            _run_submit(args, scale)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -18,6 +18,10 @@ __all__ = [
     "SweepExecutionError",
     "SignalError",
     "StatisticsError",
+    "CancelledRunError",
+    "DeadlineExceededError",
+    "ServiceError",
+    "JobRejectedError",
 ]
 
 
@@ -68,6 +72,36 @@ class SweepExecutionError(ReproError):
 
 class SignalError(ReproError):
     """A bus-line or wired-OR signal model was misused."""
+
+
+class CancelledRunError(ReproError):
+    """An orchestrated run was cancelled cooperatively mid-flight.
+
+    Raised by :meth:`repro.session.control.RunControl.check` at the
+    session layer's cancellation points; callers that installed the
+    control (the service's deadline enforcement, an interactive abort)
+    catch it and account the partial work.
+    """
+
+
+class DeadlineExceededError(CancelledRunError):
+    """A run's wall-clock deadline expired before it finished."""
+
+
+class ServiceError(ReproError):
+    """The arbitration service was misused or a job has no usable answer."""
+
+
+class JobRejectedError(ServiceError):
+    """A submission was refused at admission (backpressure or budget).
+
+    Carries ``retry_after`` — the backpressure hint, in seconds — when
+    the rejection was a full queue rather than a budget violation.
+    """
+
+    def __init__(self, message: str, retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class StatisticsError(ReproError):

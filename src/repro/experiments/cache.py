@@ -162,7 +162,16 @@ class ResultCache:
         return self.directory / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[RunResult]:
-        """The cached result for ``key``, or ``None`` on a miss."""
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        The read path never propagates an entry's failure to the
+        caller: an ``OSError`` mid-read (EIO, a permissions change, a
+        truncated file on a full disk), an unpicklable or truncated
+        payload, and even a *successfully* unpickled payload of the
+        wrong type (a foreign file dropped into the cache directory)
+        are all quarantined as misses, so one bad entry can never fail
+        the whole gather that touched it.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
@@ -171,7 +180,20 @@ class ResultCache:
             self.misses += 1
             return None
         except Exception as exc:
+            # OSError while opening/reading, truncated pickles
+            # (EOFError), cross-version payloads (UnpicklingError,
+            # AttributeError, ImportError): everything the entry alone
+            # can cause quarantines as a miss and the cell re-runs.
             self._quarantine(path, exc)
+            self.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self._quarantine(
+                path,
+                TypeError(
+                    f"cached payload is {type(result).__name__}, not RunResult"
+                ),
+            )
             self.misses += 1
             return None
         self.hits += 1

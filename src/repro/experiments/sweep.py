@@ -40,6 +40,8 @@ from repro.errors import ConfigurationError, SweepExecutionError
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.observability.metrics import MetricsRegistry, merge_metrics
+from repro.service.backoff import BackoffPolicy
+from repro.session.control import RunControl
 from repro.session.execute import execute_plan
 from repro.session.outcome import CellFailure, RunOutcome, SessionStats
 from repro.session.planner import normalize_engine, plan_runs
@@ -47,7 +49,15 @@ from repro.session.request import RunRequest
 from repro.stats.summary import RunResult
 from repro.workload.scenarios import ScenarioSpec
 
-__all__ = ["SweepCell", "CellFailure", "SweepExecutor", "default_jobs"]
+__all__ = ["SweepCell", "CellFailure", "SweepExecutor", "default_jobs", "RETRY_BACKOFF"]
+
+#: Default retry pacing: a deterministic, seeded, capped exponential
+#: with jitter (see :mod:`repro.service.backoff`) shared with the
+#: service's crash-respawn policy.  The first (and, for sweeps, only)
+#: retry waits ~25-50ms — long enough for a torn process pool or an
+#: OOM-killed worker's memory to clear, short enough to be invisible in
+#: grid wall-clock.
+RETRY_BACKOFF = BackoffPolicy(base=0.05, cap=1.0, multiplier=2.0, jitter=0.5, seed=0)
 
 #: Historical name for the shared orchestration accounting
 #: (:class:`repro.session.outcome.SessionStats`).
@@ -129,6 +139,12 @@ class SweepExecutor:
         engine selector is not part of a cell's identity (epoch 6) —
         and cells outside the batch domain still fall back to the event
         engine per cell.
+    backoff:
+        Retry pacing for failed cells: the deterministic jittered
+        exponential of :data:`RETRY_BACKOFF` by default.  Tests (and
+        callers that must never sleep) pass
+        :meth:`BackoffPolicy.none() <repro.service.backoff.
+        BackoffPolicy.none>`.
     """
 
     def __init__(
@@ -136,10 +152,12 @@ class SweepExecutor:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         engine: Optional[str] = None,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.engine = normalize_engine(engine)
+        self.backoff = backoff if backoff is not None else RETRY_BACKOFF
         self.stats = SweepStats()
 
     # -- public API -----------------------------------------------------------
@@ -154,14 +172,19 @@ class SweepExecutor:
         )
         return [outcome.result for outcome in outcomes]
 
-    def run_requests(self, requests: Sequence[RunRequest]) -> List[RunOutcome]:
+    def run_requests(
+        self,
+        requests: Sequence[RunRequest],
+        control: Optional[RunControl] = None,
+    ) -> List[RunOutcome]:
         """Plan and execute a request batch; outcomes in request order.
 
         The session layer decides everything (engine override, lane
         packing, cache lookup — see :func:`repro.session.planner.
         plan_runs`); this executor contributes its backends: the lane
         super-batch hook and the per-cell process-pool/serial path with
-        retries.
+        retries.  ``control`` adds cooperative cancellation/deadline
+        checks at the session layer's stage boundaries.
         """
         plan = plan_runs(requests, cache=self.cache, engine=self.engine)
         return execute_plan(
@@ -170,6 +193,7 @@ class SweepExecutor:
             stats=self.stats,
             lane_runner=_call_run_lanes,
             direct_runner=self._execute_requests,
+            control=control,
         )
 
     def _execute_requests(self, requests: Sequence[RunRequest]) -> List[RunResult]:
@@ -233,9 +257,12 @@ class SweepExecutor:
         The retry runs serially whatever backend failed: a crashed
         worker cannot crash it again, and the cell's determinism means
         a retry either reproduces a genuine error or heals a transient
-        one (OOM-killed worker, torn pool).
+        one (OOM-killed worker, torn pool).  It waits the backoff
+        policy's first-attempt delay — deterministic for a given cell
+        tag/index, so the same failing grid always paces the same way.
         """
         self.stats.retries += 1
+        self.backoff.sleep(0, token=cell.tag if cell.tag is not None else str(index))
         try:
             return self._run_cell(cell)
         except Exception as exc:

@@ -1,0 +1,209 @@
+"""Synchronous client for the service's socket protocol.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.server` over an ``AF_UNIX`` stream socket.  It is
+deliberately thin: requests are encoded with the same
+:meth:`~repro.session.request.RunRequest.to_dict` codec the session
+layer defines, responses come back as plain dicts (the ``job`` wire
+summaries), and the one piece of policy it adds is
+:meth:`submit_retry` — the client-side half of the backpressure
+contract, which honours the server's ``retry_after`` hints instead of
+hammering a full queue.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ServiceError
+from repro.service.server import default_socket_path
+from repro.session.request import RunRequest
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running service.
+
+    Parameters
+    ----------
+    socket_path:
+        The server's socket (defaults to the conventional location,
+        ``$REPRO_SERVICE_SOCKET`` honoured).
+    timeout:
+        Socket timeout per protocol exchange, seconds.  ``wait`` ops
+        extend it by the wait's own bound.
+
+    Usable as a context manager; the connection is opened lazily on the
+    first call, so constructing a client is free.
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path, None] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.socket_path = Path(socket_path) if socket_path is not None else default_socket_path()
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection -----------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach service at {self.socket_path}: {exc}"
+            ) from None
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- protocol -------------------------------------------------------------
+
+    def call(self, doc: dict, timeout: Optional[float] = None) -> dict:
+        """One request/response exchange; raises ServiceError on failure.
+
+        Error answers (``ok: false``) raise with the server's
+        diagnostic; transport failures raise with the socket's.  A
+        rejection with a ``retry_after`` hint does *not* raise — it is a
+        well-formed answer the caller must interpret (see
+        :meth:`submit`).
+        """
+        self._connect()
+        assert self._sock is not None and self._file is not None
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            self._file.write(payload.encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"service connection failed: {exc}") from None
+        finally:
+            if timeout is not None and self._sock is not None:
+                self._sock.settimeout(self.timeout)
+        if not line:
+            self.close()
+            raise ServiceError("service closed the connection")
+        answer = json.loads(line.decode("utf-8"))
+        if not answer.get("ok"):
+            raise ServiceError(answer.get("error", "service error"))
+        return answer
+
+    # -- ops ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})["stats"]
+
+    def submit(
+        self,
+        requests: Union[RunRequest, Sequence[RunRequest]],
+        deadline: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        tag: Optional[str] = None,
+    ) -> dict:
+        """Submit a job; returns its wire summary (possibly terminal).
+
+        A backpressure rejection comes back as a summary with
+        ``state == "rejected"`` and a ``retry_after`` hint — it does not
+        raise, because rejection is the protocol working as designed.
+        """
+        if isinstance(requests, RunRequest):
+            requests = [requests]
+        doc = {
+            "op": "submit",
+            "requests": [request.to_dict() for request in requests],
+        }
+        if deadline is not None:
+            doc["deadline"] = deadline
+        if max_cells is not None:
+            doc["max_cells"] = max_cells
+        if tag is not None:
+            doc["tag"] = tag
+        return self.call(doc)["job"]
+
+    def submit_retry(
+        self,
+        requests: Union[RunRequest, Sequence[RunRequest]],
+        attempts: int = 5,
+        deadline: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        tag: Optional[str] = None,
+        sleep=time.sleep,
+    ) -> dict:
+        """Submit, honouring backpressure: sleep ``retry_after``, retry.
+
+        Gives up (returning the last rejection summary) after
+        ``attempts`` tries; any non-backpressure rejection — a budget
+        violation will never succeed on retry — returns immediately.
+        """
+        summary: dict = {}
+        for _ in range(max(1, attempts)):
+            summary = self.submit(
+                requests, deadline=deadline, max_cells=max_cells, tag=tag
+            )
+            retry_after = summary.get("retry_after")
+            if summary.get("state") != "rejected" or retry_after is None:
+                return summary
+            sleep(retry_after)
+        return summary
+
+    def status(self, job_id: str) -> dict:
+        return self.call({"op": "status", "job_id": job_id})["job"]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """Block until ``job_id`` is terminal; returns its wire summary.
+
+        ``timeout=None`` blocks indefinitely by re-issuing bounded
+        ``wait`` ops (the server caps each at its ``MAX_WAIT``), so an
+        abandoned connection can never pin a server thread.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            answer = self.call(
+                {"op": "wait", "job_id": job_id, "timeout": remaining},
+                timeout=self.timeout + (remaining if remaining is not None else 60.0),
+            )
+            job = answer["job"]
+            if job["state"] not in ("queued", "running"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                return job
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Ask the server to stop (draining queued jobs by default)."""
+        self.call({"op": "shutdown", "drain": drain})
+        self.close()

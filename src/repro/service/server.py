@@ -1,0 +1,228 @@
+"""Asyncio front end: the service over a local stream socket.
+
+The wire protocol is deliberately minimal — newline-delimited JSON
+request/response over an ``AF_UNIX`` stream socket, one JSON object per
+line, ``utf-8``.  Every request is ``{"op": <name>, ...}`` and every
+response carries ``"ok"``:
+
+=========  ==================================================  =========================
+op         request fields                                      response (``ok: true``)
+=========  ==================================================  =========================
+submit     ``requests`` (list of RunRequest docs),             ``job`` (wire summary)
+           optional ``deadline``, ``max_cells``, ``tag``
+status     ``job_id``                                          ``job``
+wait       ``job_id``, optional ``timeout`` (seconds)          ``job`` (terminal unless
+                                                               the wait timed out)
+stats      —                                                   ``stats`` (counters,
+                                                               backlog, pool health)
+ping       —                                                   ``pong: true``
+shutdown   optional ``drain`` (default true)                   ``stopping: true``
+=========  ==================================================  =========================
+
+Failures answer ``{"ok": false, "error": ...}``; a backpressure
+rejection additionally carries ``retry_after`` so clients can implement
+the spread-out retry the admission controller's hint is designed for.
+Responses are canonical JSON (sorted keys, compact separators), so the
+protocol is byte-reproducible for identical state — the same property
+the telemetry JSONL and the request codec already hold.
+
+The event loop never blocks on simulation work: ``submit`` returns as
+soon as the job is admitted, and ``wait`` parks on the job's completion
+event in a worker thread (``asyncio.to_thread``), so one slow job never
+stalls another client's status poll.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.service import ArbitrationService
+from repro.session.request import RunRequest
+
+__all__ = ["ServiceServer", "default_socket_path", "serve"]
+
+#: Longest request line accepted (a grid of a few hundred cells fits
+#: comfortably; anything larger should use the programmatic path).
+MAX_LINE = 8 * 1024 * 1024
+
+#: Cap on one ``wait`` op, so an abandoned connection cannot pin a
+#: worker thread forever; clients re-issue ``wait`` to keep blocking.
+MAX_WAIT = 60.0
+
+
+def default_socket_path() -> Path:
+    """The conventional socket location (``$REPRO_SERVICE_SOCKET`` wins)."""
+    import os
+    import tempfile
+
+    override = os.environ.get("REPRO_SERVICE_SOCKET")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-service.sock"
+
+
+def _encode(doc: dict) -> bytes:
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+class ServiceServer:
+    """One service behind one unix-domain stream socket.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.service.ArbitrationService` to front.
+        The server never owns it exclusively — programmatic submitters
+        may share it — but :meth:`run` closes it on the way out.
+    socket_path:
+        Where to listen; a stale socket file is replaced.
+    """
+
+    def __init__(
+        self,
+        service: ArbitrationService,
+        socket_path: Union[str, Path, None] = None,
+    ) -> None:
+        self.service = service
+        self.socket_path = Path(socket_path) if socket_path is not None else default_socket_path()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        #: Shutdown semantics requested by the last ``shutdown`` op.
+        self._drain = True
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections."""
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self.service.start()
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path), limit=MAX_LINE
+        )
+
+    async def wait_closed(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`stop`) arrives."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain (per the shutdown op), close the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.to_thread(self.service.close, self._drain)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+
+    def run(self) -> None:
+        """Serve until shutdown — the blocking entry point the CLI uses."""
+
+        async def _main() -> None:
+            await self.start()
+            await self.wait_closed()
+
+        asyncio.run(_main())
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long line or peer reset: drop the connection
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(_encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if self._shutdown.is_set():
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        """One request line to one response document; never raises."""
+        try:
+            doc = json.loads(line.decode("utf-8"))
+            if not isinstance(doc, dict):
+                raise ConfigurationError("request must be a JSON object")
+            op = doc.get("op")
+            if op == "submit":
+                return self._op_submit(doc)
+            if op == "status":
+                return self._op_status(doc)
+            if op == "wait":
+                return await self._op_wait(doc)
+            if op == "stats":
+                return {"ok": True, "stats": self.service.stats_snapshot()}
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "shutdown":
+                self._drain = bool(doc.get("drain", True))
+                self._shutdown.set()
+                return {"ok": True, "stopping": True}
+            raise ConfigurationError(f"unknown op {op!r}")
+        except (ReproError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- ops -------------------------------------------------------------------
+
+    def _op_submit(self, doc: dict) -> dict:
+        raw = doc.get("requests")
+        if not isinstance(raw, list):
+            raise ConfigurationError("submit needs a 'requests' list")
+        requests = [RunRequest.from_dict(item) for item in raw]
+        job = self.service.submit(
+            requests,
+            deadline=doc.get("deadline"),
+            max_cells=doc.get("max_cells"),
+            tag=doc.get("tag"),
+        )
+        answer = {"ok": True, "job": job.describe()}
+        if job.retry_after is not None:
+            answer["retry_after"] = job.retry_after
+        return answer
+
+    def _op_status(self, doc: dict) -> dict:
+        job = self.service.job(str(doc["job_id"]))
+        return {"ok": True, "job": job.describe()}
+
+    async def _op_wait(self, doc: dict) -> dict:
+        job = self.service.job(str(doc["job_id"]))
+        timeout = doc.get("timeout")
+        timeout = MAX_WAIT if timeout is None else min(float(timeout), MAX_WAIT)
+        finished = await asyncio.to_thread(job.wait, timeout)
+        answer = {"ok": True, "job": job.describe(), "finished": finished}
+        return answer
+
+
+def serve(
+    service: Optional[ArbitrationService] = None,
+    socket_path: Union[str, Path, None] = None,
+) -> None:
+    """Convenience wrapper: build a server around ``service`` and block.
+
+    A missing ``service`` gets a default one (no cache).  This is what
+    ``repro serve`` calls after assembling the configured service.
+    """
+    if service is None:
+        service = ArbitrationService()
+    ServiceServer(service, socket_path).run()

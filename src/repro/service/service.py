@@ -1,0 +1,743 @@
+"""Arbitration-as-a-service: the fault-tolerant job layer.
+
+:class:`ArbitrationService` turns the synchronous session layer into a
+multi-client serving system with the paper's own virtues — bounded
+state, liveness under contention, graceful degradation:
+
+- **admission** is a bounded queue with explicit backpressure
+  (:mod:`repro.service.admission`): a full queue refuses the job with a
+  ``retry_after`` hint, never buffers unboundedly;
+- **execution** batches each dispatch gather through the session
+  planner — cache hits replay from the shared content-addressed store,
+  identical requests from different clients dedup to one run, lane-pack
+  misses run as lockstep super-batches on the sharded process pool
+  (:mod:`repro.service.shards`), per-cell misses fan out by content
+  hash;
+- **robustness** is the headline: per-job wall-clock deadlines and cell
+  budgets enforced with cancellation, bounded replay with deterministic
+  jittered backoff on worker crashes, degradation to serial in-process
+  execution when the pool is irrecoverable, and the terminal-state
+  guarantee — every accepted job finishes exactly one of
+  ``done`` / ``failed`` / ``rejected`` / ``timeout``, carrying
+  :class:`~repro.session.outcome.RunOutcome` provenance or a
+  :class:`~repro.session.outcome.CellFailure` diagnostic;
+- **observability**: ``service.*`` counters on a
+  :class:`~repro.observability.metrics.MetricsRegistry` and JSONL
+  lifecycle telemetry through the same
+  :class:`~repro.observability.sinks.EventSink` protocol the simulation
+  events use.
+
+The service also satisfies the ``Session``/``SweepExecutor`` executor
+duck type (``run_requests`` / ``simulate``), so an experiment grid can
+be pointed at a running service unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, CancelledError, Future, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.sinks import EventSink, JsonlSink
+from repro.service.admission import AdmissionController
+from repro.service.backoff import BackoffPolicy
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_REJECTED,
+    JOB_TIMEOUT,
+    Job,
+    JobBudget,
+    ServiceEvent,
+)
+from repro.service.shards import PAYLOAD_CELL, PAYLOAD_LANES, ShardPool, split_by_shard
+from repro.session.control import RunControl
+from repro.session.outcome import CellFailure, RunOutcome, SessionStats
+from repro.session.planner import plan_runs
+from repro.session.request import RunRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.runner import SimulationSettings
+    from repro.stats.summary import RunResult
+    from repro.workload.scenarios import ScenarioSpec
+
+__all__ = ["ServiceConfig", "ArbitrationService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`ArbitrationService`.
+
+    Attributes
+    ----------
+    queue_limit:
+        Admission queue capacity (jobs); beyond it submissions are
+        rejected with backpressure.
+    gather_limit:
+        Most jobs one dispatch gathers — the batching window that lets
+        cross-client dedup and lane packing happen.
+    shards / workers:
+        Process-pool topology (see :class:`~repro.service.shards.
+        ShardPool`).
+    serial:
+        Skip process pools entirely and execute in-process (bench
+        harnesses, platforms without ``fork``).  Counted as neither a
+        crash nor a degradation.
+    max_replays:
+        Times one payload may be replayed after worker crashes before
+        it runs serially in-process instead.
+    max_respawns:
+        Cumulative shard respawns before the pool is declared
+        irrecoverable and the service degrades to serial execution.
+    backoff:
+        Respawn/replay pacing (deterministic jittered exponential).
+    default_deadline / default_max_cells:
+        Budgets applied to jobs that do not bring their own.
+    retry_after:
+        Base backpressure hint (seconds), scaled by backlog.
+    poll_interval:
+        Dispatcher wait granularity: the bound on how stale a deadline
+        check can be while futures are in flight.
+    jsonl_path:
+        When set (and no explicit sink is given), lifecycle telemetry
+        streams as JSON lines to this path via a service-owned
+        :class:`~repro.observability.sinks.JsonlSink`.
+    """
+
+    queue_limit: int = 64
+    gather_limit: int = 16
+    shards: int = 2
+    workers: int = 1
+    serial: bool = False
+    max_replays: int = 1
+    max_respawns: int = 4
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    default_deadline: Optional[float] = None
+    default_max_cells: Optional[int] = None
+    retry_after: float = 0.05
+    poll_interval: float = 0.05
+    jsonl_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.gather_limit < 1:
+            raise ConfigurationError(
+                f"gather_limit must be >= 1, got {self.gather_limit}"
+            )
+        if self.max_replays < 0:
+            raise ConfigurationError(
+                f"max_replays must be >= 0, got {self.max_replays}"
+            )
+        if self.poll_interval <= 0.0:
+            raise ConfigurationError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+        if self.default_deadline is not None and self.default_deadline < 0.0:
+            raise ConfigurationError(
+                f"default_deadline must be >= 0, got {self.default_deadline}"
+            )
+
+
+class _Payload:
+    """One unit of shard work: a cell or a lane pack, plus bookkeeping."""
+
+    __slots__ = ("kind", "data", "indices", "shard", "replays")
+
+    def __init__(self, kind: str, data, indices: List[int], shard: int) -> None:
+        self.kind = kind
+        self.data = data
+        #: Positions in the gather's unique-request list this payload answers.
+        self.indices = indices
+        self.shard = shard
+        self.replays = 0
+
+
+class ArbitrationService:
+    """The fault-tolerant async job layer over the session stack.
+
+    Parameters
+    ----------
+    cache:
+        The shared content-addressed
+        :class:`~repro.experiments.cache.ResultCache` every client's
+        hits replay from; ``None`` disables caching (dedup within a
+        gather still works).
+    config:
+        A :class:`ServiceConfig`; defaults are sized for a local
+        many-client workload.
+    sink:
+        Lifecycle telemetry sink (any
+        :class:`~repro.observability.sinks.EventSink`); overrides
+        ``config.jsonl_path``.
+    """
+
+    def __init__(
+        self,
+        cache: Optional["ResultCache"] = None,
+        config: Optional[ServiceConfig] = None,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = cache
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(
+            limit=self.config.queue_limit, retry_after=self.config.retry_after
+        )
+        self.pool = ShardPool(
+            shards=self.config.shards,
+            workers=self.config.workers,
+            backoff=self.config.backoff,
+            max_respawns=self.config.max_respawns,
+        )
+        if self.config.serial:
+            self.pool.degraded = True
+            self.pool.degraded_reason = "serial execution configured"
+        #: Executor duck type: a service never overrides cell engines
+        #: (the planner respects each request's own declaration), and it
+        #: keeps the same :class:`SessionStats` accounting every other
+        #: orchestrator exposes, so ``Session(executor=service)`` works.
+        self.engine: Optional[str] = None
+        self.stats = SessionStats()
+        self._owns_sink = False
+        if sink is None and self.config.jsonl_path is not None:
+            sink = JsonlSink(self.config.jsonl_path)
+            self._owns_sink = True
+        self._sink = sink
+        self._seq = 0
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ArbitrationService":
+        """Start the dispatcher thread (idempotent; submit() does this)."""
+        with self._lock:
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop, name="repro-service", daemon=True
+                )
+                self._dispatcher.start()
+        return self
+
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting work and shut the back end down.
+
+        ``drain=True`` (default) lets already-queued jobs dispatch
+        first; ``drain=False`` fails them terminally (``failed`` with a
+        ``service stopped`` diagnostic) — either way no accepted job is
+        left in a non-terminal state.
+        """
+        self._closing = True
+        self.admission.close()
+        if not drain:
+            for job in self.admission.take(self.config.queue_limit * 2, timeout=0):
+                self._fail(job, "service stopped before dispatch")
+        if self._dispatcher is not None:
+            self._stopped.wait(timeout)
+            self._dispatcher.join(timeout)
+        self.pool.close()
+        if self._owns_sink and self._sink is not None:
+            self._sink.close()
+
+    def __enter__(self) -> "ArbitrationService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        requests: Union[RunRequest, Sequence[RunRequest]],
+        deadline: Optional[float] = None,
+        max_cells: Optional[int] = None,
+        tag: Optional[str] = None,
+    ) -> Job:
+        """Admit a job (one or more requests) and return it immediately.
+
+        The returned :class:`~repro.service.jobs.Job` may already be
+        terminal: ``rejected`` when the queue is full (backpressure —
+        honour ``retry_after``) or the cell budget is exceeded.
+        Otherwise it is ``queued`` and will reach a terminal state
+        without further action from the caller.
+        """
+        if isinstance(requests, RunRequest):
+            requests = [requests]
+        budget = JobBudget(
+            deadline=deadline if deadline is not None else self.config.default_deadline,
+            max_cells=max_cells if max_cells is not None else self.config.default_max_cells,
+        )
+        with self._lock:
+            job_id = f"job-{next(self._ids):06d}"
+        job = Job(job_id, requests, budget=budget, tag=tag)
+        with self._lock:
+            self._jobs[job_id] = job
+        if not job.requests:
+            job._finish(JOB_DONE, outcomes=[])
+            self._count("service.done")
+            self._emit("terminal", job, "empty job")
+            return job
+        if budget.max_cells is not None and job.cells > budget.max_cells:
+            job._finish(
+                JOB_REJECTED,
+                error=f"budget exceeded: {job.cells} cells > max_cells {budget.max_cells}",
+            )
+            self._count("service.rejected")
+            self._emit("reject", job, "cell budget")
+            return job
+        if self._closing:
+            job._finish(JOB_REJECTED, error="service is shutting down")
+            self._count("service.rejected")
+            self._emit("reject", job, "closing")
+            return job
+        retry_after = self.admission.offer(job)
+        if retry_after is not None:
+            job._finish(
+                JOB_REJECTED,
+                error=(
+                    f"queue full ({self.admission.limit} jobs); "
+                    f"retry in {retry_after:.3f}s"
+                ),
+                retry_after=retry_after,
+            )
+            self._count("service.rejected")
+            self._emit("reject", job, "backpressure")
+            return job
+        self._count("service.queued")
+        self._emit("admit", job)
+        self.start()
+        return job
+
+    # -- observation ----------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        """The job registered under ``job_id`` (ServiceError if unknown)."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def stats_snapshot(self) -> dict:
+        """JSON-safe service state: counters, backlog, pool health."""
+        states: Dict[str, int] = {}
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in self.metrics.counters().items()
+            },
+            "backlog": len(self.admission),
+            "queue_limit": self.admission.limit,
+            "high_water": self.admission.high_water,
+            "jobs": states,
+            "pool": self.pool.describe(),
+        }
+
+    # -- executor duck type ---------------------------------------------------
+
+    def run_requests(
+        self,
+        requests: Sequence[RunRequest],
+        control: Optional[RunControl] = None,
+    ) -> List[RunOutcome]:
+        """Submit one job for ``requests`` and block for its outcomes.
+
+        Satisfies the executor duck type the experiment grids accept,
+        so a grid can run against a service (shared cache, sharded
+        pool) unchanged.  Raises on any non-``done`` terminal state.
+        """
+        deadline = None
+        if control is not None and control.remaining() is not None:
+            deadline = max(control.remaining(), 0.0)
+        job = self.submit(list(requests), deadline=deadline)
+        job.wait()
+        if job.state != JOB_DONE:
+            raise ServiceError(
+                f"job {job.job_id} finished {job.state!r}: {job.error}"
+            )
+        assert job.outcomes is not None
+        return job.outcomes
+
+    def simulate(
+        self,
+        scenario: "ScenarioSpec",
+        protocol: str,
+        settings: Optional["SimulationSettings"] = None,
+    ) -> "RunResult":
+        """Single-run convenience: one request, one blocking job."""
+        outcomes = self.run_requests([RunRequest(scenario, protocol, settings)])
+        return outcomes[0].result
+
+    # -- internals ------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).increment(amount)
+
+    def _emit(self, kind: str, job: Optional[Job] = None, detail: str = "") -> None:
+        if self._sink is None:
+            return
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        event = ServiceEvent(
+            seq=seq,
+            kind=kind,
+            job_id=job.job_id if job is not None else "",
+            state=job.state if job is not None else "",
+            detail=detail,
+        )
+        try:
+            self._sink.emit(event)
+        except Exception:  # telemetry must never perturb the service
+            pass
+
+    def _fail(self, job: Job, error: str, failure: Optional[CellFailure] = None) -> None:
+        job._finish(JOB_FAILED, error=error, failure=failure)
+        if failure is not None:
+            self.stats.failures.append(failure)
+        self._count("service.failed")
+        self._emit("terminal", job, error)
+
+    def _expire(self, job: Job) -> None:
+        job._finish(
+            JOB_TIMEOUT,
+            error=f"deadline expired after {job.budget.deadline:.3f}s",
+        )
+        self._count("service.deadline_exceeded")
+        self._emit("deadline", job)
+
+    def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                jobs = self.admission.take(
+                    self.config.gather_limit, timeout=self.config.poll_interval
+                )
+                if not jobs:
+                    if self.admission.closed and not len(self.admission):
+                        return
+                    continue
+                try:
+                    self._dispatch(jobs)
+                except Exception as exc:
+                    # The terminal-state guarantee's last line of defence:
+                    # an unexpected orchestration error fails the whole
+                    # gather loudly instead of stranding jobs.
+                    detail = f"internal dispatch failure ({type(exc).__name__}: {exc})"
+                    for job in jobs:
+                        if not job.terminal:
+                            self._fail(job, detail)
+        finally:
+            self._stopped.set()
+
+    def _dispatch(self, jobs: List[Job]) -> None:
+        """Run one gathered batch of jobs to their terminal states."""
+        now = time.monotonic()
+        live: List[Job] = []
+        for job in jobs:
+            if job.expired(now):
+                self._expire(job)
+            else:
+                job._start()
+                live.append(job)
+        if not live:
+            return
+        self._emit("dispatch", detail=f"{len(live)} job(s)")
+
+        # Cross-client dedup: one slot per distinct epoch-6 content hash.
+        index_of: Dict[str, int] = {}
+        unique: List[RunRequest] = []
+        keys: List[str] = []
+        slots: Dict[str, List[int]] = {}
+        for job in live:
+            slots[job.job_id] = []
+            for request in job.requests:
+                resolved = request.resolved()
+                key = resolved.cache_key()
+                uidx = index_of.get(key)
+                if uidx is None:
+                    uidx = len(unique)
+                    index_of[key] = uidx
+                    unique.append(resolved)
+                    keys.append(key)
+                else:
+                    self._count("service.deduplicated")
+                    self.stats.deduplicated += 1
+                slots[job.job_id].append(uidx)
+
+        plan = plan_runs(unique, cache=self.cache)
+        results: List[Optional["RunResult"]] = [None] * len(unique)
+        errors: Dict[int, str] = {}
+        routes = [run.route for run in plan.runs]
+        stored = [False] * len(unique)
+
+        for run in plan.cached_runs:
+            results[run.index] = run.cached
+            self._count("service.cache_hits")
+            self.stats.cache_hits += 1
+
+        payloads = self._build_payloads(plan, unique, keys)
+        if payloads:
+            if self.pool.degraded:
+                self._run_serial(payloads, live, unique, keys, results, errors, stored)
+            else:
+                self._run_pooled(payloads, live, unique, keys, results, errors, stored)
+
+        self._finalise(live, slots, unique, keys, routes, results, errors, stored)
+
+    def _build_payloads(self, plan, unique, keys) -> List[_Payload]:
+        """Misses become shard payloads: lane packs per shard, cells solo."""
+        payloads: List[_Payload] = []
+        lane_idx = [run.index for run in plan.lane_runs]
+        if lane_idx:
+            for shard, positions in split_by_shard([keys[i] for i in lane_idx], self.pool):
+                indices = [lane_idx[pos] for pos in positions]
+                cells = tuple(unique[i].as_cell() for i in indices)
+                payloads.append(_Payload(PAYLOAD_LANES, cells, indices, shard))
+        for run in plan.direct_runs:
+            index = run.index
+            payloads.append(
+                _Payload(
+                    PAYLOAD_CELL,
+                    unique[index].as_cell(),
+                    [index],
+                    self.pool.shard_for(keys[index]),
+                )
+            )
+        return payloads
+
+    def _store(self, index: int, result: "RunResult", keys, results, stored) -> None:
+        results[index] = result
+        if self.cache is not None:
+            self.cache.put(keys[index], result)
+            stored[index] = True
+        self._count("service.executed")
+        self.stats.executed += 1
+
+    def _expire_due(self, live: List[Job]) -> None:
+        now = time.monotonic()
+        for job in live:
+            if not job.terminal and job.expired(now):
+                self._expire(job)
+
+    def _owners_alive(self, payload: _Payload, live: List[Job], slots=None) -> bool:
+        """True while any live job still needs one of the payload's cells."""
+        needed = set(payload.indices)
+        for job in live:
+            if job.terminal:
+                continue
+            job_slots = slots.get(job.job_id, []) if slots else None
+            if job_slots is None:
+                return True
+            if needed.intersection(job_slots):
+                return True
+        return False
+
+    # -- serial (degraded) execution ------------------------------------------
+
+    def _run_serial(self, payloads, live, unique, keys, results, errors, stored) -> None:
+        """In-process execution: the irrecoverable-pool (or configured
+        serial) path.  Deadlines are checked at every payload and —
+        through a :class:`RunControl` — between the cells of a demoted
+        lane pack, so an expired job stops costing compute at the next
+        cell boundary.
+        """
+        for payload in payloads:
+            self._expire_due(live)
+            if all(job.terminal for job in live):
+                return
+            try:
+                out = self.pool.run_serial(payload.kind, payload.data)
+            except Exception as exc:
+                if payload.kind == PAYLOAD_LANES:
+                    # Same demotion contract as the session layer: a lane
+                    # pack that fails at runtime re-runs per cell so real
+                    # per-cell errors surface individually.
+                    self._serial_cells(payload, live, unique, keys, results, errors, stored)
+                else:
+                    errors[payload.indices[0]] = f"{type(exc).__name__}: {exc}"
+                continue
+            if payload.kind == PAYLOAD_LANES:
+                for index, result in zip(payload.indices, out):
+                    self._store(index, result, keys, results, stored)
+            else:
+                self._store(payload.indices[0], out, keys, results, stored)
+
+    def _serial_cells(self, payload, live, unique, keys, results, errors, stored) -> None:
+        """Per-cell serial re-run of a demoted lane pack, deadline-aware."""
+        deadlines = [job.deadline_at for job in live if job.deadline_at is not None]
+        control = RunControl(deadline_at=min(deadlines)) if deadlines else RunControl()
+        for index in payload.indices:
+            self._expire_due(live)
+            if all(job.terminal for job in live):
+                return
+            try:
+                if not control.expired:
+                    control.check()
+                result = self.pool.run_serial(PAYLOAD_CELL, unique[index].as_cell())
+            except Exception as exc:
+                errors[index] = f"{type(exc).__name__}: {exc}"
+            else:
+                self._store(index, result, keys, results, stored)
+
+    # -- pooled execution ------------------------------------------------------
+
+    def _run_pooled(self, payloads, live, unique, keys, results, errors, stored) -> None:
+        """Sharded process-pool execution with crash recovery.
+
+        A ``BrokenProcessPool`` from any future triggers the failure
+        ladder: respawn the shard (backoff-paced) and replay the
+        payload at most ``max_replays`` times, then run it serially
+        in-process; if the respawn budget is exhausted the whole pool
+        degrades and the remaining payloads run serially.  Futures
+        whose every interested job has expired are cancelled.
+        """
+        pending: Dict[Future, _Payload] = {}
+        backlog: List[_Payload] = list(payloads)
+        while backlog:
+            payload = backlog.pop(0)
+            if not self._submit_payload(payload, pending):
+                # Pool refused at submit time: degrade and run the rest
+                # (this payload included) serially.
+                remaining = [payload] + backlog
+                self._degrade_now("process pool unavailable at submit")
+                self._run_serial(remaining, live, unique, keys, results, errors, stored)
+                backlog = []
+        while pending:
+            done, _ = wait(
+                set(pending), timeout=self.config.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            self._expire_due(live)
+            if all(job.terminal for job in live):
+                for future in pending:
+                    future.cancel()
+                # Completed results are still harvested below so the
+                # shared cache keeps deterministic work already paid for.
+            for future in list(done):
+                payload = pending.pop(future)
+                try:
+                    out = future.result()
+                except CancelledError:
+                    continue
+                except BrokenExecutor as exc:
+                    self._count("service.crashes")
+                    self.pool.note_crash()
+                    self._recover(
+                        payload, exc, pending, live, unique, keys, results, errors, stored
+                    )
+                except Exception as exc:
+                    if payload.kind == PAYLOAD_LANES:
+                        self._serial_cells(
+                            payload, live, unique, keys, results, errors, stored
+                        )
+                    else:
+                        errors[payload.indices[0]] = f"{type(exc).__name__}: {exc}"
+                else:
+                    if payload.kind == PAYLOAD_LANES:
+                        for index, result in zip(payload.indices, out):
+                            self._store(index, result, keys, results, stored)
+                    else:
+                        self._store(payload.indices[0], out, keys, results, stored)
+            if all(job.terminal for job in live) and not any(
+                not future.cancelled() for future in pending
+            ):
+                return
+
+    def _submit_payload(self, payload: _Payload, pending: Dict[Future, _Payload]) -> bool:
+        try:
+            future = self.pool.submit(payload.shard, payload.kind, payload.data)
+        except Exception:
+            return False
+        pending[future] = payload
+        return True
+
+    def _degrade_now(self, reason: str) -> None:
+        if not self.pool.degraded:
+            self.pool.degrade(reason)
+            self._count("service.degraded")
+            self._emit("degrade", detail=reason)
+
+    def _recover(
+        self, payload, exc, pending, live, unique, keys, results, errors, stored
+    ) -> None:
+        """The crash ladder for one broken payload (see class docstring)."""
+        detail = f"{type(exc).__name__}: {exc}"
+        if payload.replays >= self.config.max_replays:
+            # Replayed already and crashed again: this payload gets no
+            # more worker attempts — run it serially, in-process, where
+            # a crash cannot recur (the kill arming is not consulted).
+            self._emit("retry", detail=f"serial replay after repeated crash ({detail})")
+            self._run_serial([payload], live, unique, keys, results, errors, stored)
+            return
+        if not self.pool.respawn(payload.shard):
+            self._degrade_now(f"respawn budget exhausted ({detail})")
+            remaining = [payload] + [
+                pending.pop(future) for future in list(pending)
+                if pending[future].shard == payload.shard and not future.cancel()
+            ]
+            # Futures on other shards keep running; their results are
+            # harvested by the main loop.  Everything known-dead runs
+            # serially right now.
+            self._run_serial(remaining, live, unique, keys, results, errors, stored)
+            return
+        payload.replays += 1
+        self._count("service.retried")
+        for job in live:
+            if not job.terminal:
+                job.attempts += 1
+        self._emit("retry", detail=f"replay {payload.replays} after {detail}")
+        if not self._submit_payload(payload, pending):
+            self._degrade_now("process pool unavailable on replay")
+            self._run_serial([payload], live, unique, keys, results, errors, stored)
+
+    # -- finalisation ----------------------------------------------------------
+
+    def _finalise(self, live, slots, unique, keys, routes, results, errors, stored) -> None:
+        """Every still-running job gets its terminal state and provenance."""
+        for job in live:
+            if job.terminal:
+                continue
+            outcomes: List[RunOutcome] = []
+            failure: Optional[CellFailure] = None
+            for slot, uidx in enumerate(slots[job.job_id]):
+                error = errors.get(uidx)
+                if error is None and results[uidx] is None:
+                    error = "result unavailable (cell never completed)"
+                if error is not None:
+                    failure = CellFailure(
+                        index=slot,
+                        tag=job.tag,
+                        protocol=unique[uidx].protocol,
+                        scenario=unique[uidx].scenario.name,
+                        error=error,
+                        first_error=error,
+                    )
+                    break
+                outcomes.append(
+                    RunOutcome(
+                        request=unique[uidx],
+                        result=results[uidx],
+                        route=routes[uidx],
+                        cache_key=keys[uidx],
+                        stored=stored[uidx],
+                    )
+                )
+            if failure is not None:
+                self._fail(job, str(failure), failure)
+            else:
+                job._finish(JOB_DONE, outcomes=outcomes)
+                self._count("service.done")
+                self._emit("terminal", job)

@@ -1,0 +1,252 @@
+"""Sharded process-pool back end with respawn and graceful degradation.
+
+The service's compute layer is a small fleet of independent
+:class:`~concurrent.futures.ProcessPoolExecutor` shards.  Work routes
+to a shard by the cell's epoch-6 content hash, so one crashing payload
+can only take down the futures of its own shard — the blast radius the
+paper's distributed arbiters get from per-agent state replication, here
+applied to the serving layer.
+
+Failure ladder (each rung strictly contains the one above):
+
+1. a worker crash breaks one shard; the shard is **respawned** after a
+   deterministic jittered backoff delay and the in-flight payloads are
+   replayed (the service bounds replays per job);
+2. repeated crashes exhaust ``max_respawns`` — or the platform cannot
+   host process pools at all — and the whole pool **degrades** to
+   serial in-process execution: slower, but every accepted job still
+   reaches a terminal state;
+3. payloads executed serially strip the test-only crash arming, so a
+   replay can never re-trigger the fault that killed its worker.
+
+The ``arm_kills`` hook is the deterministic fault-injection seam the
+soak suite uses: the next *n* payloads submitted to worker processes
+``os._exit`` before touching their cell, which is indistinguishable
+from a real mid-job worker loss (OOM kill, segfault) at the
+``BrokenProcessPool`` boundary the service recovers across.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service.backoff import BackoffPolicy
+
+__all__ = ["ShardPool", "split_by_shard", "PAYLOAD_CELL", "PAYLOAD_LANES"]
+
+#: Payload kinds: one simulation cell, or one lane-packed super-batch.
+PAYLOAD_CELL = "cell"
+PAYLOAD_LANES = "lanes"
+
+
+def _execute_payload(kind: str, kill: bool, data):
+    """Worker entry point: module-level so it pickles by reference.
+
+    ``kill`` is the soak suite's crash seam — the worker exits hard
+    *before* touching the cell, modelling an OOM-killed or segfaulted
+    worker whose shard must be respawned and whose work replayed.
+    """
+    if kill:
+        os._exit(13)
+    if kind == PAYLOAD_LANES:
+        from repro.engine.batch import run_lanes
+
+        return list(run_lanes(data))
+    scenario, protocol, settings = data
+    from repro.session.single import run_cell
+
+    return run_cell(scenario, protocol, settings)
+
+
+class ShardPool:
+    """A fixed set of process-pool shards with crash recovery.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent pools; cells route by content hash.
+    workers:
+        Worker processes per shard.
+    backoff:
+        Respawn pacing (shared :class:`BackoffPolicy` vocabulary);
+        attempt numbers count *cumulative* respawns so repeated crashes
+        wait progressively longer.
+    max_respawns:
+        Cumulative respawns across shards before the pool declares
+        itself irrecoverable and degrades to serial execution.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        workers: int = 1,
+        backoff: Optional[BackoffPolicy] = None,
+        max_respawns: int = 4,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.shards = shards
+        self.workers = workers
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.max_respawns = max_respawns
+        self._pools: List[Optional[ProcessPoolExecutor]] = [None] * shards
+        self._lock = threading.Lock()
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self.crashes = 0
+        self.respawns = 0
+        self._kill_budget = 0
+        self._closed = False
+
+    # -- routing --------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard a content key routes to (stable across calls)."""
+        try:
+            prefix = int(key[:8], 16)
+        except ValueError:
+            prefix = hash(key)
+        return prefix % self.shards
+
+    # -- fault injection (tests) ----------------------------------------------
+
+    def arm_kills(self, count: int = 1) -> None:
+        """Make the next ``count`` worker payloads crash their process."""
+        with self._lock:
+            self._kill_budget += count
+
+    def _take_kill(self) -> bool:
+        with self._lock:
+            if self._kill_budget > 0:
+                self._kill_budget -= 1
+                return True
+            return False
+
+    # -- pool management ------------------------------------------------------
+
+    def _pool(self, shard: int) -> ProcessPoolExecutor:
+        """The shard's executor, building it on first use.
+
+        Raises whatever the platform raises when process pools are
+        unavailable; the caller degrades.
+        """
+        pool = self._pools[shard]
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pools[shard] = pool
+        return pool
+
+    def submit(self, shard: int, kind: str, data) -> Future:
+        """Submit one payload to ``shard``; consumes any armed kill.
+
+        Raises :class:`BrokenExecutor` (or the platform's pool-creation
+        error) straight through — recovery policy lives in the service.
+        """
+        kill = self._take_kill()
+        return self._pool(shard).submit(_execute_payload, kind, kill, data)
+
+    def note_crash(self) -> None:
+        """Record one observed worker crash (``BrokenProcessPool``)."""
+        with self._lock:
+            self.crashes += 1
+
+    def respawn(self, shard: int, token: str = "") -> bool:
+        """Replace a broken shard after the backoff delay.
+
+        Returns False — without raising — once the respawn budget is
+        exhausted or the platform refuses a new pool; the caller then
+        degrades.  The attempt number fed to the backoff is the
+        cumulative respawn count, so a crash storm waits progressively
+        longer instead of spinning.
+        """
+        with self._lock:
+            if self.respawns >= self.max_respawns:
+                return False
+            attempt = self.respawns
+            self.respawns += 1
+        broken = self._pools[shard]
+        self._pools[shard] = None
+        if broken is not None:
+            broken.shutdown(wait=False, cancel_futures=True)
+        self.backoff.sleep(attempt, token=token or f"shard{shard}")
+        try:
+            self._pool(shard)
+        except Exception:
+            return False
+        return True
+
+    def degrade(self, reason: str) -> None:
+        """Declare the pool irrecoverable; execution turns serial."""
+        self.degraded = True
+        self.degraded_reason = reason
+        for shard, pool in enumerate(self._pools):
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pools[shard] = None
+
+    # -- serial fallback ------------------------------------------------------
+
+    @staticmethod
+    def run_serial(kind: str, data):
+        """Execute one payload in-process (degraded mode / final replay).
+
+        The crash arming is deliberately not consulted: a replayed or
+        degraded payload must run clean, and an armed kill must never
+        take down the service process itself.
+        """
+        if kind == PAYLOAD_LANES:
+            from repro.engine.batch import run_lanes
+
+            return list(run_lanes(data))
+        scenario, protocol, settings = data
+        from repro.session.single import run_cell
+
+        return run_cell(copy.deepcopy(scenario), protocol, settings)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard, pool in enumerate(self._pools):
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+                self._pools[shard] = None
+
+    def describe(self) -> dict:
+        """JSON-safe pool state for the service's ``stats`` answer."""
+        return {
+            "shards": self.shards,
+            "workers": self.workers,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "degraded" if self.degraded else "pooled"
+        return f"ShardPool({self.shards}x{self.workers}, {mode})"
+
+
+def split_by_shard(
+    keys: Sequence[str], pool: ShardPool
+) -> List[Tuple[int, List[int]]]:
+    """Group positions by their key's routed shard, shard order stable.
+
+    A helper for lane packing: the service batches same-gather misses
+    into one lanes payload *per shard*, so the content-addressed
+    routing and the lockstep engine compose instead of competing.
+    """
+    by_shard: dict = {}
+    for index, key in enumerate(keys):
+        by_shard.setdefault(pool.shard_for(key), []).append(index)
+    return sorted(by_shard.items())

@@ -22,6 +22,7 @@ from __future__ import annotations
 import copy
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
+from repro.session.control import RunControl
 from repro.session.fallback import warn_batch_fallback
 from repro.session.outcome import (
     ROUTE_CACHE,
@@ -51,12 +52,23 @@ def _default_lane_runner(cells: Sequence[tuple]) -> Sequence["RunResult"]:
     return run_lanes(cells)
 
 
-def _default_direct_runner(requests: Sequence[RunRequest]) -> List["RunResult"]:
-    """Serial per-cell execution against private scenario copies."""
+def _default_direct_runner(
+    requests: Sequence[RunRequest],
+    control: Optional[RunControl] = None,
+) -> List["RunResult"]:
+    """Serial per-cell execution against private scenario copies.
+
+    The cell boundary is the cancellation point: with a ``control``
+    installed, each cell re-checks the deadline/cancel flag before it
+    starts, so an expired batch stops after the current cell instead of
+    grinding through the remainder.
+    """
     from repro.session.single import run_cell
 
     results = []
     for request in requests:
+        if control is not None:
+            control.check()
         scenario = copy.deepcopy(request.scenario)
         results.append(run_cell(scenario, request.protocol, request.settings))
     return results
@@ -68,6 +80,7 @@ def execute_plan(
     stats: Optional[SessionStats] = None,
     lane_runner: Optional[LaneRunner] = None,
     direct_runner: Optional[DirectRunner] = None,
+    control: Optional[RunControl] = None,
 ) -> List[RunOutcome]:
     """Run every planned cell; outcomes in plan (= request) order.
 
@@ -77,10 +90,23 @@ def execute_plan(
     retry/diagnostic machinery then reports real per-cell errors).
     Fresh results are written back to ``cache`` under their planned
     keys.  ``stats`` accumulates across calls when the caller owns it.
+
+    ``control`` installs cooperative cancellation: it is checked before
+    each execution stage (cache replay, the lane pack, the direct
+    batch) and — when the default serial backend runs — between cells,
+    raising :class:`~repro.errors.CancelledRunError` /
+    :class:`~repro.errors.DeadlineExceededError` out of this function.
+    Outcomes already produced are lost to the caller but fresh results
+    executed before the trip are already in the cache; cancellation
+    never leaves partial state behind.
     """
     stats = stats if stats is not None else SessionStats()
     lane_runner = lane_runner or _default_lane_runner
-    direct_runner = direct_runner or _default_direct_runner
+    if direct_runner is None:
+        def direct_runner(requests: Sequence[RunRequest]) -> List["RunResult"]:
+            return _default_direct_runner(requests, control)
+    if control is not None:
+        control.check()
     outcomes: List[Optional[RunOutcome]] = [None] * len(plan.runs)
 
     for run in plan.cached_runs:
@@ -97,6 +123,8 @@ def execute_plan(
     ]
     lane_runs = plan.lane_runs
     if lane_runs:
+        if control is not None:
+            control.check()
         try:
             fresh = lane_runner([run.request.as_cell() for run in lane_runs])
         except Exception as exc:
@@ -118,6 +146,8 @@ def execute_plan(
                 )
 
     if direct:
+        if control is not None:
+            control.check()
         direct.sort(key=lambda entry: entry[0].index)
         fresh = direct_runner([run.request for run, _ in direct])
         for (run, demoted), result in zip(direct, fresh):

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from repro.session.control import RunControl
 from repro.session.outcome import ROUTE_DEDUP, RunOutcome, SessionStats
 from repro.session.request import RunRequest
 
@@ -93,19 +94,27 @@ class Session:
         self._pending.append(request)
         return request
 
-    def gather(self) -> List[RunOutcome]:
+    def gather(self, control: Optional[RunControl] = None) -> List[RunOutcome]:
         """Run everything submitted since the last gather, in order."""
         requests, self._pending = self._pending, []
-        return self.run_requests(requests)
+        return self.run_requests(requests, control=control)
 
     # -- executor duck type ---------------------------------------------------
 
-    def run_requests(self, requests: Sequence[RunRequest]) -> List[RunOutcome]:
+    def run_requests(
+        self,
+        requests: Sequence[RunRequest],
+        control: Optional[RunControl] = None,
+    ) -> List[RunOutcome]:
         """One deduplicated sweep over ``requests``; outcomes in order.
 
         Identical requests (same epoch-6 content hash) execute once;
         duplicates replay the first occurrence's outcome with
         ``route="dedup"`` and count in ``stats.deduplicated``.
+
+        ``control`` (a :class:`~repro.session.control.RunControl`)
+        installs cooperative cancellation/deadline checks for the whole
+        gather; see :func:`repro.session.execute.execute_plan`.
         """
         engine = self.executor.engine
         resolved = [request.resolved(engine) for request in requests]
@@ -123,7 +132,12 @@ class Session:
                 unique.append(request)
             else:
                 slots.append(slot)
-        outcomes = self.executor.run_requests(unique)
+        if control is not None:
+            outcomes = self.executor.run_requests(unique, control=control)
+        else:
+            # Keep the bare duck-type call so minimal executors (tests,
+            # adapters) need not grow the keyword until they need it.
+            outcomes = self.executor.run_requests(unique)
         gathered: List[RunOutcome] = []
         for request, slot, is_dup in zip(resolved, slots, duplicate):
             outcome = outcomes[slot]

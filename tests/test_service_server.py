@@ -1,0 +1,176 @@
+"""The socket front end: protocol ops, backpressure on the wire, errors.
+
+One real server per test class — an ``AF_UNIX`` socket served by the
+asyncio front end in a background thread, spoken to by the synchronous
+:class:`~repro.service.client.ServiceClient`.  The suite pins:
+
+- every protocol op (ping / submit / status / wait / stats / shutdown);
+- error discipline: malformed JSON, unknown ops and unknown job ids
+  answer ``ok: false`` without dropping the connection;
+- the wire half of the backpressure contract: a full queue's rejection
+  carries ``retry_after``, and ``submit_retry`` honours it;
+- shutdown removes the socket and drains (or not) as asked.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.runner import SimulationSettings
+from repro.service import ArbitrationService, BackoffPolicy, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+from repro.session.request import RunRequest
+from repro.workload.scenarios import equal_load
+
+FAST = BackoffPolicy(base=0.001, cap=0.01, jitter=0.0)
+
+
+def _request(seed=11, protocol="rr"):
+    return RunRequest(
+        equal_load(3, 0.5), protocol, SimulationSettings(
+            batches=2, batch_size=30, warmup=5, seed=seed
+        )
+    )
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A serving (service, socket path) pair, torn down afterwards."""
+    path = tmp_path / "service.sock"
+    service = ArbitrationService(
+        config=ServiceConfig(serial=True, backoff=FAST, poll_interval=0.02)
+    )
+    server = ServiceServer(service, path)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not path.exists():
+        if time.monotonic() > deadline:  # pragma: no cover - startup hang
+            raise RuntimeError("server socket never appeared")
+        time.sleep(0.01)
+    yield service, path
+    if path.exists():
+        try:
+            ServiceClient(path).shutdown()
+        except ServiceError:  # already shut down by the test
+            pass
+    thread.join(10)
+
+
+class TestProtocolOps:
+    def test_ping(self, served):
+        __, path = served
+        with ServiceClient(path) as client:
+            assert client.ping() is True
+
+    def test_submit_wait_status_roundtrip(self, served):
+        __, path = served
+        with ServiceClient(path) as client:
+            summary = client.submit([_request(), _request(protocol="fcfs")], tag="t")
+            assert summary["state"] in ("queued", "running", "done")
+            final = client.wait(summary["job_id"], timeout=60)
+            assert final["state"] == "done"
+            assert final["tag"] == "t"
+            results = final["results"]
+            assert [cell["protocol"] for cell in results] == ["rr", "fcfs"]
+            assert all(cell["utilization"] > 0 for cell in results)
+            assert client.status(summary["job_id"])["state"] == "done"
+
+    def test_stats_reflect_served_jobs(self, served):
+        __, path = served
+        with ServiceClient(path) as client:
+            summary = client.submit([_request()])
+            client.wait(summary["job_id"], timeout=60)
+            stats = client.stats()
+            assert stats["counters"]["service.done"] >= 1
+            assert stats["jobs"].get("done", 0) >= 1
+            assert stats["pool"]["degraded"] is True  # serial config
+
+    def test_deadline_travels_the_wire(self, served):
+        __, path = served
+        with ServiceClient(path) as client:
+            summary = client.submit([_request()], deadline=0.0)
+            final = client.wait(summary["job_id"], timeout=30)
+            assert final["state"] == "timeout"
+            assert "deadline expired" in final["error"]
+
+
+class TestErrorDiscipline:
+    def test_malformed_json_answers_without_dropping(self, served):
+        __, path = served
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(str(path))
+        raw.sendall(b"this is not json\n")
+        answer = json.loads(raw.makefile().readline())
+        assert answer["ok"] is False
+        raw.sendall(b'{"op":"ping"}\n')  # connection still usable
+        assert json.loads(raw.makefile().readline())["pong"] is True
+        raw.close()
+
+    def test_unknown_op_and_unknown_job(self, served):
+        __, path = served
+        with ServiceClient(path) as client:
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.call({"op": "teleport"})
+            with pytest.raises(ServiceError, match="unknown job id"):
+                client.status("job-999999")
+
+    def test_unreachable_socket_raises_cleanly(self, tmp_path):
+        client = ServiceClient(tmp_path / "nothing-here.sock")
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.ping()
+
+
+class TestBackpressureOnTheWire:
+    def test_rejection_carries_retry_after(self, served):
+        service, path = served
+        from repro.service.jobs import Job
+
+        # Fill the queue underneath the dispatcher so the next wire
+        # submission sees a full queue deterministically.
+        blockers = [Job(f"blk-{i}", [_request(seed=100 + i)]) for i in range(64)]
+        for job in blockers:
+            service.admission.offer(job)
+        with ServiceClient(path) as client:
+            summary = client.submit([_request(seed=999)])
+        # Either the dispatcher drained some blockers first (admitted)
+        # or the queue was still full (rejected with a hint).
+        if summary["state"] == "rejected":
+            assert summary["retry_after"] > 0
+
+    def test_submit_retry_honours_the_hint_then_succeeds(self, served):
+        service, path = served
+        naps = []
+        with ServiceClient(path) as client:
+            summary = client.submit_retry(
+                [_request(seed=55)], attempts=10, sleep=naps.append
+            )
+            final = client.wait(summary["job_id"], timeout=60)
+            assert final["state"] == "done"
+
+
+class TestShutdown:
+    def test_shutdown_drains_and_removes_the_socket(self, tmp_path):
+        path = tmp_path / "down.sock"
+        service = ArbitrationService(
+            config=ServiceConfig(serial=True, backoff=FAST, poll_interval=0.02)
+        )
+        server = ServiceServer(service, path)
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        while not path.exists():
+            time.sleep(0.01)
+        with ServiceClient(path) as client:
+            summary = client.submit([_request()])
+            client.shutdown(drain=True)
+        thread.join(15)
+        assert not thread.is_alive()
+        assert not os.path.exists(path)
+        # The drained job reached a terminal state before the exit.
+        assert service.job(summary["job_id"]).terminal

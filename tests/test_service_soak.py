@@ -1,0 +1,109 @@
+"""Soak: a 200-job stream with injected crashes and deadline expiries.
+
+The PR's acceptance scenario, end to end on real process pools:
+
+- 200 jobs stream through one service — a mix of repeat workloads
+  (cache hits, cross-client dedup) and fresh cells (lane packs and
+  direct runs on the sharded pool);
+- at least two worker kills are injected mid-stream (``os._exit`` in
+  the worker, indistinguishable from an OOM kill at the
+  ``BrokenProcessPool`` boundary) and at least one job carries an
+  already-expired deadline;
+- afterwards: **every** job reached a terminal state (nothing silently
+  dropped), and every completed job's results are byte-identical to a
+  direct :class:`~repro.session.session.Session` run of the same
+  requests — crashes were replayed, never double-applied with
+  divergent output.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import SimulationSettings
+from repro.service import ArbitrationService, BackoffPolicy, ServiceConfig
+from repro.service.jobs import TERMINAL_STATES
+from repro.session.request import RunRequest
+from repro.session.session import Session
+from repro.workload.scenarios import equal_load
+
+JOBS = 200
+FAST = BackoffPolicy(base=0.001, cap=0.01, jitter=0.0)
+
+
+def _request(seed, protocol="rr", agents=3, load=0.5):
+    return RunRequest(
+        equal_load(agents, load), protocol, SimulationSettings(
+            batches=2, batch_size=25, warmup=5, seed=seed
+        )
+    )
+
+
+@pytest.mark.slow
+def test_soak_200_jobs_with_crashes_and_deadlines(tmp_path):
+    config = ServiceConfig(
+        queue_limit=JOBS,  # admission stays open; rejection is tested elsewhere
+        shards=2,
+        workers=1,
+        backoff=FAST,
+        poll_interval=0.02,
+    )
+    service = ArbitrationService(cache=ResultCache(tmp_path / "cache"), config=config)
+    jobs = []
+    try:
+        # Warm phase: a handful of distinct workloads, repeated — the
+        # stream the cache and dedup layers are built for.
+        for index in range(80):
+            protocol = ("rr", "fcfs")[index % 2]
+            jobs.append(service.submit([_request(seed=index % 8, protocol=protocol)]))
+
+        # Crash phase: arm two kills, then submit fresh never-seen cells
+        # so real pool payloads (not cache hits) absorb the crashes.
+        service.pool.arm_kills(2)
+        for index in range(80, 140):
+            jobs.append(service.submit([_request(seed=1000 + index)]))
+
+        # Deadline phase: a few jobs that must expire, interleaved with
+        # healthy ones that must not be disturbed by the expiries.
+        for index in range(140, 200):
+            if index % 20 == 0:
+                jobs.append(service.submit([_request(seed=index)], deadline=0.0))
+            else:
+                jobs.append(service.submit([_request(seed=index % 16)]))
+
+        assert len(jobs) == JOBS
+        for job in jobs:
+            assert job.wait(120), f"{job.job_id} never reached a terminal state"
+    finally:
+        service.close()
+
+    # -- terminal-state guarantee: nothing dropped, nothing ambiguous -------
+    states = {}
+    for job in jobs:
+        assert job.state in TERMINAL_STATES, (job.job_id, job.state)
+        states[job.state] = states.get(job.state, 0) + 1
+    assert states.get("done", 0) + states.get("timeout", 0) == JOBS
+    assert states.get("timeout", 0) >= 1  # the injected expiries fired
+
+    # -- the injected faults actually happened ------------------------------
+    counters = service.stats_snapshot()["counters"]
+    assert service.pool.crashes >= 2
+    assert counters["service.retried"] >= 1  # crashes were replayed, not eaten
+    assert counters["service.deadline_exceeded"] == states["timeout"]
+
+    # -- byte-identical to a direct session run -----------------------------
+    # One reference run per unique request (the soak repeats workloads);
+    # a crash-replayed or cache-served result must match it exactly.
+    reference = {}
+    session = Session()
+    for job in jobs:
+        if job.state != "done":
+            continue
+        for request, result in zip(job.requests, job.results()):
+            key = request.cache_key()
+            if key not in reference:
+                reference[key] = session.run_requests([request])[0].result
+            assert pickle.dumps(result) == pickle.dumps(reference[key]), (
+                f"{job.job_id} diverged from the direct run"
+            )
