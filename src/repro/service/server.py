@@ -90,9 +90,18 @@ class ServiceServer:
         self.service = service
         self.socket_path = Path(socket_path) if socket_path is not None else default_socket_path()
         self._server: Optional[asyncio.AbstractServer] = None
-        self._shutdown = asyncio.Event()
+        #: Created lazily in :meth:`start`, under the running loop: an
+        #: ``asyncio.Event`` built in ``__init__`` would bind
+        #: ``get_event_loop()``'s loop on Python 3.9 and make
+        #: ``await wait()`` fail under ``asyncio.run``'s fresh loop.
+        self._shutdown: Optional[asyncio.Event] = None
         #: Shutdown semantics requested by the last ``shutdown`` op.
         self._drain = True
+
+    def _shutdown_event(self) -> asyncio.Event:
+        if self._shutdown is None:
+            self._shutdown = asyncio.Event()
+        return self._shutdown
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -101,6 +110,7 @@ class ServiceServer:
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
         if self.socket_path.exists():
             self.socket_path.unlink()
+        self._shutdown_event()  # bind to the running loop before serving
         self.service.start()
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path), limit=MAX_LINE
@@ -108,7 +118,7 @@ class ServiceServer:
 
     async def wait_closed(self) -> None:
         """Block until a ``shutdown`` op (or :meth:`stop`) arrives."""
-        await self._shutdown.wait()
+        await self._shutdown_event().wait()
         await self.stop()
 
     async def stop(self) -> None:
@@ -149,7 +159,7 @@ class ServiceServer:
                     await writer.drain()
                 except ConnectionError:
                     break
-                if self._shutdown.is_set():
+                if self._shutdown is not None and self._shutdown.is_set():
                     break
         finally:
             writer.close()
@@ -177,7 +187,7 @@ class ServiceServer:
                 return {"ok": True, "pong": True}
             if op == "shutdown":
                 self._drain = bool(doc.get("drain", True))
-                self._shutdown.set()
+                self._shutdown_event().set()
                 return {"ok": True, "stopping": True}
             raise ConfigurationError(f"unknown op {op!r}")
         except (ReproError, json.JSONDecodeError, KeyError, TypeError) as exc:

@@ -101,6 +101,12 @@ class ServiceConfig:
         Budgets applied to jobs that do not bring their own.
     retry_after:
         Base backpressure hint (seconds), scaled by backlog.
+    job_retention:
+        Most finished jobs kept queryable in the registry.  Beyond it
+        the oldest *terminal* jobs are evicted (their states fold into
+        aggregate counts), so a long-running service holds bounded
+        state however many jobs it has served; active jobs are never
+        evicted.
     poll_interval:
         Dispatcher wait granularity: the bound on how stale a deadline
         check can be while futures are in flight.
@@ -122,6 +128,7 @@ class ServiceConfig:
     default_max_cells: Optional[int] = None
     retry_after: float = 0.05
     poll_interval: float = 0.05
+    job_retention: int = 1024
     jsonl_path: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -137,6 +144,10 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"poll_interval must be > 0, got {self.poll_interval}"
             )
+        if self.job_retention < 1:
+            raise ConfigurationError(
+                f"job_retention must be >= 1, got {self.job_retention}"
+            )
         if self.default_deadline is not None and self.default_deadline < 0.0:
             raise ConfigurationError(
                 f"default_deadline must be >= 0, got {self.default_deadline}"
@@ -146,7 +157,7 @@ class ServiceConfig:
 class _Payload:
     """One unit of shard work: a cell or a lane pack, plus bookkeeping."""
 
-    __slots__ = ("kind", "data", "indices", "shard", "replays")
+    __slots__ = ("kind", "data", "indices", "shard", "replays", "gen")
 
     def __init__(self, kind: str, data, indices: List[int], shard: int) -> None:
         self.kind = kind
@@ -155,6 +166,9 @@ class _Payload:
         self.indices = indices
         self.shard = shard
         self.replays = 0
+        #: Shard-pool generation at submit time (crash-recovery dedup:
+        #: one broken pool triggers one respawn, not one per payload).
+        self.gen = -1
 
 
 class ArbitrationService:
@@ -210,6 +224,8 @@ class ArbitrationService:
         self._sink = sink
         self._seq = 0
         self._jobs: Dict[str, Job] = {}
+        #: Aggregate states of jobs evicted from the bounded registry.
+        self._evicted: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._dispatcher: Optional[threading.Thread] = None
@@ -282,6 +298,7 @@ class ArbitrationService:
         job = Job(job_id, requests, budget=budget, tag=tag)
         with self._lock:
             self._jobs[job_id] = job
+            self._evict_terminal_locked()
         if not job.requests:
             job._finish(JOB_DONE, outcomes=[])
             self._count("service.done")
@@ -321,16 +338,34 @@ class ArbitrationService:
     # -- observation ----------------------------------------------------------
 
     def job(self, job_id: str) -> Job:
-        """The job registered under ``job_id`` (ServiceError if unknown)."""
+        """The job registered under ``job_id`` (ServiceError if unknown).
+
+        A terminal job older than the newest ``job_retention`` finishes
+        is no longer queryable — its state lives on only in aggregate
+        (:meth:`stats_snapshot`).
+        """
         try:
             return self._jobs[job_id]
         except KeyError:
-            raise ServiceError(f"unknown job id {job_id!r}") from None
+            raise ServiceError(
+                f"unknown job id {job_id!r} (never submitted, or evicted "
+                f"after the {self.config.job_retention}-job retention window)"
+            ) from None
+
+    def _evict_terminal_locked(self) -> None:
+        """Cap the registry: oldest terminal jobs beyond the retention
+        limit fold into :attr:`_evicted` (caller holds ``_lock``)."""
+        excess = len(self._jobs) - self.config.job_retention
+        if excess <= 0:
+            return
+        for job_id in [j for j, job in self._jobs.items() if job.terminal][:excess]:
+            job = self._jobs.pop(job_id)
+            self._evicted[job.state] = self._evicted.get(job.state, 0) + 1
 
     def stats_snapshot(self) -> dict:
         """JSON-safe service state: counters, backlog, pool health."""
-        states: Dict[str, int] = {}
         with self._lock:
+            states: Dict[str, int] = dict(self._evicted)
             jobs = list(self._jobs.values())
         for job in jobs:
             states[job.state] = states.get(job.state, 0) + 1
@@ -549,10 +584,10 @@ class ArbitrationService:
 
     def _run_serial(self, payloads, live, unique, keys, results, errors, stored) -> None:
         """In-process execution: the irrecoverable-pool (or configured
-        serial) path.  Deadlines are checked at every payload and —
-        through a :class:`RunControl` — between the cells of a demoted
-        lane pack, so an expired job stops costing compute at the next
-        cell boundary.
+        serial) path.  Deadlines are checked at every payload boundary
+        (and between the cells of a demoted lane pack), so an expired
+        job stops costing compute at the next cell boundary and the
+        loop ends once no live job remains.
         """
         for payload in payloads:
             self._expire_due(live)
@@ -576,16 +611,19 @@ class ArbitrationService:
                 self._store(payload.indices[0], out, keys, results, stored)
 
     def _serial_cells(self, payload, live, unique, keys, results, errors, stored) -> None:
-        """Per-cell serial re-run of a demoted lane pack, deadline-aware."""
-        deadlines = [job.deadline_at for job in live if job.deadline_at is not None]
-        control = RunControl(deadline_at=min(deadlines)) if deadlines else RunControl()
+        """Per-cell serial re-run of a demoted lane pack.
+
+        Deadline enforcement is per *job*, at every cell boundary:
+        ``_expire_due`` times out the jobs that are over budget, and the
+        loop stops only once every live job is terminal — a shared
+        deadline would let the earliest-expiring job starve the others'
+        remaining cells.
+        """
         for index in payload.indices:
             self._expire_due(live)
             if all(job.terminal for job in live):
                 return
             try:
-                if not control.expired:
-                    control.check()
                 result = self.pool.run_serial(PAYLOAD_CELL, unique[index].as_cell())
             except Exception as exc:
                 errors[index] = f"{type(exc).__name__}: {exc}"
@@ -627,11 +665,22 @@ class ArbitrationService:
                 # Completed results are still harvested below so the
                 # shared cache keeps deterministic work already paid for.
             for future in list(done):
-                payload = pending.pop(future)
+                # A recovery earlier in this round may have drained the
+                # future's whole shard already (see _drain_shard).
+                payload = pending.pop(future, None)
+                if payload is None:
+                    continue
                 try:
                     out = future.result()
                 except CancelledError:
-                    continue
+                    # Degradation cancels queued futures pool-wide; a
+                    # payload some live job still needs runs serially
+                    # instead of being dropped.  (When every job is
+                    # terminal — the other source of cancellation —
+                    # _run_serial returns without doing work.)
+                    self._run_serial(
+                        [payload], live, unique, keys, results, errors, stored
+                    )
                 except BrokenExecutor as exc:
                     self._count("service.crashes")
                     self.pool.note_crash()
@@ -658,6 +707,7 @@ class ArbitrationService:
 
     def _submit_payload(self, payload: _Payload, pending: Dict[Future, _Payload]) -> bool:
         try:
+            payload.gen = self.pool.generation(payload.shard)
             future = self.pool.submit(payload.shard, payload.kind, payload.data)
         except Exception:
             return False
@@ -669,6 +719,29 @@ class ArbitrationService:
             self.pool.degrade(reason)
             self._count("service.degraded")
             self._emit("degrade", detail=reason)
+
+    def _drain_shard(self, shard, pending, keys, results, stored) -> List[_Payload]:
+        """Pop every pending future of ``shard``; the payloads that still
+        need to run come back, results that completed before the shard
+        broke are harvested in place."""
+        dead: List[_Payload] = []
+        for future in list(pending):
+            if pending[future].shard != shard:
+                continue
+            payload = pending.pop(future)
+            if future.cancel() or future.cancelled() or not future.done():
+                # Never started, or stranded mid-run on a broken pool:
+                # either way the worker result is unreachable, and the
+                # serial re-run recomputes the same deterministic bytes.
+                dead.append(payload)
+            elif future.exception() is not None:
+                dead.append(payload)
+            elif payload.kind == PAYLOAD_LANES:
+                for index, result in zip(payload.indices, future.result()):
+                    self._store(index, result, keys, results, stored)
+            else:
+                self._store(payload.indices[0], future.result(), keys, results, stored)
+        return dead
 
     def _recover(
         self, payload, exc, pending, live, unique, keys, results, errors, stored
@@ -682,15 +755,24 @@ class ArbitrationService:
             self._emit("retry", detail=f"serial replay after repeated crash ({detail})")
             self._run_serial([payload], live, unique, keys, results, errors, stored)
             return
-        if not self.pool.respawn(payload.shard):
+        if payload.gen == self.pool.generation(payload.shard) and not self.pool.respawn(
+            payload.shard
+        ):
+            # (A stale generation means the shard was already respawned
+            # for this very crash — one break fails every queued future
+            # of the shard at once — so the payload just replays on the
+            # replacement below without spending another respawn.)
             self._degrade_now(f"respawn budget exhausted ({detail})")
-            remaining = [payload] + [
-                pending.pop(future) for future in list(pending)
-                if pending[future].shard == payload.shard and not future.cancel()
-            ]
-            # Futures on other shards keep running; their results are
-            # harvested by the main loop.  Everything known-dead runs
-            # serially right now.
+            # Everything this shard still had pending is known-dead:
+            # pull it all out now — harvesting whatever completed
+            # before the break — and run the rest serially.  Futures
+            # already *running* on other shards keep going and are
+            # harvested by the main loop; their still-queued siblings,
+            # cancelled by the pool-wide degrade, re-route to serial in
+            # the harvest loop's CancelledError arm.
+            remaining = [payload] + self._drain_shard(
+                payload.shard, pending, keys, results, stored
+            )
             self._run_serial(remaining, live, unique, keys, results, errors, stored)
             return
         payload.replays += 1

@@ -97,6 +97,13 @@ class ShardPool:
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self.max_respawns = max_respawns
         self._pools: List[Optional[ProcessPoolExecutor]] = [None] * shards
+        #: Per-shard pool identity, bumped on every respawn: payloads
+        #: remember the generation they were submitted under, so one
+        #: crash (which breaks every queued future of its shard at
+        #: once) triggers exactly one respawn — stale-generation
+        #: failures replay on the replacement pool instead of
+        #: respawning again.
+        self._generations: List[int] = [0] * shards
         self._lock = threading.Lock()
         self.degraded = False
         self.degraded_reason: Optional[str] = None
@@ -114,6 +121,11 @@ class ShardPool:
         except ValueError:
             prefix = hash(key)
         return prefix % self.shards
+
+    def generation(self, shard: int) -> int:
+        """The shard's current pool generation (see ``_generations``)."""
+        with self._lock:
+            return self._generations[shard]
 
     # -- fault injection (tests) ----------------------------------------------
 
@@ -171,6 +183,7 @@ class ShardPool:
                 return False
             attempt = self.respawns
             self.respawns += 1
+            self._generations[shard] += 1
         broken = self._pools[shard]
         self._pools[shard] = None
         if broken is not None:

@@ -275,6 +275,41 @@ class TestCrashRecovery:
             assert follow_up.wait(60)
             assert follow_up.state == "done"
 
+    def test_one_crash_consumes_one_respawn_despite_queued_payloads(self, tmp_path):
+        # One dead worker fails every queued future of its shard with
+        # BrokenProcessPool at once; shard generations make that cost a
+        # single respawn, with the stranded payloads replayed on the
+        # replacement pool — so one respawn in the budget is enough.
+        with _service(
+            tmp_path, shards=1, workers=1, max_respawns=1, max_replays=1
+        ) as service:
+            service.pool.arm_kills(1)
+            # engine="event" routes each cell as its own direct payload,
+            # so several futures queue behind the one that kills the pool.
+            job = service.submit([_request(seed=s, engine="event") for s in range(4)])
+            assert job.wait(60)
+            assert job.state == "done", job.error
+            assert service.pool.respawns == 1
+            assert not service.pool.degraded
+
+    def test_degradation_drops_no_queued_payload(self, tmp_path):
+        # Respawn-budget exhaustion degrades the pool while several
+        # payloads are still pending across both shards; every one must
+        # be drained to the serial path, none silently cancelled.
+        with _service(
+            tmp_path, shards=2, workers=1, max_respawns=0, max_replays=5
+        ) as service:
+            service.pool.arm_kills(1)
+            job = service.submit([_request(seed=s, engine="event") for s in range(6)])
+            assert job.wait(60)
+            assert job.state == "done", job.error
+            assert service.pool.degraded
+        clean = Session().run_requests(
+            [_request(seed=s, engine="event") for s in range(6)]
+        )
+        for mine, theirs in zip(job.outcomes, clean):
+            assert pickle.dumps(mine.result) == pickle.dumps(theirs.result)
+
 
 class TestFailureDiagnostics:
     def test_failing_cell_fails_the_job_with_cell_failure(self, tmp_path, monkeypatch):
@@ -309,6 +344,36 @@ class TestFailureDiagnostics:
         job = service.submit([_request()])
         assert job.state == "rejected"
         assert "shutting down" in job.error
+
+
+class TestRegistryRetention:
+    def test_oldest_terminal_jobs_are_evicted_beyond_the_cap(self):
+        service = _service(serial=True, job_retention=2)
+        try:
+            jobs = [service.submit([]) for _ in range(5)]  # empty => done at submit
+            assert all(job.state == "done" for job in jobs)
+            assert len(service._jobs) <= 2
+            with pytest.raises(ServiceError, match="retention"):
+                service.job(jobs[0].job_id)
+            # Evicted states still count in the aggregate snapshot.
+            assert service.stats_snapshot()["jobs"]["done"] == 5
+        finally:
+            service.close()
+
+    def test_active_jobs_are_never_evicted(self):
+        service = _service(serial=True, job_retention=1)
+        try:
+            stranded = Job("stuck", [_request()])  # queued, never dispatched
+            service._jobs[stranded.job_id] = stranded
+            for _ in range(3):
+                service.submit([])
+            assert "stuck" in service._jobs
+        finally:
+            service.close()
+
+    def test_retention_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(job_retention=0)
 
 
 class TestExecutorDuckType:
