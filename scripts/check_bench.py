@@ -42,6 +42,15 @@ checks:
    baseline and by ``benchmarks/test_service_overhead.py::
    test_service_overhead_gate``; the fresh run gets drift-scaled slack.
 
+5. **Open-loop overhead** — the recorded baseline's open-loop bursty
+   sweep must cost at most ``--openloop-overhead`` (default 50%, i.e.
+   1.5x) more per completion than the paired closed-loop sweep.  The
+   arrival layer's MMPP phase walks and class coin flips run once per
+   request on the event engine's hot path; this bar keeps them there.
+   The exact bar is enforced on the recorded baseline and by
+   ``benchmarks/test_openloop_overhead.py::test_openloop_overhead_gate``;
+   the fresh run gets drift-scaled slack.
+
 Usage::
 
     python scripts/check_bench.py [--baseline BENCH_engine.json]
@@ -49,6 +58,7 @@ Usage::
                                   [--grid-speedup 10.0]
                                   [--session-overhead 0.02]
                                   [--service-overhead 0.5]
+                                  [--openloop-overhead 0.5]
 """
 
 from __future__ import annotations
@@ -174,6 +184,44 @@ def check_service_overhead(
     return status
 
 
+def check_openloop_overhead(
+    summary: dict, baseline: dict, gate: float, tolerance: float
+) -> int:
+    """Gate the arrival layer's per-completion cost at the baseline."""
+    status = 0
+    recorded = baseline.get("openloop_overhead")
+    if recorded is None:
+        print("  open-loop overhead: baseline records none  <-- REGRESSION")
+        status = 1
+    elif recorded >= gate:
+        print(
+            f"  open-loop overhead: baseline records {recorded:+.2%} "
+            f"(gate < {gate:.0%})  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  open-loop overhead: baseline records {recorded:+.2%} (gate < {gate:.0%})"
+        )
+    fresh = summary.get("openloop_overhead")
+    ceiling = gate * (1.0 + tolerance)
+    if fresh is None:
+        print("  open-loop overhead (fresh): missing sweep benchmark  <-- REGRESSION")
+        status = 1
+    elif fresh >= ceiling:
+        print(
+            f"  open-loop overhead (fresh): {fresh:+.2%} "
+            f"(ceiling {ceiling:.0%} at {tolerance:.0%} tolerance)  <-- REGRESSION"
+        )
+        status = 1
+    else:
+        print(
+            f"  open-loop overhead (fresh): {fresh:+.2%} "
+            f"(ceiling {ceiling:.0%} at {tolerance:.0%} tolerance)"
+        )
+    return status
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -206,6 +254,12 @@ def main() -> int:
         default=0.5,
         help="allowed service-layer cached-hit overhead at the recorded baseline",
     )
+    parser.add_argument(
+        "--openloop-overhead",
+        type=float,
+        default=0.5,
+        help="allowed open-loop per-completion overhead at the recorded baseline",
+    )
     args = parser.parse_args()
 
     if not args.baseline.exists():
@@ -230,7 +284,10 @@ def main() -> int:
     service_status = check_service_overhead(
         summary, baseline_doc, args.service_overhead, args.tolerance
     )
-    return status or grid_status or session_status or service_status
+    openloop_status = check_openloop_overhead(
+        summary, baseline_doc, args.openloop_overhead, args.tolerance
+    )
+    return status or grid_status or session_status or service_status or openloop_status
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ BENCH_FILES = [
     "benchmarks/test_grid_batch.py",
     "benchmarks/test_session_overhead.py",
     "benchmarks/test_service_overhead.py",
+    "benchmarks/test_openloop_overhead.py",
 ]
 #: Backwards-compatible alias (pre-grid callers imported the scalar).
 BENCH_FILE = BENCH_FILES[0]
@@ -54,6 +55,13 @@ GRID_SESSION_BASE = "test_grid_pass_lanes_paired"
 #: yield the ``service_overhead`` fraction ``check_bench.py`` gates.
 GRID_SERVICE = "test_grid_pass_cached_service"
 GRID_SERVICE_BASE = "test_grid_pass_cached_session"
+
+#: The open-loop event sweep and its paired closed-loop baseline
+#: (adjacent in ``test_openloop_overhead.py``, same completion budget);
+#: their minima yield the per-completion ``openloop_overhead`` fraction
+#: ``check_bench.py`` gates.
+SWEEP_OPENLOOP = "test_sweep_pass_open_loop"
+SWEEP_OPENLOOP_BASE = "test_sweep_pass_closed_loop_paired"
 
 
 def run_microbench(raw_path: Path) -> dict:
@@ -134,6 +142,12 @@ def condense(raw: dict) -> dict:
     if grid_service and grid_service_base:
         summary["service_overhead"] = round(
             grid_service["min_us"] / grid_service_base["min_us"] - 1.0, 4
+        )
+    sweep_open = benchmarks.get(SWEEP_OPENLOOP)
+    sweep_open_base = benchmarks.get(SWEEP_OPENLOOP_BASE)
+    if sweep_open and sweep_open_base:
+        summary["openloop_overhead"] = round(
+            sweep_open["min_us"] / sweep_open_base["min_us"] - 1.0, 4
         )
     return summary
 

@@ -22,6 +22,14 @@ from repro.analysis.batching import (
     aap1_miss_probabilities,
     aap1_relative_throughputs,
 )
+from repro.analysis.fairness import (
+    class_latency_percentiles,
+    fairness_report,
+    flow_service_shares,
+    jain_index,
+    latency_percentile,
+    render_fairness,
+)
 from repro.analysis.mva import mva_closed_bus
 from repro.analysis.saturation import (
     saturated_cycle_time,
@@ -39,4 +47,10 @@ __all__ = [
     "aap1_miss_probabilities",
     "aap1_relative_throughputs",
     "aap1_extreme_ratio",
+    "jain_index",
+    "latency_percentile",
+    "class_latency_percentiles",
+    "flow_service_shares",
+    "fairness_report",
+    "render_fairness",
 ]

@@ -1,0 +1,180 @@
+"""Per-flow fairness metrics: Jain index, class percentiles, flow shares.
+
+The paper argues RR and FCFS are "fair" mostly through throughput-ratio
+tables (t_N / t_1).  Multi-class and open-loop traffic need the sharper
+vocabulary of the NoC fairness literature (Wang et al., "Fair Packet
+Scheduling in NoC"): the Jain fairness index over per-flow service
+shares, and per-class latency percentiles that expose what a
+fixed-priority overlay (§5) does to the normal-class tail.
+
+A *flow* here is one (agent, class) pair — the finest stream the bus
+model distinguishes.  Everything in this module is a pure function of
+either recorded completions or the metrics registry, so the same
+numbers come out of a live run, a cached result, or a merged grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import StatisticsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bus.records import CompletionRecord
+    from repro.observability.metrics import MetricsRegistry
+    from repro.stats.summary import RunResult
+
+__all__ = [
+    "jain_index",
+    "latency_percentile",
+    "class_latency_percentiles",
+    "flow_service_shares",
+    "fairness_report",
+    "render_fairness",
+]
+
+#: The percentiles the experiment tables report (median, tail, far tail).
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+#: Class label of a request, keyed by its priority flag.
+CLASS_LABELS = {False: "normal", True: "urgent"}
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1 means perfectly equal allocations; 1/n means one flow got
+    everything.  Scale-free, so raw counts and normalised shares give
+    the same index.
+    """
+    xs = [float(value) for value in values]
+    if not xs:
+        raise StatisticsError("Jain index needs at least one allocation")
+    if any(x < 0.0 for x in xs):
+        raise StatisticsError(f"allocations must be >= 0, got {xs}")
+    square_of_sum = sum(xs) ** 2
+    sum_of_squares = sum(x * x for x in xs)
+    if sum_of_squares == 0.0:
+        # All-zero allocations: every flow got the same (nothing).
+        return 1.0
+    return square_of_sum / (len(xs) * sum_of_squares)
+
+
+def latency_percentile(samples: Sequence[float], percentile: float) -> float:
+    """Nearest-rank percentile of a sample set (deterministic, exact).
+
+    The nearest-rank definition (ceil(p/100 * n)-th order statistic)
+    always returns an observed sample, so pinned expectations in tests
+    and goldens are exact rather than interpolation-scheme-dependent.
+    """
+    if not samples:
+        raise StatisticsError("percentile of an empty sample set")
+    if not 0.0 < percentile <= 100.0:
+        raise StatisticsError(f"percentile must be in (0, 100], got {percentile}")
+    ordered = sorted(samples)
+    rank = math.ceil(percentile / 100.0 * len(ordered))
+    return ordered[max(0, rank - 1)]
+
+
+def class_latency_percentiles(
+    records: Sequence["CompletionRecord"],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> Dict[str, Dict[float, float]]:
+    """Waiting-time percentiles per traffic class.
+
+    Uses the paper's W (issue to transaction completion).  Classes with
+    no completions are omitted rather than invented.
+    """
+    by_class: Dict[str, List[float]] = {}
+    for record in records:
+        by_class.setdefault(CLASS_LABELS[record.priority], []).append(
+            record.waiting_time
+        )
+    return {
+        label: {p: latency_percentile(samples, p) for p in percentiles}
+        for label, samples in sorted(by_class.items())
+    }
+
+
+def flow_service_shares(
+    records: Sequence["CompletionRecord"],
+) -> Dict[Tuple[int, str], float]:
+    """Each (agent, class) flow's fraction of all completions."""
+    counts: Dict[Tuple[int, str], int] = {}
+    for record in records:
+        flow = (record.agent_id, CLASS_LABELS[record.priority])
+        counts[flow] = counts.get(flow, 0) + 1
+    total = sum(counts.values())
+    if total == 0:
+        raise StatisticsError("no completions recorded; cannot compute shares")
+    return {flow: count / total for flow, count in sorted(counts.items())}
+
+
+def _registry_flow_counts(registry: "MetricsRegistry") -> Dict[Tuple[int, str], int]:
+    """Per-flow completion counts from the gated ``flow.share.*`` counters."""
+    counts: Dict[Tuple[int, str], int] = {}
+    prefix = "flow.share.agent."
+    for name, counter in registry.counters().items():
+        if not name.startswith(prefix):
+            continue
+        agent_text, _, label = name[len(prefix):].partition(".")
+        counts[(int(agent_text), label)] = counter.value
+    return counts
+
+
+def fairness_report(
+    result: "RunResult",
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> Dict[str, object]:
+    """The run-level fairness summary the tables and CLI report.
+
+    Keys:
+
+    - ``jain_bandwidth`` — Jain index over per-agent completion shares
+      (the open-loop analogue of the tables' t_N / t_1 column);
+    - ``jain_flows`` — Jain index over (agent, class) flow shares, when
+      per-flow data is available (recorded completions or the gated
+      registry counters), else ``None``;
+    - ``class_percentiles`` — per-class waiting-time percentiles, when
+      completion records were retained, else ``{}``;
+    - ``flow_shares`` — per-flow service shares under the same
+      condition, else ``{}``.
+    """
+    report: Dict[str, object] = {
+        "jain_bandwidth": jain_index(result.bandwidth_shares().values()),
+        "jain_flows": None,
+        "class_percentiles": {},
+        "flow_shares": {},
+    }
+    records = result.collector.records
+    if records:
+        shares = flow_service_shares(records)
+        report["flow_shares"] = shares
+        report["jain_flows"] = jain_index(shares.values())
+        report["class_percentiles"] = class_latency_percentiles(records, percentiles)
+    elif result.metrics is not None:
+        counts = _registry_flow_counts(result.metrics)
+        if counts:
+            total = sum(counts.values())
+            report["flow_shares"] = {
+                flow: count / total for flow, count in sorted(counts.items())
+            }
+            report["jain_flows"] = jain_index(counts.values())
+    return report
+
+
+def render_fairness(report: Dict[str, object]) -> str:
+    """A readable fixed-width dump of :func:`fairness_report`'s output."""
+    lines: List[str] = ["fairness"]
+    lines.append(f"  jain(bandwidth)  {report['jain_bandwidth']:.4f}")
+    if report.get("jain_flows") is not None:
+        lines.append(f"  jain(flows)      {report['jain_flows']:.4f}")
+    percentiles = report.get("class_percentiles") or {}
+    for label, values in percentiles.items():
+        cells = "  ".join(f"p{p:g}={w:.3f}" for p, w in values.items())
+        lines.append(f"  wait[{label}]  {cells}")
+    shares = report.get("flow_shares") or {}
+    for (agent, label), share in shares.items():
+        lines.append(f"  share[agent {agent}, {label}]  {share:.4f}")
+    return "\n".join(lines)

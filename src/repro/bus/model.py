@@ -127,6 +127,14 @@ class BusSystem:
 
         self.sink = sink
         self.metrics = metrics
+        #: Per-class/per-flow series are only emitted for the scenario
+        #: families that have flows to distinguish (open-loop arrivals or
+        #: a priority class), so every pre-existing closed-loop run's
+        #: registry — and the goldens pinning it — stays byte-identical.
+        self._flow_metrics = metrics is not None and any(
+            spec.open_loop or spec.priority_fraction > 0.0
+            for spec in scenario.agents
+        )
         targets = []
         if sink is not None:
             targets.append(sink)
@@ -404,6 +412,14 @@ class BusSystem:
             self.metrics.histogram(f"wait.agent.{agent_id}", WAIT_BUCKETS).observe(
                 now - request.issue_time
             )
+            if self._flow_metrics:
+                label = "urgent" if request.priority else "normal"
+                self.metrics.counter(
+                    f"flow.share.agent.{agent_id}.{label}"
+                ).increment()
+                self.metrics.histogram(f"wait.class.{label}", WAIT_BUCKETS).observe(
+                    now - request.issue_time
+                )
         self.agents[agent_id].on_completion(now)
         if self._pending_winner is not None:
             self._grant(self._pending_winner)

@@ -3,7 +3,7 @@
 Subcommands regenerate the paper's tables and figure, or run a single
 ad-hoc simulation::
 
-    repro-arb table 4.1              # 4.1-4.5, or extension tables E1-E4
+    repro-arb table 4.1              # 4.1-4.5, or extension tables E1-E5
     repro-arb figure 4.1
     repro-arb all                    # everything, in order
     repro-arb run --protocol rr --agents 30 --load 1.5
@@ -43,7 +43,8 @@ from repro.experiments.scale import SCALES, current_scale
 from repro.observability import TelemetrySettings, render_metrics
 from repro.protocols.registry import get_spec, protocol_names
 from repro.session import Session
-from repro.workload.scenarios import equal_load
+from repro.workload.arrivals import bursty_equal_load
+from repro.workload.scenarios import ScenarioSpec, equal_load, open_loop_equal_load
 
 __all__ = ["main", "build_parser", "render_protocol_listing"]
 
@@ -65,7 +66,91 @@ _EXTENSION_TABLES = {
     "E4": lambda scale, seed, executor: extensions.run_table_e4(
         scale=scale, seed=seed, executor=executor
     ),
+    "E5": lambda scale, seed, executor: extensions.run_table_e5(
+        scale=scale, seed=seed, executor=executor
+    ),
 }
+
+
+def _add_workload_options(cmd: argparse.ArgumentParser) -> None:
+    """The ad-hoc workload vocabulary shared by run/trace/metrics/compare.
+
+    ``--arrival closed`` (the default) keeps the paper's §4.1 think-time
+    loop; ``poisson`` and ``bursty`` are open-loop arrival processes, so
+    their ``--load`` is a true arrival-rate load and must stay below 1.
+    ``--urgent-fraction`` overlays the §5 two-class split on any of them.
+    """
+    cmd.add_argument(
+        "--arrival",
+        choices=("closed", "poisson", "bursty"),
+        default="closed",
+        help="arrival model: closed think-time loop (default), open-loop "
+        "Poisson, or open-loop on-off bursty (MMPP) sources",
+    )
+    cmd.add_argument(
+        "--urgent-fraction",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a request is urgent-class (the §5 priority overlay)",
+    )
+    cmd.add_argument(
+        "--outstanding",
+        type=int,
+        default=1,
+        metavar="R",
+        help="outstanding requests per open-loop agent (r of §3.2; "
+        "needs a protocol with r > 1 support)",
+    )
+    cmd.add_argument(
+        "--burst-on",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="bursty arrivals: fraction of a cycle spent in the on phase",
+    )
+    cmd.add_argument(
+        "--burst-cycle",
+        type=float,
+        default=20.0,
+        metavar="T",
+        help="bursty arrivals: mean on+off cycle length (transaction times)",
+    )
+
+
+def _with_urgent(scenario: ScenarioSpec, fraction: float) -> ScenarioSpec:
+    """Overlay a two-class split on an existing population."""
+    if fraction <= 0.0:
+        return scenario
+    from dataclasses import replace
+
+    return ScenarioSpec(
+        name=f"{scenario.name}-u{fraction:g}",
+        agents=tuple(
+            replace(agent, priority_fraction=fraction) for agent in scenario.agents
+        ),
+        notes=scenario.notes,
+    )
+
+
+def _cli_scenario(args) -> ScenarioSpec:
+    """Build the ad-hoc scenario the workload options describe."""
+    arrival = getattr(args, "arrival", "closed")
+    if arrival == "poisson":
+        scenario = open_loop_equal_load(
+            args.agents, args.load, cv=args.cv, max_outstanding=args.outstanding
+        )
+    elif arrival == "bursty":
+        scenario = bursty_equal_load(
+            args.agents,
+            args.load,
+            on_fraction=args.burst_on,
+            cycle_time=args.burst_cycle,
+            max_outstanding=args.outstanding,
+        )
+    else:
+        scenario = equal_load(args.agents, args.load, cv=args.cv)
+    return _with_urgent(scenario, getattr(args, "urgent_fraction", 0.0))
 
 
 def render_protocol_listing() -> str:
@@ -211,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
             "an aggregated telemetry summary after each panel"
         ),
     )
+    faults_cmd.add_argument(
+        "--workload",
+        choices=robustness.GRID_WORKLOADS,
+        default="closed",
+        help="grid population: the saturated closed loop (default), "
+        "open-loop Poisson, on-off bursty (MMPP), or two-class priority",
+    )
 
     trace_cmd = subparsers.add_parser(
         "trace",
@@ -232,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="-",
         help="trace destination ('-' = stdout, the default)",
     )
+    _add_workload_options(trace_cmd)
 
     metrics_cmd = subparsers.add_parser(
         "metrics",
@@ -247,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument(
         "--cv", type=float, default=1.0, help="inter-request time CV"
     )
+    _add_workload_options(metrics_cmd)
 
     run_cmd = subparsers.add_parser("run", help="run one ad-hoc simulation")
     run_cmd.add_argument(
@@ -259,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--cv", type=float, default=1.0, help="inter-request time CV"
     )
+    _add_workload_options(run_cmd)
 
     compare_cmd = subparsers.add_parser(
         "compare", help="run several protocols on one workload, side by side"
@@ -273,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument("--agents", type=int, default=10)
     compare_cmd.add_argument("--load", type=float, default=2.0)
     compare_cmd.add_argument("--cv", type=float, default=1.0)
+    _add_workload_options(compare_cmd)
 
     serve_cmd = subparsers.add_parser(
         "serve",
@@ -399,7 +495,7 @@ def _emit_tables(module, scale, seed, executor) -> None:
 def _run_compare(args, scale, session: Session) -> None:
     from repro.errors import StatisticsError
 
-    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    scenario = _cli_scenario(args)
     settings = _run_settings(args, scale)
     print(f"scenario: {scenario.notes}  (seed {args.seed}, scale {scale.name})")
     print(
@@ -430,7 +526,7 @@ def _run_trace(args, scale, session: Session) -> None:
     ``telemetry.jsonl_path``), so the bytes written here are exactly the
     bytes the golden-trace suite pins down.
     """
-    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    scenario = _cli_scenario(args)
     settings = _run_settings(
         args, scale, telemetry=TelemetrySettings(events=True, jsonl_path=args.out)
     )
@@ -441,9 +537,25 @@ def _run_trace(args, scale, session: Session) -> None:
 
 
 def _run_metrics(args, scale, session: Session) -> None:
-    """``metrics``: one run's telemetry counters and histograms."""
-    scenario = equal_load(args.agents, args.load, cv=args.cv)
-    settings = _run_settings(args, scale, telemetry=TelemetrySettings(metrics=True))
+    """``metrics``: one run's telemetry counters and histograms.
+
+    Flow scenarios (open-loop arrivals or a priority class) additionally
+    report the fairness block: Jain indices, per-class waiting-time
+    percentiles and per-flow service shares.  Closed-loop output is
+    byte-identical to what it was before the fairness layer existed.
+    """
+    from repro.analysis.fairness import fairness_report, render_fairness
+
+    scenario = _cli_scenario(args)
+    settings = _run_settings(
+        args,
+        scale,
+        telemetry=TelemetrySettings(metrics=True),
+        keep_records=any(
+            agent.open_loop or agent.priority_fraction > 0.0
+            for agent in scenario.agents
+        ),
+    )
     result = session.simulate(scenario, args.protocol, settings)
     print(
         f"protocol {args.protocol} on {scenario.name} "
@@ -451,6 +563,10 @@ def _run_metrics(args, scale, session: Session) -> None:
     )
     assert result.metrics is not None
     print(render_metrics(result.metrics))
+    report = fairness_report(result)
+    if report["jain_flows"] is not None:
+        print()
+        print(render_fairness(report))
 
 
 def _summarise_fault_metrics(table) -> Optional[str]:
@@ -531,7 +647,7 @@ def _run_submit(args, scale) -> None:
 
 
 def _run_single(args, scale, session: Session) -> None:
-    scenario = equal_load(args.agents, args.load, cv=args.cv)
+    scenario = _cli_scenario(args)
     settings = _run_settings(args, scale)
     result = session.simulate(scenario, args.protocol, settings)
     print(f"protocol          : {args.protocol}")
@@ -555,6 +671,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         bad = [f"{rate:g}" for rate in args.rates if rate <= 0.0]
         if bad:
             parser.error(f"--rates must be > 0, got: {', '.join(bad)}")
+    if getattr(args, "arrival", "closed") == "closed" and getattr(
+        args, "outstanding", 1
+    ) != 1:
+        parser.error("--outstanding needs an open-loop arrival model "
+                     "(--arrival poisson|bursty)")
     try:
         # Inside the try: an invalid $REPRO_SCALE raises ReproError and
         # must exit 1 with a clean message, not a traceback.
@@ -594,6 +715,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 executor=_make_session(args),
                 telemetry=telemetry,
                 engine=args.engine or "batch",
+                workload=args.workload,
             )
             for panel in tables:
                 print(panel.render())

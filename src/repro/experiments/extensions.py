@@ -18,7 +18,13 @@ CLI as ``repro-arb table E1|E2|E3|E4``):
   normal class toward static priority.  The table sweeps the urgent
   traffic share and compares the paper-faithful rule with the
   frozen-pointer amendment
-  (``DistributedRoundRobin(record_priority_winners=False)``).
+  (``DistributedRoundRobin(record_priority_winners=False)``);
+- **Table E5** — per-flow fairness under the open-loop arrival layer:
+  Poisson, on-off bursty (MMPP) and two-class priority workloads per
+  protocol, reporting the Jain index over (agent, class) flow shares
+  and the two-class waiting-time percentiles (the §5
+  priority-integration options exercised under traffic that can
+  actually expose them).
 """
 
 from __future__ import annotations
@@ -45,7 +51,13 @@ from repro.protocols.registry import get_spec, protocol_names
 from repro.workload.scenarios import AgentSpec, ScenarioSpec
 from repro.workload.traces import TraceDistribution, synthesize_program_trace
 
-__all__ = ["run_table_e1", "run_table_e2", "run_table_e3", "run_table_e4"]
+__all__ = [
+    "run_table_e1",
+    "run_table_e2",
+    "run_table_e3",
+    "run_table_e4",
+    "run_table_e5",
+]
 
 
 def run_table_e1(num_agents: int = 30) -> ExperimentTable:
@@ -311,6 +323,89 @@ def run_table_e4(
         notes=(
             f"scale={scale.name}, seed={seed}; urgent agents "
             f"{tuple(urgent_agents)} issue only priority requests"
+        ),
+    )
+    return build_table(panel, executor)
+
+
+def run_table_e5(
+    num_agents: int = 8,
+    open_load: float = 0.85,
+    closed_load: float = 2.0,
+    urgent_fraction: float = 0.25,
+    scale: Optional[Scale] = None,
+    seed: int = DEFAULT_SEED,
+    executor: Optional[RunExecutor] = None,
+) -> ExperimentTable:
+    """Table E5: per-flow fairness under the open-loop arrival layer.
+
+    Every protocol row runs three workloads with common random numbers:
+    open-loop Poisson arrivals, on-off bursty (MMPP) sources at the same
+    average load, and the closed-loop §5 two-class priority overlay.
+    Reported per row: the Jain index over (agent, class) flow shares for
+    each workload, and the two-class run's p95 waiting time per class —
+    the number a fixed-priority overlay actually moves.
+    """
+    from repro.analysis.fairness import fairness_report
+    from repro.workload.arrivals import bursty_equal_load, two_class_priority_load
+    from repro.workload.scenarios import open_loop_equal_load
+
+    scale = scale or current_scale()
+    workloads = {
+        "poisson": open_loop_equal_load(num_agents, open_load, max_outstanding=1),
+        "bursty": bursty_equal_load(num_agents, open_load),
+        "two-class": two_class_priority_load(
+            num_agents, closed_load, urgent_fraction=urgent_fraction
+        ),
+    }
+    settings = settings_for(scale, seed, keep_records=True)
+    protocols = ("rr", "rr-frozen", "fcfs", "fcfs-aincr")
+
+    def build_row(protocol, results):
+        reports = {key: fairness_report(results[key]) for key in workloads}
+        two_class = reports["two-class"]["class_percentiles"]
+        cells = [protocol]
+        record = {"protocol": protocol}
+        for key in workloads:
+            jain = reports[key]["jain_flows"]
+            cells.append(f"{jain:.4f}")
+            record[f"jain_{key}"] = jain
+        for label in ("urgent", "normal"):
+            p95 = two_class.get(label, {}).get(95.0)
+            cells.append("—" if p95 is None else f"{p95:.2f}")
+            record[f"p95_{label}"] = p95
+        return cells, record
+
+    panel = PanelSpec(
+        title=(
+            f"Table E5: per-flow fairness under open-loop and two-class "
+            f"workloads ({num_agents} agents)"
+        ),
+        headers=(
+            "protocol", "jain poisson", "jain bursty", "jain 2-class",
+            "p95 W urgent", "p95 W normal",
+        ),
+        rows=tuple(
+            RowSpec(
+                label=protocol,
+                cells=tuple(
+                    CellSpec(
+                        key=key,
+                        scenario=scenario,
+                        protocol=protocol,
+                        settings=settings,
+                        tag=f"E5/{key}/{protocol}",
+                    )
+                    for key, scenario in workloads.items()
+                ),
+            )
+            for protocol in protocols
+        ),
+        build_row=build_row,
+        notes=(
+            f"scale={scale.name}, seed={seed}; open-loop load {open_load:g}, "
+            f"two-class load {closed_load:g} with urgent fraction "
+            f"{urgent_fraction:g}; Jain index over (agent, class) flow shares"
         ),
     )
     return build_table(panel, executor)

@@ -48,11 +48,14 @@ from repro.observability.events import TelemetrySettings
 from repro.protocols.registry import get_spec
 from repro.stats.collector import service_order_deviation
 from repro.stats.summary import RunResult
-from repro.workload.scenarios import equal_load
+from repro.workload.arrivals import bursty_equal_load, two_class_priority_load
+from repro.workload.scenarios import equal_load, open_loop_equal_load
 
 __all__ = [
     "ROBUSTNESS_PROTOCOLS",
     "DEFAULT_FAULT_RATES",
+    "GRID_WORKLOADS",
+    "grid_scenario",
     "fault_plan_for",
     "panel_spec",
     "run",
@@ -75,6 +78,33 @@ DEFAULT_FAULT_RATES: Tuple[float, ...] = (0.002, 0.01, 0.05)
 #: order is most sensitive to perturbation.
 NUM_AGENTS = 10
 LOAD = 2.0
+
+#: Total arrival-rate load of the open-loop grid workloads.  Open-loop
+#: sources need load < 1 for stability (the arrival clock never stops),
+#: so the grid runs them hot but stable rather than saturated.
+OPEN_LOAD = 0.9
+
+#: Workload families the grid can sweep.  ``closed`` is the original
+#: saturated §4.1 population and stays the default, so pre-existing grid
+#: outputs (and their cache keys) are untouched; the rest exercise the
+#: open-loop arrival layer: Poisson arrivals, on-off bursty (MMPP)
+#: sources, and the §5 two-class priority overlay.
+GRID_WORKLOADS: Tuple[str, ...] = ("closed", "poisson", "bursty", "two-class")
+
+
+def grid_scenario(workload: str = "closed"):
+    """The robustness grid's agent population for one workload family."""
+    if workload == "closed":
+        return equal_load(NUM_AGENTS, LOAD)
+    if workload == "poisson":
+        return open_loop_equal_load(NUM_AGENTS, OPEN_LOAD, max_outstanding=1)
+    if workload == "bursty":
+        return bursty_equal_load(NUM_AGENTS, OPEN_LOAD)
+    if workload == "two-class":
+        return two_class_priority_load(NUM_AGENTS, LOAD, urgent_fraction=0.2)
+    raise ConfigurationError(
+        f"unknown robustness workload {workload!r}; pick one of {GRID_WORKLOADS}"
+    )
 
 
 def _injectable_kinds(protocol: str) -> Tuple[FaultKind, ...]:
@@ -127,16 +157,18 @@ def panel_spec(
     scale: Optional[Scale] = None,
     seed: int = DEFAULT_SEED,
     telemetry: Optional[TelemetrySettings] = None,
+    workload: str = "closed",
 ) -> PanelSpec:
     """One protocol's robustness panel: fault-rate rows vs its baseline.
 
     With ``telemetry`` set, every fault cell runs under it and each
     row's machine-readable record carries the cell's metrics snapshot
     (``record["metrics"]``) — the rendered table is unchanged either
-    way.
+    way.  ``workload`` picks the grid population (see
+    :data:`GRID_WORKLOADS`); the baseline must have run the same one.
     """
     scale = scale or current_scale()
-    scenario = equal_load(NUM_AGENTS, LOAD)
+    scenario = grid_scenario(workload)
     baseline_order = list(baseline.collector.completion_order)
     baseline_ratio = baseline.extreme_throughput_ratio().mean
 
@@ -230,6 +262,7 @@ def panel_spec(
             f"kinds: {kinds}; {NUM_AGENTS} agents, load {LOAD}; "
             f"scale={scale.name}, seed={seed}; watchdog "
             f"{WatchdogPolicy().max_attempts} attempts"
+            + ("" if workload == "closed" else f"; workload={workload}")
         ),
     )
 
@@ -242,6 +275,7 @@ def run(
     executor: Optional[RunExecutor] = None,
     telemetry: Optional[TelemetrySettings] = None,
     engine: str = "batch",
+    workload: str = "closed",
 ) -> Tuple[ExperimentTable, ...]:
     """The full robustness grid: one panel per protocol.
 
@@ -249,6 +283,9 @@ def run(
     executor, so it caches and parallelises like any cell) and anchors
     that panel's order-deviation and fairness columns.  ``telemetry``
     is threaded into every fault cell (see :func:`panel_spec`).
+    ``workload`` selects the grid population (see
+    :data:`GRID_WORKLOADS`); the open-loop families are outside the
+    batch lane domain and demote to the event engine per cell.
 
     ``engine`` selects the execution engine for the fault-free
     baselines — the grid's replication-heavy, batch-eligible cells.
@@ -260,7 +297,7 @@ def run(
     """
     executor = executor or SweepExecutor()
     scale = scale or current_scale()
-    scenario = equal_load(NUM_AGENTS, LOAD)
+    scenario = grid_scenario(workload)
     baseline_settings = settings_for(
         scale, seed, keep_order=True, engine=normalize_engine(engine, allow_none=False)
     )
@@ -269,7 +306,10 @@ def run(
         baseline = executor.simulate(scenario, protocol, baseline_settings)
         tables.append(
             build_table(
-                panel_spec(protocol, baseline, rates, scale, seed, telemetry),
+                panel_spec(
+                    protocol, baseline, rates, scale, seed, telemetry,
+                    workload=workload,
+                ),
                 executor,
             )
         )

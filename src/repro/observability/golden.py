@@ -65,6 +65,13 @@ class GoldenScenario:
     #: watchdog policy, so the trace pins anomaly emission, watchdog
     #: attempt counting and recovery scheduling — not just clean grants.
     fault_rate: float = 0.0
+    #: Workload family behind the run.  ``closed`` is the original
+    #: equal-load think-time population; ``mmpp-closed`` swaps the think
+    #: times for closed-loop MMPP draws (still inside the batch-lane
+    #: domain, so it can have a batch twin); ``poisson`` and
+    #: ``bursty-priority`` are open-loop arrival scenarios (event engine
+    #: only — open loops are outside the lane domain by construction).
+    workload: str = "closed"
 
 
 #: The pinned grid: one RR implementation per §3.1 flavour, one FCFS
@@ -164,6 +171,41 @@ GOLDEN_SCENARIOS: Dict[str, GoldenScenario] = {
         fault_rate=0.3,
         rationale="batch engine fault-timer class, byte-equal to rr-faults",
     ),
+    # Arrival-layer goldens.  The closed-loop MMPP pair stays inside the
+    # batch-lane domain (stateful distributions ride the default
+    # sample_batch path), so it pins the engines against each other; the
+    # open-loop pair pins the arrival-clock scheduling and the two-class
+    # priority bit, event engine only.
+    "mmpp-closed": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=2.0,
+        workload="mmpp-closed",
+        rationale="closed-loop MMPP think times: pins modulated RNG draws",
+    ),
+    "batch-mmpp-closed": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=2.0,
+        engine="batch",
+        workload="mmpp-closed",
+        rationale="batch engine on closed-loop MMPP, byte-equal to mmpp-closed",
+    ),
+    "openloop-poisson": GoldenScenario(
+        protocol="fcfs",
+        agents=4,
+        load=0.8,
+        workload="poisson",
+        rationale="open-loop Poisson arrivals: pins the free-running arrival clock",
+    ),
+    "openloop-bursty-priority": GoldenScenario(
+        protocol="rr",
+        agents=4,
+        load=0.8,
+        workload="bursty-priority",
+        rationale="on-off bursty sources + §5 two-class overlay: pins MMPP "
+        "phase flips and the priority bit in arbitration",
+    ),
 }
 
 
@@ -193,9 +235,41 @@ def golden_trace_lines(name: str) -> List[str]:
     from repro.faults.plan import BUS_LEVEL_FAULTS, FaultPlan
     from repro.observability.events import TelemetrySettings
     from repro.protocols.registry import get_spec
-    from repro.workload.scenarios import equal_load
+    from repro.workload.arrivals import MarkovModulatedPoisson, bursty_equal_load
+    from repro.workload.scenarios import (
+        AgentSpec,
+        ScenarioSpec,
+        equal_load,
+        mean_interrequest_for_load,
+        open_loop_equal_load,
+    )
 
-    scenario = equal_load(golden.agents, golden.load)
+    if golden.workload == "closed":
+        scenario = equal_load(golden.agents, golden.load)
+    elif golden.workload == "mmpp-closed":
+        # Symmetric switch rates make the stationary rate (l0 + l1) / 2,
+        # so the long-run think mean matches the equal-load population's.
+        mean = mean_interrequest_for_load(golden.load / golden.agents)
+        scenario = ScenarioSpec(
+            name=f"mmpp-closed-n{golden.agents}-L{golden.load:g}",
+            agents=tuple(
+                AgentSpec(
+                    agent_id=i,
+                    interrequest=MarkovModulatedPoisson(
+                        (1.6 / mean, 0.4 / mean), (0.05, 0.05)
+                    ),
+                )
+                for i in range(1, golden.agents + 1)
+            ),
+        )
+    elif golden.workload == "poisson":
+        scenario = open_loop_equal_load(golden.agents, golden.load, max_outstanding=1)
+    elif golden.workload == "bursty-priority":
+        scenario = bursty_equal_load(golden.agents, golden.load, urgent_fraction=0.3)
+    else:
+        raise ConfigurationError(
+            f"unknown golden workload {golden.workload!r} in scenario {name!r}"
+        )
     fault_plan = None
     watchdog = None
     if golden.fault_rate > 0.0:

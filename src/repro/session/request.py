@@ -8,7 +8,8 @@ arbitration-as-a-service front end speaks this format).
 
 The codec is total over the library's own workload vocabulary: every
 :class:`~repro.workload.distributions.Distribution` the builders emit
-(deterministic, exponential, Erlang, hyperexponential and trace replay),
+(deterministic, exponential, Erlang, hyperexponential, MMPP/on-off and
+trace replay),
 fault plans, watchdog policies, bus timing and telemetry blocks.
 ``from_dict(to_dict(request))`` reconstructs a request whose epoch-6
 cache key is byte-identical to the original's — the invariance the
@@ -28,6 +29,7 @@ from repro.bus.watchdog import WatchdogPolicy
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.observability.events import TelemetrySettings
+from repro.workload.arrivals import MarkovModulatedPoisson
 from repro.workload.distributions import (
     Deterministic,
     Distribution,
@@ -61,6 +63,15 @@ def _distribution_to_dict(dist: Distribution) -> Dict[str, Any]:
         return {"type": "erlang", "mean": dist.mean, "shape": dist.shape}
     if isinstance(dist, Hyperexponential):
         return {"type": "hyperexponential", "mean": dist.mean, "cv": dist.cv}
+    if isinstance(dist, MarkovModulatedPoisson):
+        # Serialise the *current* modulating phase, so a request captured
+        # mid-burst resumes in the same phase.
+        return {
+            "type": "mmpp",
+            "rates": list(dist.rates),
+            "switch_rates": list(dist.switch_rates),
+            "phase": dist.phase,
+        }
     if isinstance(dist, TraceDistribution):
         # Serialise the *current* replay position, so a request captured
         # mid-trace resumes where it stood.
@@ -87,6 +98,12 @@ def _distribution_from_dict(doc: Dict[str, Any]) -> Distribution:
         return Erlang(doc["mean"], doc["shape"])
     if kind == "hyperexponential":
         return Hyperexponential(doc["mean"], doc["cv"])
+    if kind == "mmpp":
+        return MarkovModulatedPoisson(
+            rates=tuple(doc["rates"]),
+            switch_rates=tuple(doc["switch_rates"]),
+            phase=doc.get("phase", 0),
+        )
     if kind == "trace":
         return TraceDistribution(
             doc["samples"], offset=doc.get("offset", 0), cycle=doc.get("cycle", True)

@@ -1,5 +1,12 @@
 """Workload generation: inter-request time distributions and scenarios."""
 
+from repro.workload.arrivals import (
+    MarkovModulatedPoisson,
+    bursty_equal_load,
+    heterogeneous_load,
+    on_off_poisson,
+    two_class_priority_load,
+)
 from repro.workload.distributions import (
     Deterministic,
     Distribution,
@@ -24,6 +31,11 @@ from repro.workload.traces import (
 )
 
 __all__ = [
+    "MarkovModulatedPoisson",
+    "on_off_poisson",
+    "bursty_equal_load",
+    "heterogeneous_load",
+    "two_class_priority_load",
     "TraceDistribution",
     "load_trace",
     "save_trace",

@@ -48,8 +48,12 @@ def completion_records(
     collector = CompletionCollector(
         batches=2, batch_size=completions // 2, warmup=0, keep_records=True
     )
+    capacity = max(spec.max_outstanding for spec in scenario.agents)
     system = BusSystem(
-        scenario, make_arbiter(protocol, scenario.num_agents), collector, seed=seed
+        scenario,
+        make_arbiter(protocol, scenario.num_agents, capacity),
+        collector,
+        seed=seed,
     )
     system.run()
     return collector.records[:completions]

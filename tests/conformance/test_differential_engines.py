@@ -486,8 +486,116 @@ def test_batch_goldens_equal_their_event_twins():
     # file must be byte-identical to the event file where both exist.
     from repro.observability.golden import golden_trace_lines
 
-    for name in ("rr", "rr-impl3", "fcfs", "fcfs-aincr", "fixed", "rr-faults"):
+    for name in (
+        "rr", "rr-impl3", "fcfs", "fcfs-aincr", "fixed", "rr-faults", "mmpp-closed",
+    ):
         assert golden_trace_lines(name) == golden_trace_lines(f"batch-{name}")
+
+
+# -- arrival-layer cells ------------------------------------------------------
+
+
+def _mmpp_closed(num_agents=4, load=2.0):
+    """Closed-loop agents with MMPP think times: stateful but in-domain."""
+    from repro.workload.arrivals import MarkovModulatedPoisson
+    from repro.workload.scenarios import (
+        AgentSpec,
+        ScenarioSpec,
+        mean_interrequest_for_load,
+    )
+
+    mean = mean_interrequest_for_load(load / num_agents)
+    return ScenarioSpec(
+        name=f"mmpp-diff-n{num_agents}",
+        agents=tuple(
+            AgentSpec(
+                agent_id=i,
+                interrequest=MarkovModulatedPoisson(
+                    (1.6 / mean, 0.4 / mean), (0.05, 0.05)
+                ),
+            )
+            for i in range(1, num_agents + 1)
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("protocol", ("rr", "fcfs-aincr"))
+def test_engines_identical_on_closed_loop_mmpp(protocol, seed):
+    # Stateful think-time distributions stay inside the lane domain:
+    # the kernels deep-copy scenarios per replication, so the modulating
+    # phase evolves identically on both engines.
+    settings = replace(SETTINGS, seed=seed)
+    capable, reason = batch_capable(_mmpp_closed(), protocol, settings)
+    assert capable, reason
+    ev, bt = _both_engines(_mmpp_closed, protocol, settings)
+    _assert_identical(ev, bt)
+
+
+def test_open_loop_cells_are_statically_out_of_domain(recwarn):
+    # Open-loop agents were never promised the batch engine: the domain
+    # check names the agent, engine="batch" silently routes to the event
+    # engine, and no RuntimeWarning fires (nothing was demoted).
+    from repro.workload.scenarios import open_loop_equal_load
+
+    settings = replace(SETTINGS, seed=3)
+    scenario = open_loop_equal_load(4, 0.8, max_outstanding=1)
+    capable, reason = batch_capable(scenario, "fcfs", settings)
+    assert not capable and "open-loop" in reason
+    ev, bt = _both_engines(
+        lambda: open_loop_equal_load(4, 0.8, max_outstanding=1), "fcfs", settings
+    )
+    _assert_identical(ev, bt)
+    assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
+def test_priority_class_cells_are_statically_out_of_domain(recwarn):
+    from repro.workload.arrivals import two_class_priority_load
+
+    settings = replace(SETTINGS, seed=3)
+    scenario = two_class_priority_load(4, 2.0, urgent_fraction=0.25)
+    capable, reason = batch_capable(scenario, "rr", settings)
+    assert not capable and "priority" in reason
+    ev, bt = _both_engines(
+        lambda: two_class_priority_load(4, 2.0, urgent_fraction=0.25), "rr", settings
+    )
+    _assert_identical(ev, bt)
+    assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
+def test_mixed_sweep_counts_only_in_domain_cells_as_fallback(monkeypatch):
+    # A grid mixing open-loop (statically out-of-domain) and closed-loop
+    # MMPP (in-domain) cells, with the lane engine dying at runtime: the
+    # warning fires, fallback_cells counts ONLY the demoted in-domain
+    # cells, and every cell still matches the event engine exactly.
+    import repro.experiments.sweep as sweep_module
+    from repro.workload.scenarios import open_loop_equal_load
+
+    def boom(cells):
+        raise RuntimeError("lane engine exploded")
+
+    monkeypatch.setattr(sweep_module, "run_lanes", boom)
+    in_domain = [
+        SweepCell(_mmpp_closed(), "rr", replace(SETTINGS, seed=s)) for s in (1, 2)
+    ]
+    out_of_domain = [
+        SweepCell(
+            open_loop_equal_load(4, 0.8, max_outstanding=1),
+            "fcfs",
+            replace(SETTINGS, seed=s),
+        )
+        for s in (1, 2, 3)
+    ]
+    executor = SweepExecutor(jobs=1)
+    with pytest.warns(RuntimeWarning, match="fell back to the event engine"):
+        results = executor.run(in_domain + out_of_domain)
+    assert executor.stats.fallback_cells == len(in_domain)
+    assert executor.stats.executed == len(in_domain) + len(out_of_domain)
+    for cell, result in zip(in_domain + out_of_domain, results):
+        reference = run_simulation(
+            cell.scenario, cell.protocol, replace(cell.settings, engine="event")
+        )
+        _assert_identical(reference, result)
 
 
 @pytest.mark.parametrize("protocol", BATCH_PROTOCOLS)

@@ -33,6 +33,7 @@ from repro.experiments.runner import SimulationSettings, run_simulation
 from repro.faults.plan import BUS_LEVEL_FAULTS, FaultPlan
 from repro.observability import TelemetrySettings
 from repro.session import RunRequest, Session
+from repro.workload.arrivals import MarkovModulatedPoisson
 from repro.workload.distributions import (
     Deterministic,
     Erlang,
@@ -174,6 +175,20 @@ _distributions = st.one_of(
         st.lists(_means, min_size=1, max_size=8),
         cycle=st.just(True),
     ),
+    # The arrival layer's MMPP (on-off corner included): phase is part
+    # of the wire format and the spec key, so it must survive the trip.
+    st.builds(
+        MarkovModulatedPoisson,
+        rates=st.one_of(
+            st.tuples(_means, _means),
+            st.tuples(_means, st.just(0.0)),
+        ),
+        switch_rates=st.tuples(
+            st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+            st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+        ),
+        phase=st.sampled_from([0, 1]),
+    ),
 )
 
 _protocols = st.sampled_from(["rr", "rr-impl3", "fcfs", "aap1", "fixed", "central-rr"])
@@ -182,17 +197,24 @@ _protocols = st.sampled_from(["rr", "rr-impl3", "fcfs", "aap1", "fixed", "centra
 @st.composite
 def _scenarios(draw):
     num_agents = draw(st.integers(min_value=1, max_value=6))
-    agents = tuple(
-        AgentSpec(
-            agent_id=agent_id,
-            interrequest=draw(_distributions),
-            priority_fraction=draw(
-                st.one_of(st.just(0.0), st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
-            ),
+    agents = []
+    for agent_id in range(1, num_agents + 1):
+        # Open-loop agents may pipeline requests (the §3.2 r > 1
+        # extension); a closed-loop agent stalls, so r is pinned to 1.
+        open_loop = draw(st.booleans())
+        max_outstanding = draw(st.integers(min_value=1, max_value=4)) if open_loop else 1
+        agents.append(
+            AgentSpec(
+                agent_id=agent_id,
+                interrequest=draw(_distributions),
+                priority_fraction=draw(
+                    st.one_of(st.just(0.0), st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+                ),
+                open_loop=open_loop,
+                max_outstanding=max_outstanding,
+            )
         )
-        for agent_id in range(1, num_agents + 1)
-    )
-    return ScenarioSpec(name=draw(st.sampled_from(["grid", "probe"])), agents=agents)
+    return ScenarioSpec(name=draw(st.sampled_from(["grid", "probe"])), agents=tuple(agents))
 
 
 _fault_plans = st.builds(
